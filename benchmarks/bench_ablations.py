@@ -1,0 +1,165 @@
+"""Ablations over the cost-model knobs DESIGN.md calls out.
+
+The paper's headline numbers depend on three physical quantities the
+simulator models explicitly; each ablation isolates one and checks the
+mechanism behind Damysus's advantage:
+
+* **crypto cost** - Damysus verifies f+1-signature certificates instead
+  of 2f+1, so its relative advantage must grow as signature verification
+  gets more expensive;
+* **bandwidth** - leaders serialize N block copies, so the advantage of
+  having fewer replicas must grow as links get slower;
+* **block size** - per-block overhead amortizes, so throughput rises
+  with block size for every protocol while the ordering is preserved.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.runner import ExperimentRunner
+from repro.costs import CostModel
+
+
+def damysus_gain(runner: ExperimentRunner, f: int = 4, **overrides) -> float:
+    damysus = runner.run_cell("damysus", f, **overrides)
+    hotstuff = runner.run_cell("hotstuff", f, **overrides)
+    return damysus.throughput_kops / hotstuff.throughput_kops
+
+
+def test_ablation_crypto_cost(benchmark):
+    """Damysus's edge grows with signature-verification cost."""
+
+    def sweep():
+        gains = {}
+        for verify_ms in (0.05, 0.25, 1.0):
+            costs = dataclasses.replace(CostModel(), verify_ms=verify_ms)
+            runner = ExperimentRunner(
+                payload_bytes=0, views_per_run=5, repetitions=1, costs=costs
+            )
+            gains[verify_ms] = damysus_gain(runner)
+        return gains
+
+    gains = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nthroughput gain vs verify cost: {gains}")
+    assert all(gain > 1.0 for gain in gains.values())
+    assert gains[1.0] > gains[0.05]
+    for verify_ms, gain in gains.items():
+        benchmark.extra_info[f"gain_at_{verify_ms}ms"] = round(gain, 3)
+
+
+def test_ablation_leader_egress(benchmark):
+    """Damysus keeps its edge across NIC speeds; the composition changes.
+
+    When egress is cheap, the gain comes mostly from the two dropped
+    phases; when the leader's per-byte egress cost dominates the view,
+    the gain converges toward the replica-count ratio (3f+1)/(2f+1) -
+    each leader pushes N block copies.  At f = 4 that ratio is
+    13/9 ~ 1.44.
+    """
+
+    def sweep():
+        gains = {}
+        for egress_ms_per_byte in (1e-6, 8e-6, 8e-5):  # ~10G / 1G / 100M NIC
+            costs = dataclasses.replace(
+                CostModel(), serialize_per_byte_ms=egress_ms_per_byte
+            )
+            runner = ExperimentRunner(
+                payload_bytes=256, views_per_run=5, repetitions=1, costs=costs
+            )
+            gains[egress_ms_per_byte] = damysus_gain(runner)
+        return gains
+
+    gains = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nthroughput gain vs egress cost: {gains}")
+    replica_ratio = 13 / 9  # (3f+1)/(2f+1) at f = 4
+    assert all(gain > 1.2 for gain in gains.values())
+    assert abs(gains[8e-5] - replica_ratio) < 0.25
+
+
+def test_ablation_block_size(benchmark):
+    """Bigger blocks raise throughput for all; ordering is preserved."""
+
+    def sweep():
+        out = {}
+        for block_size in (40, 400, 1600):
+            runner = ExperimentRunner(
+                payload_bytes=0,
+                block_size=block_size,
+                views_per_run=5,
+                repetitions=1,
+            )
+            dam = runner.run_cell("damysus", 2)
+            hs = runner.run_cell("hotstuff", 2)
+            out[block_size] = (dam.throughput_kops, hs.throughput_kops)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n(damysus, hotstuff) Kops/s by block size: {results}")
+    for block_size, (dam, hs) in results.items():
+        assert dam > hs, block_size
+    assert results[1600][0] > results[40][0]  # amortization
+    assert results[1600][1] > results[40][1]
+
+
+def test_ablation_compact_qcs(benchmark):
+    """Threshold (constant-size) certificates vs ECDSA signature lists.
+
+    Original HotStuff uses threshold signatures; the DAMYSUS paper's
+    implementation (and our default) uses signature lists.  At f = 10 a
+    list certificate carries 21 x 64 B, so compacting shrinks wire bytes
+    substantially - yet Damysus still wins, because its advantage comes
+    from quorum size and phase count, not certificate representation.
+    """
+
+    def sweep():
+        runner = ExperimentRunner(payload_bytes=0, views_per_run=5, repetitions=1)
+        return {
+            "hotstuff-list": runner.run_cell("hotstuff", 10),
+            "hotstuff-compact": runner.run_cell("hotstuff", 10, compact_qcs=True),
+            "damysus": runner.run_cell("damysus", 10),
+        }
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(
+        "\n"
+        + ", ".join(
+            f"{name}: {cell.throughput_kops:.2f} Kops/s / {cell.latency_ms:.0f} ms"
+            for name, cell in cells.items()
+        )
+    )
+    compact, full = cells["hotstuff-compact"], cells["hotstuff-list"]
+    assert compact.throughput_kops >= full.throughput_kops
+    # Even with compact certificates, Damysus keeps its lead.
+    assert cells["damysus"].throughput_kops > compact.throughput_kops
+    benchmark.extra_info["compact_tput"] = round(compact.throughput_kops, 2)
+    benchmark.extra_info["list_tput"] = round(full.throughput_kops, 2)
+
+
+def test_ablation_fast_hotstuff_tradeoff(benchmark):
+    """Section 2's alternative: Fast-HotStuff vs Damysus.
+
+    Both have 2 core phases; Damysus additionally halves the replica
+    count, so it must win on throughput - while Fast-HotStuff still beats
+    3-phase HotStuff.  This quantifies what the trusted components buy
+    beyond just dropping a phase.
+    """
+
+    def sweep():
+        runner = ExperimentRunner(payload_bytes=256, views_per_run=5, repetitions=1)
+        return {
+            name: runner.run_cell(name, 4)
+            for name in ("hotstuff", "fast-hotstuff", "damysus")
+        }
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(
+        "\n"
+        + ", ".join(
+            f"{name}: {cell.throughput_kops:.2f} Kops/s / {cell.latency_ms:.0f} ms"
+            for name, cell in cells.items()
+        )
+    )
+    assert cells["fast-hotstuff"].throughput_kops > cells["hotstuff"].throughput_kops
+    assert cells["damysus"].throughput_kops > cells["fast-hotstuff"].throughput_kops
+    assert cells["damysus"].latency_ms < cells["fast-hotstuff"].latency_ms

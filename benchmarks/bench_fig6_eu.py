@@ -1,0 +1,65 @@
+"""Fig 6: throughput and latency on 4 EU regions (a: 256 B, b: 0 B).
+
+Paper expectations (EU regions, averaged over f):
+  * Fig 6a (256 B): Damysus-C +59.7%/-35.9%, Damysus-A +19.3%/-16.6%,
+    Damysus +87.5%/-45%, Chained-Damysus +50.5%/-32.1% vs (chained) HotStuff.
+  * Fig 6b (0 B): Damysus-C +54.6%/-31.8%, Damysus-A +36.7%/-27.4%,
+    Damysus +107.1%/-50.6%, Chained-Damysus +57.4%/-33.1%.
+
+The shape assertions below check what must transfer from the paper: every
+hybrid beats its baseline on both axes at every f, and full Damysus beats
+both single-component ablations.
+"""
+
+import pytest
+
+from repro.analysis.metrics import latency_decrease_percent, throughput_increase_percent
+from repro.bench.experiments import fig6
+
+
+def _assert_figure_shape(report):
+    grid = report.data["grid"]
+    thresholds = report.data["thresholds"]
+    for f in thresholds:
+        hotstuff = grid[("hotstuff", f)]
+        chained_hs = grid[("chained-hotstuff", f)]
+        damysus = grid[("damysus", f)]
+        # Hybrids beat basic HotStuff on both axes.
+        for name in ("damysus-c", "damysus-a", "damysus"):
+            cell = grid[(name, f)]
+            assert cell.throughput_kops > hotstuff.throughput_kops, (name, f)
+            assert cell.latency_ms < hotstuff.latency_ms, (name, f)
+        # Damysus combines both components and wins overall.
+        assert damysus.throughput_kops >= grid[("damysus-c", f)].throughput_kops
+        assert damysus.throughput_kops >= grid[("damysus-a", f)].throughput_kops
+        # Chained-Damysus beats chained HotStuff.
+        chained_dam = grid[("chained-damysus", f)]
+        assert chained_dam.throughput_kops > chained_hs.throughput_kops
+        assert chained_dam.latency_ms < chained_hs.latency_ms
+
+
+@pytest.mark.parametrize("payload", [256, 0], ids=["fig6a_256B", "fig6b_0B"])
+def test_fig6_eu_regions(benchmark, bench_scale, payload):
+    report = benchmark.pedantic(
+        fig6,
+        kwargs={
+            "payload_bytes": payload,
+            "thresholds": bench_scale["thresholds"],
+            "views_per_run": bench_scale["views_per_run"],
+            "repetitions": bench_scale["repetitions"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    _assert_figure_shape(report)
+    grid = report.data["grid"]
+    for f in bench_scale["thresholds"]:
+        tput = throughput_increase_percent(
+            grid[("damysus", f)].throughput_kops, grid[("hotstuff", f)].throughput_kops
+        )
+        lat = latency_decrease_percent(
+            grid[("damysus", f)].latency_ms, grid[("hotstuff", f)].latency_ms
+        )
+        benchmark.extra_info[f"damysus_vs_hotstuff_f{f}"] = f"+{tput:.1f}%/-{lat:.1f}%"

@@ -1,0 +1,72 @@
+"""Fig 7: throughput and latency on 11 world-wide regions (a: 256 B, b: 0 B).
+
+Paper expectations (world regions, averaged over f):
+  * Fig 7a (256 B): Damysus-C +35.1%/-24.2%, Damysus-A +18.4%/-14.0%,
+    Damysus +61.6%/-36.6%, Chained-Damysus +35.2%/-24.8%.
+  * Fig 7b (0 B): Damysus-C +33.1%/-23.3%, Damysus-A +38.2%/-27.0%,
+    Damysus +78.6%/-43.0%, Chained-Damysus +32.2%/-23.7%.
+
+Cross-continent latencies dominate here, so the relative gains are lower
+than in the EU deployment - a shape this benchmark asserts explicitly.
+"""
+
+import pytest
+
+from repro.analysis.metrics import mean, throughput_increase_percent
+from repro.bench.experiments import fig6, fig7
+
+
+@pytest.mark.parametrize("payload", [256, 0], ids=["fig7a_256B", "fig7b_0B"])
+def test_fig7_world_regions(benchmark, bench_scale, payload):
+    report = benchmark.pedantic(
+        fig7,
+        kwargs={
+            "payload_bytes": payload,
+            "thresholds": bench_scale["thresholds"],
+            "views_per_run": bench_scale["views_per_run"],
+            "repetitions": bench_scale["repetitions"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    grid = report.data["grid"]
+    for f in bench_scale["thresholds"]:
+        hotstuff = grid[("hotstuff", f)]
+        for name in ("damysus-c", "damysus-a", "damysus"):
+            cell = grid[(name, f)]
+            assert cell.throughput_kops > hotstuff.throughput_kops, (name, f)
+            assert cell.latency_ms < hotstuff.latency_ms, (name, f)
+        assert (
+            grid[("chained-damysus", f)].throughput_kops
+            > grid[("chained-hotstuff", f)].throughput_kops
+        )
+
+
+def test_world_gains_smaller_than_eu(benchmark, bench_scale):
+    """WAN latency dominates world-wide: Damysus's relative gain shrinks."""
+    thresholds = bench_scale["thresholds"][:2]
+
+    def run_both():
+        eu = fig6(payload_bytes=0, thresholds=thresholds, views_per_run=4, repetitions=1)
+        world = fig7(payload_bytes=0, thresholds=thresholds, views_per_run=4, repetitions=1)
+        return eu, world
+
+    eu, world = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    def avg_gain(report):
+        grid = report.data["grid"]
+        return mean(
+            [
+                throughput_increase_percent(
+                    grid[("damysus", f)].throughput_kops,
+                    grid[("hotstuff", f)].throughput_kops,
+                )
+                for f in thresholds
+            ]
+        )
+
+    assert avg_gain(eu) > 0 and avg_gain(world) > 0
+    benchmark.extra_info["eu_avg_gain_pct"] = round(avg_gain(eu), 1)
+    benchmark.extra_info["world_avg_gain_pct"] = round(avg_gain(world), 1)

@@ -1,0 +1,42 @@
+"""Fig 8: improvements over (chained) HotStuff at a fixed system size N = 61.
+
+3 x 20 + 1 = 61 = 2 x 30 + 1, so the non-hybrid protocols run with f = 20
+and the hybrid 2f+1 protocols with f = 30: same fleet, 50% more tolerated
+faults for the hybrids.  Paper expectations (tput/lat improvement):
+
+    deployment  Damysus-C     Damysus-A      Damysus       Chained-Damysus
+    Fig 6a      +1.9/+0.8     +28.0/-37.8    +9.9/+8.1     -11.0/-18.4
+    Fig 6b      +20.6/+17.0   -4.7/-7.3      +58.0/+33.7   +40.9/+29.8
+    Fig 7a      +31.6/+23.4   +31.3/+18.7    +52.3/+34.3   +27.4/+21.5
+    Fig 7b      +27.7/+21.7   +35.6/+26.3    +73.8/+42.4   +29.7/+22.9
+
+The transferable shape: at equal N, full Damysus still beats HotStuff on
+throughput in every deployment, despite tolerating 10 more faults.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig8
+
+
+def test_fig8_n61(benchmark):
+    report = benchmark.pedantic(
+        fig8, kwargs={"views_per_run": 5, "repetitions": 1}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    for fig_name, cells in report.data.items():
+        assert cells["hotstuff"].num_replicas == 61
+        assert cells["damysus"].num_replicas == 61
+        assert cells["chained-damysus"].num_replicas == 61
+        # Equal fleet, more faults tolerated, still faster.
+        assert (
+            cells["damysus"].throughput_kops > cells["hotstuff"].throughput_kops
+        ), fig_name
+        assert cells["damysus"].latency_ms < cells["hotstuff"].latency_ms, fig_name
+        benchmark.extra_info[f"{fig_name}_damysus_tput"] = round(
+            cells["damysus"].throughput_kops, 2
+        )
+        benchmark.extra_info[f"{fig_name}_hotstuff_tput"] = round(
+            cells["hotstuff"].throughput_kops, 2
+        )

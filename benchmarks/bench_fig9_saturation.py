@@ -1,0 +1,71 @@
+"""Fig 9: throughput vs latency while raising the client load to saturation.
+
+f = 1, 0 B payloads, 400-tx blocks, EU regions, client-measured metrics.
+Paper shape: every Damysus variant saturates at a higher throughput and
+lower latency than its HotStuff baseline; Chained-Damysus reaches the
+highest maximum throughput of all; Damysus > Damysus-C > Damysus-A.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig9
+
+
+def _max_achieved(report, protocol):
+    return max(
+        value["achieved_kops"]
+        for (name, _), value in report.data.items()
+        if name == protocol
+    )
+
+
+def _latency_at_lightest(report, protocol):
+    intervals = sorted({i for (name, i) in report.data if name == protocol})
+    return report.data[(protocol, intervals[-1])]["latency_ms"]
+
+
+def test_fig9_saturation(benchmark):
+    report = benchmark.pedantic(
+        fig9,
+        kwargs={
+            "intervals_ms": [2.0, 0.5, 0.2],
+            "num_clients": 4,
+            "duration_ms": 900.0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    # Saturation throughput ordering (paper Fig 9 conclusions).
+    assert _max_achieved(report, "damysus") > _max_achieved(report, "hotstuff")
+    assert _max_achieved(report, "chained-damysus") > _max_achieved(
+        report, "chained-hotstuff"
+    )
+    # Pre-saturation latency: Damysus lower than HotStuff.
+    assert _latency_at_lightest(report, "damysus") < _latency_at_lightest(
+        report, "hotstuff"
+    )
+    for protocol in ("hotstuff", "damysus", "chained-hotstuff", "chained-damysus"):
+        benchmark.extra_info[f"{protocol}_max_kops"] = round(
+            _max_achieved(report, protocol), 2
+        )
+
+
+def test_fig9_latency_rises_with_load(benchmark):
+    """Queueing: heavier offered load cannot lower client latency."""
+    report = benchmark.pedantic(
+        fig9,
+        kwargs={
+            "intervals_ms": [4.0, 0.25],
+            "num_clients": 4,
+            "duration_ms": 700.0,
+            "protocols": ["damysus", "hotstuff"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for protocol in ("damysus", "hotstuff"):
+        light = report.data[(protocol, 4.0)]["latency_ms"]
+        heavy = report.data[(protocol, 0.25)]["latency_ms"]
+        assert heavy > light, protocol

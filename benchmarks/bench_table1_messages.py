@@ -1,0 +1,37 @@
+"""Table 1: message complexity, analytic vs simulator-measured.
+
+Regenerates the paper's comparative-analysis table and asserts that the
+simulator's steady-state message counts land exactly on the closed
+forms: 24f+8 for HotStuff, 12f+6 for Damysus and Chained-Damysus, plus
+the derived 16f+8 (Damysus-C) and 18f+6 (Damysus-A).
+"""
+
+import pytest
+
+from repro.analysis.complexity import expected_messages
+from repro.bench.experiments import ALL_PROTOCOLS, table1_experiment
+
+
+@pytest.mark.parametrize("f", [1, 2, 4])
+def test_table1_message_counts(benchmark, f):
+    report = benchmark.pedantic(
+        table1_experiment, kwargs={"f": f, "views_per_run": 8}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    measured = report.data["measured"]
+    for protocol in ALL_PROTOCOLS:
+        analytic = expected_messages(protocol, f)
+        assert measured[protocol] == pytest.approx(analytic, rel=0.05), protocol
+        benchmark.extra_info[f"{protocol}_measured"] = measured[protocol]
+        benchmark.extra_info[f"{protocol}_analytic"] = analytic
+
+
+def test_table1_damysus_message_advantage(benchmark):
+    """Damysus must halve HotStuff's per-block message count asymptotically."""
+    report = benchmark.pedantic(
+        table1_experiment, kwargs={"f": 4, "views_per_run": 8}, rounds=1, iterations=1
+    )
+    measured = report.data["measured"]
+    assert measured["damysus"] < measured["hotstuff"] * 0.6
+    assert measured["chained-damysus"] < measured["chained-hotstuff"] * 0.6

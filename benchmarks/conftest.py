@@ -1,0 +1,42 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper's Section 8
+at a reduced default scale and prints the rendered table.  Set
+``REPRO_BENCH_SCALE=paper`` to run the full parameter grid (all fault
+thresholds f in {1,2,4,10,20,30,40}, more repetitions) - expect it to
+take considerably longer.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: "small" (default) or "paper".
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def thresholds() -> list[int]:
+    """Fault thresholds for throughput/latency sweeps."""
+    if SCALE == "paper":
+        return [1, 2, 4, 10, 20, 30, 40]
+    return [1, 2, 4, 10]
+
+
+def repetitions() -> int:
+    return 5 if SCALE == "paper" else 1
+
+
+def views_per_run() -> int:
+    return 30 if SCALE == "paper" else 6
+
+
+@pytest.fixture
+def bench_scale():
+    return {
+        "scale": SCALE,
+        "thresholds": thresholds(),
+        "repetitions": repetitions(),
+        "views_per_run": views_per_run(),
+    }

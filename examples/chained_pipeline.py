@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Chained-Damysus pipelining in action.
+
+Runs Chained-Damysus and chained HotStuff side by side and prints a
+per-view timeline showing how blocks are proposed every view while
+earlier blocks are still being certified - and why Chained-Damysus
+executes a block after a chain of 3 (one view earlier than chained
+HotStuff's 4).
+"""
+
+from repro.config import SystemConfig
+from repro.protocols.system import ConsensusSystem
+
+
+def run(protocol: str):
+    config = SystemConfig(
+        protocol=protocol,
+        f=1,
+        payload_bytes=0,
+        block_size=100,
+        seed=3,
+    )
+    system = ConsensusSystem(config)
+    result = system.run_until_views(8)
+    return system, result
+
+
+def timeline(system) -> dict[int, tuple[float, float]]:
+    """view -> (proposed_at, first_executed_at)."""
+    out: dict[int, list[float]] = {}
+    for rec in system.monitor.executions:
+        out.setdefault(rec.view, []).append(rec.executed_at)
+    replica = system.replicas[0]
+    table = {}
+    for view, times in sorted(out.items()):
+        blocks = [b for b in replica.ledger.executed if b.view == view]
+        if blocks:
+            table[view] = (blocks[0].created_at, min(times))
+    return table
+
+
+def main() -> None:
+    for protocol in ("chained-hotstuff", "chained-damysus"):
+        system, result = run(protocol)
+        print()
+        print(f"== {protocol} ==")
+        print(
+            f"{result.committed_blocks} blocks in {result.duration_ms:.0f} ms "
+            f"-> {result.throughput_kops:.2f} Kops/s, "
+            f"latency {result.mean_latency_ms:.1f} ms"
+        )
+        print("view  proposed(ms)  executed(ms)  in-flight views")
+        for view, (proposed, executed) in timeline(system).items():
+            span = executed - proposed
+            print(f"{view:>4}  {proposed:>10.1f}  {executed:>11.1f}  (~{span:.0f} ms pipeline)")
+    print()
+    print(
+        "Chained-Damysus executes each block roughly one view earlier: "
+        "its pipeline needs 3 consecutive blocks instead of 4 (Section 7.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

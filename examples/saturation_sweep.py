@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Client-driven saturation sweep (a miniature of Fig 9).
+
+Clients submit transactions to all replicas at increasing rates;
+throughput and latency are measured client-side (first reply).  The
+output shows each protocol's saturation knee - the offered load beyond
+which throughput stops growing and latency explodes.
+"""
+
+from repro.bench.experiments import fig9
+
+
+def main() -> None:
+    report = fig9(
+        intervals_ms=[4.0, 1.0, 0.4, 0.2],
+        num_clients=4,
+        duration_ms=1_000.0,
+        protocols=["hotstuff", "damysus", "chained-hotstuff", "chained-damysus"],
+    )
+    print(report.render())
+    print()
+    best = {}
+    for (protocol, _), cell in report.data.items():
+        best[protocol] = max(best.get(protocol, 0.0), cell["achieved_kops"])
+    print("saturation throughput (Kops/s):")
+    for protocol, kops in sorted(best.items(), key=lambda kv: kv[1]):
+        print(f"  {protocol:18s} {kops:6.2f}")
+
+
+if __name__ == "__main__":
+    main()

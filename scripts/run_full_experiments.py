@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Run the full experiment grid and dump results for EXPERIMENTS.md.
+
+Runs Figs 6a/6b/7a/7b at the paper's fault thresholds, Fig 8 at N = 61,
+Fig 9's saturation sweep and the Table 1 cross-check, then writes a JSON
+blob to ``results/full_results.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.analysis.metrics import latency_decrease_percent, throughput_increase_percent
+from repro.bench.experiments import fig6, fig7, fig8, fig9, table1_experiment
+
+THRESHOLDS = [1, 2, 4, 10, 20, 30, 40]
+
+
+def grid_to_json(report):
+    out = {}
+    for (protocol, f), cell in report.data["grid"].items():
+        out[f"{protocol}|{f}"] = {
+            "N": cell.num_replicas,
+            "tput_kops": round(cell.throughput_kops, 3),
+            "lat_ms": round(cell.latency_ms, 2),
+        }
+    return {"cells": out, "notes": report.notes}
+
+
+def main() -> None:
+    t0 = time.time()
+    results = {}
+
+    print("Table 1...", flush=True)
+    t1 = table1_experiment(f=2, views_per_run=8)
+    results["table1"] = {k: round(v, 1) for k, v in t1.data["measured"].items()}
+
+    for name, fn, payload in [
+        ("fig6a", fig6, 256),
+        ("fig6b", fig6, 0),
+        ("fig7a", fig7, 256),
+        ("fig7b", fig7, 0),
+    ]:
+        print(f"{name} (payload {payload}B)...", flush=True)
+        report = fn(
+            payload_bytes=payload,
+            thresholds=THRESHOLDS,
+            views_per_run=8,
+            repetitions=2,
+        )
+        results[name] = grid_to_json(report)
+
+    print("fig8 (N=61)...", flush=True)
+    f8 = fig8(views_per_run=6, repetitions=1)
+    fig8_out = {}
+    for fig_name, cells in f8.data.items():
+        row = {}
+        for protocol, baseline in [
+            ("damysus-c", "hotstuff"),
+            ("damysus-a", "hotstuff"),
+            ("damysus", "hotstuff"),
+            ("chained-damysus", "chained-hotstuff"),
+        ]:
+            tput = throughput_increase_percent(
+                cells[protocol].throughput_kops, cells[baseline].throughput_kops
+            )
+            lat = latency_decrease_percent(
+                cells[protocol].latency_ms, cells[baseline].latency_ms
+            )
+            row[protocol] = f"{tput:+.1f}%/{lat:+.1f}%"
+        fig8_out[fig_name] = row
+    results["fig8"] = fig8_out
+
+    print("fig9 (saturation)...", flush=True)
+    f9 = fig9(
+        intervals_ms=[4.0, 1.0, 0.4, 0.2, 0.1],
+        num_clients=6,
+        duration_ms=1_200.0,
+    )
+    fig9_out = {}
+    for (protocol, interval), cell in f9.data.items():
+        fig9_out[f"{protocol}|{interval}"] = {
+            "achieved_kops": round(cell["achieved_kops"], 2),
+            "latency_ms": round(cell["latency_ms"], 1),
+        }
+    results["fig9"] = fig9_out
+
+    results["wall_seconds"] = round(time.time() - t0, 1)
+    out_dir = pathlib.Path(__file__).resolve().parent.parent / "results"
+    out_dir.mkdir(exist_ok=True)
+    out_path = out_dir / "full_results.json"
+    out_path.write_text(json.dumps(results, indent=2))
+    print(f"wrote {out_path} after {results['wall_seconds']}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Byzantine behaviours for safety and liveness testing.
+
+Adversarial replicas subclass the honest protocol classes and deviate on
+the *untrusted* side only: they may call their trusted components in any
+order with any arguments, delay or withhold messages, and equivocate
+where no TEE stops them - but they can never forge TEE certificates or
+read TEE-private state, which is exactly the paper's hybrid fault model.
+
+* :mod:`~repro.adversary.behaviors` - crash-style and silent-leader faults.
+* :mod:`~repro.adversary.equivocation` - leaders proposing conflicting
+  blocks (succeeds in sowing confusion in HotStuff, hard-refused by the
+  Damysus checker).
+* :mod:`~repro.adversary.stale_leader` - leaders extending stale blocks
+  (masked by locking in HotStuff, impossible past the accumulator in
+  Damysus).
+"""
+
+from repro.adversary.behaviors import SilentLeaderHotStuff, SilentLeaderDamysus
+from repro.adversary.equivocation import (
+    EquivocatingDamysusLeader,
+    EquivocatingHotStuffLeader,
+)
+from repro.adversary.flooding import FloodingDamysusReplica
+from repro.adversary.stale_leader import StaleDamysusLeader, StaleHotStuffLeader
+
+__all__ = [
+    "SilentLeaderHotStuff",
+    "SilentLeaderDamysus",
+    "EquivocatingHotStuffLeader",
+    "EquivocatingDamysusLeader",
+    "StaleHotStuffLeader",
+    "StaleDamysusLeader",
+    "FloodingDamysusReplica",
+]

@@ -1,0 +1,38 @@
+"""Resource-exhaustion adversary: flooding future-view traffic.
+
+A Byzantine node cannot forge certificates, but it can try to exhaust
+honest replicas' memory by spraying messages for far-future views, which
+honest nodes buffer until the view arrives.  The replica base bounds its
+buffer (``MAX_BUFFERED_MESSAGES``), so the flood costs the attacker
+bandwidth and buys nothing - which the flooding tests verify.
+"""
+
+from __future__ import annotations
+
+from repro.core.commitment import Commitment
+from repro.core.messages import CommitmentMsg
+from repro.core.phases import Phase
+from repro.protocols.damysus import KIND_NEW_VIEW, DamysusReplica
+
+
+class FloodingDamysusReplica(DamysusReplica):
+    """Participates normally but floods far-future junk at startup."""
+
+    #: How many junk messages to spray per peer.
+    flood_count = 2_000
+
+    def start(self) -> None:
+        junk_sig = self.scheme.sign(self.pid, b"junk")  # not a TEE signature
+        for offset in range(self.flood_count):
+            phi = Commitment(
+                h_prep=None,
+                v_prep=1_000 + offset,  # far future view
+                h_just=b"\x00" * 32,
+                v_just=0,
+                phase=Phase.NEW_VIEW,
+                sigs=(junk_sig,),
+            )
+            for pid in self.replica_pids:
+                if pid != self.pid:
+                    self.send(pid, CommitmentMsg(phi, KIND_NEW_VIEW))
+        super().start()

@@ -1,0 +1,171 @@
+"""Table 1: comparative complexity of Damysus and the related work.
+
+Each row carries the closed-form expressions the paper tabulates:
+replica count, communication steps (view-change steps in parentheses),
+normal-case message count (self-messages included), view-change message
+count, optimistic execution, and the trusted component with its storage
+complexity.  ``expected_messages`` is the formula the simulator's
+measured per-view message counts are checked against in the Table 1
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One protocol's row in Table 1."""
+
+    name: str
+    replicas: str  # e.g. "3f+1" or "f+1 act. & f pass."
+    comm_steps: str  # e.g. "3 (+2)" - view-change steps in parentheses
+    msgs_normal: Callable[[int], int]
+    msgs_normal_expr: str
+    msgs_view_change: Callable[[int], int] | None
+    msgs_view_change_expr: str
+    optimistic: bool
+    trusted_component: str
+
+    def format_counts(self, f: int) -> tuple[int, int | None]:
+        vc = self.msgs_view_change(f) if self.msgs_view_change else None
+        return self.msgs_normal(f), vc
+
+
+#: HotStuff-M's message count depends on the expander-graph diffusion
+#: parameter d; the paper leaves it symbolic.  We instantiate d = 2 (the
+#: smallest non-trivial diffusion) when a number is needed.
+HOTSTUFF_M_D = 2
+
+TABLE1_ROWS: list[Table1Row] = [
+    Table1Row(
+        name="pbft",
+        replicas="3f+1",
+        comm_steps="3 (+2)",
+        msgs_normal=lambda f: 18 * f * f + 15 * f + 3,
+        msgs_normal_expr="18f^2+15f+3",
+        msgs_view_change=lambda f: 9 * f * f + 6 * f + 1,
+        msgs_view_change_expr="9f^2+6f+1",
+        optimistic=False,
+        trusted_component="-",
+    ),
+    Table1Row(
+        name="fastbft",
+        replicas="f+1 act. & f pass.",
+        comm_steps="5 (+3)",
+        msgs_normal=lambda f: 6 * f + 5,
+        msgs_normal_expr="6f+5",
+        msgs_view_change=lambda f: 8 * f * f + 8 * f + 2,
+        msgs_view_change_expr="8f^2+8f+2",
+        optimistic=True,
+        trusted_component="Secret generation - Constant",
+    ),
+    Table1Row(
+        name="minbft",
+        replicas="2f+1",
+        comm_steps="2 (+3)",
+        msgs_normal=lambda f: 4 * f * f + 6 * f + 2,
+        msgs_normal_expr="4f^2+6f+2",
+        msgs_view_change=lambda f: 8 * f * f + 6 * f + 1,
+        msgs_view_change_expr="8f^2+6f+1",
+        optimistic=False,
+        trusted_component="Trusted counter - Constant",
+    ),
+    Table1Row(
+        name="cheapbft",
+        replicas="f+1 act. & f pass.",
+        comm_steps="3 (+3)",
+        msgs_normal=lambda f: 2 * f * f + 4 * f + 2,
+        msgs_normal_expr="2f^2+4f+2",
+        msgs_view_change=lambda f: 8 * f * f + 6 * f + 1,
+        msgs_view_change_expr="8f^2+6f+1",
+        optimistic=True,
+        trusted_component="Trusted counter - Constant",
+    ),
+    Table1Row(
+        name="hotstuff",
+        replicas="3f+1",
+        comm_steps="8",
+        msgs_normal=lambda f: 24 * f + 8,
+        msgs_normal_expr="24f+8",
+        msgs_view_change=None,
+        msgs_view_change_expr="-",
+        optimistic=False,
+        trusted_component="-",
+    ),
+    Table1Row(
+        name="hotstuff-m",
+        replicas="2f+1",
+        comm_steps="11",
+        msgs_normal=lambda f, d=HOTSTUFF_M_D: (24 + 9 * d) * f + (8 + 3 * d),
+        msgs_normal_expr="(24+9d)f+(8+3d)",
+        msgs_view_change=None,
+        msgs_view_change_expr="-",
+        optimistic=False,
+        trusted_component="Append-only logs - Linear with # msgs",
+    ),
+    Table1Row(
+        name="damysus",
+        replicas="2f+1",
+        comm_steps="6",
+        msgs_normal=lambda f: 12 * f + 6,
+        msgs_normal_expr="12f+6",
+        msgs_view_change=None,
+        msgs_view_change_expr="-",
+        optimistic=False,
+        trusted_component="Checker & Accumulator - Constant",
+    ),
+    Table1Row(
+        name="chained-damysus",
+        replicas="2f+1",
+        comm_steps="6",
+        msgs_normal=lambda f: 12 * f + 6,
+        msgs_normal_expr="12f+6",
+        msgs_view_change=None,
+        msgs_view_change_expr="-",
+        optimistic=False,
+        trusted_component="Checker & Accumulator - Constant",
+    ),
+]
+
+_BY_NAME = {row.name: row for row in TABLE1_ROWS}
+
+
+def table1(f: int) -> list[dict]:
+    """Table 1 instantiated at a given fault threshold."""
+    rows = []
+    for row in TABLE1_ROWS:
+        normal, view_change = row.format_counts(f)
+        rows.append(
+            {
+                "protocol": row.name,
+                "replicas": row.replicas,
+                "comm_steps": row.comm_steps,
+                "msgs_normal": normal,
+                "msgs_normal_expr": row.msgs_normal_expr,
+                "msgs_view_change": view_change,
+                "optimistic": row.optimistic,
+                "trusted_component": row.trusted_component,
+            }
+        )
+    return rows
+
+
+def expected_messages(protocol: str, f: int) -> int:
+    """Normal-case messages per decided block, per Table 1."""
+    # The simulator also implements Damysus-C and Damysus-A, which Table 1
+    # does not list; derive their counts from steps x replicas.
+    extra = {
+        "damysus-c": lambda f: 8 * (2 * f + 1),  # 16f+8
+        "damysus-a": lambda f: 6 * (3 * f + 1),  # 18f+6
+        "chained-hotstuff": lambda f: 24 * f + 8,
+    }
+    if protocol in _BY_NAME:
+        return _BY_NAME[protocol].msgs_normal(f)
+    if protocol in extra:
+        return extra[protocol](f)
+    raise ConfigError(f"no Table 1 expression for {protocol!r}")

@@ -1,0 +1,234 @@
+"""Section 4's demonstration: a plain trusted counter is not enough.
+
+The paper shows (Section 4.1) that equipping a 2f+1 HotStuff-like
+protocol with TrInc/MinBFT-style trusted counters does *not* make it
+safe: counters only guarantee per-value uniqueness, and because each
+protocol message goes to a single recipient (the leader), a lagging node
+cannot distinguish "the sender skipped values while talking to me" from
+"the sender's earlier values went to other nodes" - so a Byzantine node
+can help execute a block with one victim and then hide it from another.
+
+``run_counter_scenario`` scripts exactly the paper's scenario with nodes
+i (Byzantine), j and k: block ``b`` is executed by j in view 1, then i
+leads view 2, uses only k's (stale) new-view, and drives k to execute a
+conflicting ``b'`` - every certificate k verifies is genuine, yet safety
+breaks.
+
+``run_checker_scenario`` replays the same attack against the Damysus
+trusted services and shows each avenue is closed: i's checker refuses to
+lie about its latest prepared block, and the accumulator refuses to
+certify any selection that understates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import Hash, hash_fields
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import KeyDirectory
+from repro.errors import TEERefusal
+from repro.core.block import Block, create_leaf, genesis_block
+from repro.core.executor import SafetyOracle
+from repro.core.mempool import Transaction
+from repro.tee.accumulator import AccumulatorService
+from repro.tee.checker import Checker
+from repro.tee.counter import CounterCertificate, TrustedCounter, verify_counter_certificate
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scripted scenario."""
+
+    safe: bool
+    oracle: SafetyOracle
+    log: list[str] = field(default_factory=list)
+    refusals: int = 0
+
+    def describe(self) -> str:
+        lines = list(self.log)
+        lines.append(f"=> safety {'PRESERVED' if self.safe else 'VIOLATED'}")
+        return "\n".join(lines)
+
+
+def _tx(i: int) -> Transaction:
+    return Transaction(client_id=-1, tx_id=i, payload_bytes=0)
+
+
+def _block(parent: Hash, view: int, tag: int) -> Block:
+    return create_leaf(parent, view, (_tx(tag),))
+
+
+class _CounterNode:
+    """A correct node's view of the counter-augmented protocol.
+
+    It verifies every received attestation and requires per-component
+    values to increase *from its own perspective* - the strongest check a
+    recipient can apply, since other nodes' traffic is invisible to it.
+    """
+
+    def __init__(self, name: str, pid: int, scheme, directory) -> None:
+        self.name = name
+        self.pid = pid
+        self.scheme = scheme
+        self.directory = directory
+        self.counter = TrustedCounter(pid, scheme, directory)
+        self.highest_seen: dict[int, int] = {}
+        self.executed: list[Block] = []
+
+    def attest(self, kind: str, view: int, block: Block) -> CounterCertificate:
+        return self.counter.attest(hash_fields((kind, view, block.hash)))
+
+    def accepts(self, kind: str, view: int, block: Block, cert: CounterCertificate) -> bool:
+        if not verify_counter_certificate(self.scheme, self.directory, cert):
+            return False
+        if cert.message_digest != hash_fields((kind, view, block.hash)):
+            return False
+        last = self.highest_seen.get(cert.component_id, 0)
+        if cert.value <= last:
+            return False  # replay or equivocation on a value this node saw
+        self.highest_seen[cert.component_id] = cert.value
+        return True
+
+
+def run_counter_scenario() -> ScenarioResult:
+    """The unsafe run of Section 4.1 (nodes i, j, k; f = 1; quorum 2)."""
+    scheme = HmacScheme(secret=b"counterexample")
+    directory = KeyDirectory(scheme)
+    for pid in range(3):
+        directory.register_replica(pid)
+    oracle = SafetyOracle(strict=False)
+    log: list[str] = []
+
+    node_i = _CounterNode("i", 0, scheme, directory)  # Byzantine
+    node_j = _CounterNode("j", 1, scheme, directory)
+    node_k = _CounterNode("k", 2, scheme, directory)
+
+    genesis = genesis_block()
+
+    # --- View 1, leader j: i and j execute b; k's messages are delayed. ---
+    b = _block(genesis.hash, 1, tag=1)
+    log.append("view 1 (leader j): i helps j run all phases on block b")
+    for kind in ("new-view", "prepare", "pre-commit", "commit"):
+        cert = node_i.attest(kind, 1, b)
+        assert node_j.accepts(kind, 1, b, cert), "j must accept i's genuine messages"
+    node_j.executed.append(b)
+    oracle.record(node_j.pid, b.hash)
+    log.append("j executes b (quorum {i, j}); k is lagging and saw nothing")
+
+    # --- View 2, leader i: i uses only k's new-view and proposes b'. ---
+    b_prime = _block(genesis.hash, 2, tag=2)
+    log.append("view 2 (leader i): i extends the GENESIS block with b' (conflicts with b)")
+    accepted_all = True
+    for kind in ("prepare", "pre-commit", "commit", "decide"):
+        cert = node_i.attest(kind, 2, b_prime)
+        ok = node_k.accepts(kind, 2, b_prime, cert)
+        accepted_all = accepted_all and ok
+        log.append(
+            f"  k verifies i's {kind} (counter value {cert.value}): "
+            f"{'ACCEPTED' if ok else 'rejected'}"
+        )
+    if accepted_all:
+        node_k.executed.append(b_prime)
+        oracle.record(node_k.pid, b_prime.hash)
+        log.append(
+            "k executes b' - i's counter values 5..8 look fresh to k because "
+            "values 1..4 were spent on messages addressed to j"
+        )
+    return ScenarioResult(safe=oracle.safe, oracle=oracle, log=log)
+
+
+def run_checker_scenario() -> ScenarioResult:
+    """The same attack against Damysus's Checker + Accumulator (f = 1)."""
+    scheme = HmacScheme(secret=b"counterexample-checker")
+    directory = KeyDirectory(scheme)
+    for pid in range(3):
+        directory.register_replica(pid)
+    oracle = SafetyOracle(strict=False)
+    log: list[str] = []
+    refusals = 0
+
+    genesis = genesis_block()
+    quorum = 2  # f + 1
+    checker_i = Checker(0, scheme, directory, genesis.hash, quorum)
+    checker_j = Checker(1, scheme, directory, genesis.hash, quorum)
+    checker_k = Checker(2, scheme, directory, genesis.hash, quorum)
+    acc_i = AccumulatorService(0, scheme, directory, quorum)
+    acc_j = AccumulatorService(1, scheme, directory, quorum)
+
+    from repro.core.commitment import c_combine
+    from repro.core.phases import Phase
+
+    def nv_for(checker: Checker, view: int):
+        """TEEsign until the commitment is stamped (view, nv_p).
+
+        This is the replicas' new-view catch-up loop (Fig 2a lines
+        41-47); it also burns the TEE's view-0 steps so consensus views
+        start at 1, with genesis alone owning view 0.
+        """
+        while True:
+            phi = checker.tee_sign()
+            if phi.v_prep == view and phi.phase == Phase.NEW_VIEW:
+                return phi
+
+    # --- View 1, leader j: i and j prepare and execute b; k lags. ---
+    nv_i = nv_for(checker_i, 1)
+    nv_j = nv_for(checker_j, 1)
+    acc1 = acc_j.accumulate([nv_j, nv_i])
+    b = _block(acc1.prep_hash, 1, tag=1)
+    prep_j = checker_j.tee_prepare(b.hash, acc1)
+    prep_i = checker_i.tee_prepare(b.hash, acc1)
+    combined = c_combine([prep_j, prep_i])
+    checker_j.tee_store(combined)
+    checker_i.tee_store(combined)  # i's checker now irrevocably knows b
+    oracle.record(1, b.hash)
+    log.append("view 1 (leader j): i and j prepare, store and execute block b")
+
+    # k catches up its checker to view 2's new-view step without having
+    # seen b; its honest report still names the genesis block.
+    nv_k = nv_for(checker_k, 2)
+    assert nv_k.h_just == genesis.hash
+
+    # --- View 2, leader i (Byzantine): try to hide b from k. ---
+    nv_i2 = nv_for(checker_i, 2)  # skips intermediate steps until (2, nv_p)
+    log.append(
+        "view 2 (leader i): i's own new-view commitment is forced to name b "
+        f"(reports prepared view {nv_i2.v_just})"
+    )
+    assert nv_i2.h_just == b.hash, "the checker cannot lie about the prepared block"
+
+    # Attack 1: accumulate starting from k's stale commitment, hiding b.
+    try:
+        acc = acc_i.tee_start(nv_k)
+        acc_i.tee_accum(acc, nv_i2)
+        log.append("  attack 1 unexpectedly succeeded")
+    except TEERefusal:
+        refusals += 1
+        log.append(
+            "  attack 1 (accumulate k's stale report over i's) -> TEE REFUSED: "
+            "i's commitment names a higher prepared block"
+        )
+
+    # Attack 2: accumulate honestly - the certificate then names b, so any
+    # valid proposal for view 2 must extend b, not conflict with it.
+    acc2 = acc_i.accumulate([nv_i2, nv_k])
+    assert acc2.prep_hash == b.hash
+    log.append(
+        "  attack 2 (honest accumulation) -> certificate pins the proposal to "
+        "extend b; no conflicting block can be validly proposed"
+    )
+
+    # Attack 3: replay view 1's accumulator for a conflicting view-2 block.
+    b_prime = _block(genesis.hash, 2, tag=2)
+    try:
+        checker_k.tee_prepare(b_prime.hash, acc1)
+        log.append("  attack 3 unexpectedly succeeded")
+    except TEERefusal:
+        refusals += 1
+        log.append(
+            "  attack 3 (replay the view-1 accumulator) -> k's checker REFUSED: "
+            "accumulator view does not match"
+        )
+
+    # k therefore never executes anything conflicting with b.
+    return ScenarioResult(safe=oracle.safe, oracle=oracle, log=log, refusals=refusals)

@@ -1,0 +1,111 @@
+"""Result regression checking between experiment runs.
+
+``scripts/run_full_experiments.py`` dumps a JSON blob of every figure's
+cells; this module diffs two such blobs so maintainers can tell whether
+a code change moved the reproduced numbers, and by how much.  Shape
+regressions (an ordering flip) are flagged separately from magnitude
+drift, because only the former breaks the reproduction claims.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+#: Figures whose cell grids are compared.
+_GRID_KEYS = ("fig6a", "fig6b", "fig7a", "fig7b")
+
+#: Ordering that must hold per (figure, f): throughput descending.
+_ORDERING = ["damysus", "damysus-c", "damysus-a", "hotstuff"]
+
+
+@dataclass
+class Drift:
+    """One cell's relative change between baseline and candidate."""
+
+    figure: str
+    cell: str
+    metric: str
+    baseline: float
+    candidate: float
+
+    @property
+    def relative(self) -> float:
+        if self.baseline == 0:
+            return 0.0
+        return (self.candidate - self.baseline) / self.baseline
+
+
+@dataclass
+class RegressionReport:
+    drifts: list[Drift] = field(default_factory=list)
+    ordering_breaks: list[str] = field(default_factory=list)
+
+    def worst_drift(self) -> Drift | None:
+        if not self.drifts:
+            return None
+        return max(self.drifts, key=lambda d: abs(d.relative))
+
+    @property
+    def shape_ok(self) -> bool:
+        return not self.ordering_breaks
+
+    def summary(self, drift_threshold: float = 0.25) -> str:
+        big = [d for d in self.drifts if abs(d.relative) > drift_threshold]
+        lines = [
+            f"{len(self.drifts)} cells compared, "
+            f"{len(big)} drifted more than {drift_threshold:.0%}, "
+            f"{len(self.ordering_breaks)} ordering breaks"
+        ]
+        for d in sorted(big, key=lambda d: -abs(d.relative))[:10]:
+            lines.append(
+                f"  {d.figure} {d.cell} {d.metric}: "
+                f"{d.baseline:.3g} -> {d.candidate:.3g} ({d.relative:+.0%})"
+            )
+        lines.extend(f"  ORDER BROKEN: {msg}" for msg in self.ordering_breaks)
+        return "\n".join(lines)
+
+
+def _check_ordering(figure: str, cells: dict, report: RegressionReport) -> None:
+    fs = sorted({int(key.split("|")[1]) for key in cells})
+    for f in fs:
+        tputs = {}
+        for name in _ORDERING:
+            cell = cells.get(f"{name}|{f}")
+            if cell is not None:
+                tputs[name] = cell["tput_kops"]
+        names = [n for n in _ORDERING if n in tputs]
+        for first, second in zip(names, names[1:]):
+            # Damysus must not fall below HotStuff etc.; equality allowed
+            # (coarse cells can tie).
+            if first == "damysus" and second == "hotstuff" or second == "hotstuff":
+                if tputs[first] < tputs[second]:
+                    report.ordering_breaks.append(
+                        f"{figure} f={f}: {first} ({tputs[first]}) < "
+                        f"{second} ({tputs[second]})"
+                    )
+
+
+def compare_results(baseline: dict, candidate: dict) -> RegressionReport:
+    """Diff two ``full_results.json`` blobs."""
+    report = RegressionReport()
+    for figure in _GRID_KEYS:
+        base_cells = baseline.get(figure, {}).get("cells", {})
+        cand_cells = candidate.get(figure, {}).get("cells", {})
+        for cell, base_val in base_cells.items():
+            cand_val = cand_cells.get(cell)
+            if cand_val is None:
+                continue
+            for metric in ("tput_kops", "lat_ms"):
+                report.drifts.append(
+                    Drift(figure, cell, metric, base_val[metric], cand_val[metric])
+                )
+        _check_ordering(figure, cand_cells, report)
+    return report
+
+
+def compare_files(baseline_path: str | pathlib.Path, candidate_path: str | pathlib.Path) -> RegressionReport:
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    candidate = json.loads(pathlib.Path(candidate_path).read_text())
+    return compare_results(baseline, candidate)

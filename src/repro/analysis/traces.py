@@ -1,0 +1,129 @@
+"""Non-invasive per-view phase tracing.
+
+A :class:`TraceCollector` taps a system's network and monitor and derives
+a per-view timeline - when the proposal went out, when each certificate
+broadcast happened, when replicas executed - without touching protocol
+code.  Used by examples for visualisation and by tests to check phase
+structure (a 2-phase protocol must show exactly one certificate broadcast
+between proposal and decide; a 3-phase one shows two).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import format_table
+from repro.protocols.system import ConsensusSystem
+
+#: Message types that mark a leader certificate broadcast, per protocol
+#: family (votes and new-views are omitted: they are the inbound halves).
+_PROPOSAL_TYPES = {
+    "proposal",
+    "block-proposal",
+    "proposal-a",
+    "chained-proposal",
+    "fast-proposal",
+}
+_CERT_BROADCAST_TYPES = {
+    "qc",
+    "damysus-prep-qc",
+    "damysus-decide",
+    "damysus-c-prep-qc",
+    "damysus-c-pcom-qc",
+    "damysus-c-decide",
+}
+
+
+@dataclass
+class ViewTrace:
+    """Observed timeline of one view."""
+
+    view: int
+    proposal_at: float | None = None
+    cert_broadcasts: list[tuple[float, str]] = field(default_factory=list)
+    first_executed_at: float | None = None
+    messages: int = 0
+
+    @property
+    def duration_ms(self) -> float | None:
+        if self.proposal_at is None or self.first_executed_at is None:
+            return None
+        return self.first_executed_at - self.proposal_at
+
+
+class TraceCollector:
+    """Attach to a system *before* running it to record view timelines."""
+
+    def __init__(self, system: ConsensusSystem) -> None:
+        self.system = system
+        self._views: dict[int, ViewTrace] = defaultdict(lambda: ViewTrace(view=-1))
+        system.network.add_tap(self._tap)
+
+    def _trace(self, view: int) -> ViewTrace:
+        trace = self._views[view]
+        if trace.view < 0:
+            trace.view = view
+        return trace
+
+    def _tap(self, src: int, dst: int, payload) -> None:
+        view = getattr(payload, "view", None)
+        if view is None:
+            return
+        now = self.system.sim.now
+        trace = self._trace(view)
+        trace.messages += 1
+        msg_type = getattr(payload, "msg_type", "")
+        if msg_type in _PROPOSAL_TYPES and trace.proposal_at is None:
+            trace.proposal_at = now
+        elif msg_type in _CERT_BROADCAST_TYPES:
+            # Broadcasts fan out as N sends at the same instant; collapse
+            # them into one event per (time, type).
+            if not trace.cert_broadcasts or trace.cert_broadcasts[-1] != (now, msg_type):
+                trace.cert_broadcasts.append((now, msg_type))
+
+    def finalize(self) -> None:
+        """Fold execution times in from the monitor (call after the run)."""
+        for record in self.system.monitor.executions:
+            trace = self._trace(record.view)
+            if trace.first_executed_at is None or record.executed_at < trace.first_executed_at:
+                trace.first_executed_at = record.executed_at
+
+    # -- queries -----------------------------------------------------------------
+
+    def views(self) -> list[ViewTrace]:
+        self.finalize()
+        return [self._views[v] for v in sorted(self._views) if self._views[v].view >= 0]
+
+    def completed_views(self) -> list[ViewTrace]:
+        return [t for t in self.views() if t.duration_ms is not None]
+
+    def cert_rounds_per_view(self) -> dict[int, int]:
+        """Distinct leader certificate broadcasts per view.
+
+        For basic protocols this equals (core phases - 1) + 1 = the number
+        of QC fan-outs: HotStuff 3 (prepare/pre-commit/commit QCs), Damysus
+        2 (prepare QC + decide).
+        """
+        return {
+            t.view: len(t.cert_broadcasts) for t in self.views() if t.cert_broadcasts
+        }
+
+    def render(self, limit: int = 12) -> str:
+        rows = []
+        for trace in self.completed_views()[:limit]:
+            rows.append(
+                [
+                    trace.view,
+                    f"{trace.proposal_at:.1f}" if trace.proposal_at is not None else "-",
+                    len(trace.cert_broadcasts),
+                    f"{trace.first_executed_at:.1f}",
+                    f"{trace.duration_ms:.1f}",
+                    trace.messages,
+                ]
+            )
+        return format_table(
+            ["view", "proposed", "cert bcasts", "executed", "duration ms", "msgs"],
+            rows,
+            title=f"view timeline ({self.system.config.protocol})",
+        )

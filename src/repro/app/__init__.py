@@ -1,0 +1,21 @@
+"""Application layer: state machine replication over the consensus core.
+
+The paper treats transaction content as opaque ("mostly application
+specific", Section 5).  This package supplies the application a
+downstream user actually wants: deterministic state machines driven by
+the executed block sequence, with a replicated key-value store as the
+reference implementation and a divergence checker that extends the
+safety oracle to application state.
+"""
+
+from repro.app.kvstore import KVCommand, KVResult, KVStateMachine
+from repro.app.replicated import ReplicatedApp, StateMachine, attach_state_machines
+
+__all__ = [
+    "StateMachine",
+    "KVCommand",
+    "KVResult",
+    "KVStateMachine",
+    "ReplicatedApp",
+    "attach_state_machines",
+]

@@ -1,0 +1,101 @@
+"""A deterministic key-value state machine.
+
+Commands are encoded into transaction identities deterministically so the
+simulator's abstract transactions can carry real operations: every
+replica that executes the same block sequence applies the same commands
+in the same order and reaches an identical store digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import Hash, hash_fields
+from repro.errors import ProtocolError
+
+#: Supported operations.
+OP_PUT = "put"
+OP_GET = "get"
+OP_DELETE = "del"
+OP_INCREMENT = "incr"
+
+_OPS = (OP_PUT, OP_GET, OP_DELETE, OP_INCREMENT)
+
+
+@dataclass(frozen=True)
+class KVCommand:
+    """One operation against the replicated store.
+
+    ``seq`` disambiguates repeated identical operations (a client
+    request number): two increments of the same key are distinct commands
+    and must both execute.
+    """
+
+    op: str
+    key: str
+    value: str | None = None
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ProtocolError(f"unknown op {self.op!r}")
+        if self.op == OP_PUT and self.value is None:
+            raise ProtocolError("put requires a value")
+
+    def encode(self) -> int:
+        """Stable 63-bit id used as the carrying transaction's tx_id."""
+        digest = hash_fields(("kv", self.op, self.key, self.value, self.seq))
+        return int.from_bytes(digest[:8], "big") >> 1
+
+    def payload_size(self) -> int:
+        size = len(self.op) + len(self.key)
+        if self.value is not None:
+            size += len(self.value)
+        return size
+
+
+@dataclass(frozen=True)
+class KVResult:
+    """Outcome of applying one command."""
+
+    command: KVCommand
+    ok: bool
+    value: str | None = None
+
+
+class KVStateMachine:
+    """The deterministic store each replica drives from executed blocks."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, str] = {}
+        self.applied = 0
+
+    def apply(self, command: KVCommand) -> KVResult:
+        """Apply one command; fully deterministic."""
+        self.applied += 1
+        if command.op == OP_PUT:
+            self._data[command.key] = command.value or ""
+            return KVResult(command, ok=True, value=command.value)
+        if command.op == OP_GET:
+            value = self._data.get(command.key)
+            return KVResult(command, ok=value is not None, value=value)
+        if command.op == OP_DELETE:
+            existed = command.key in self._data
+            self._data.pop(command.key, None)
+            return KVResult(command, ok=existed)
+        if command.op == OP_INCREMENT:
+            current = int(self._data.get(command.key, "0"))
+            self._data[command.key] = str(current + 1)
+            return KVResult(command, ok=True, value=self._data[command.key])
+        raise ProtocolError(f"unknown op {command.op!r}")  # pragma: no cover
+
+    def get(self, key: str) -> str | None:
+        return self._data.get(key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def digest(self) -> Hash:
+        """Order-independent digest of the full store contents."""
+        items = tuple(sorted(self._data.items()))
+        return hash_fields(("kv-state", items, self.applied))

@@ -1,0 +1,111 @@
+"""Driving state machines from the replicated log.
+
+State machine replication is a pure function of the executed block
+sequence: commands are injected as transactions, consensus orders them,
+and each replica's machine replays its ledger.  Because machines are
+deterministic, replicas that executed the same blocks reach bit-identical
+state digests - the application-level restatement of consensus safety,
+which :meth:`ReplicatedApp.verify_convergence` checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.app.kvstore import KVCommand, KVResult, KVStateMachine
+from repro.core.mempool import Transaction
+from repro.errors import ProtocolError
+from repro.protocols.replica import BaseReplica
+from repro.protocols.system import ConsensusSystem
+
+
+class StateMachine(Protocol):
+    """Anything that applies commands deterministically."""
+
+    def apply(self, command: KVCommand) -> KVResult: ...
+
+    def digest(self) -> bytes: ...
+
+
+@dataclass
+class ReplicatedApp:
+    """A command log injected into a consensus system."""
+
+    system: ConsensusSystem
+    commands: dict[int, KVCommand] = field(default_factory=dict)
+    machine_factory: Callable[[], StateMachine] = KVStateMachine
+
+    def submit(self, command: KVCommand, replica: int = 0) -> None:
+        """Queue a command at one replica's mempool (it proposes it when
+        that replica leads a view)."""
+        tx_id = command.encode()
+        self.commands[tx_id] = command
+        self.system.replicas[replica].mempool.add(
+            Transaction(
+                client_id=-2,  # app-injected marker
+                tx_id=tx_id,
+                payload_bytes=command.payload_size(),
+                submitted_at=self.system.sim.now,
+            )
+        )
+
+    def submit_everywhere(self, command: KVCommand) -> None:
+        """Queue a command at every replica (clients broadcast requests)."""
+        tx_id = command.encode()
+        self.commands[tx_id] = command
+        for replica in self.system.replicas:
+            replica.mempool.add(
+                Transaction(
+                    client_id=-2,
+                    tx_id=tx_id,
+                    payload_bytes=command.payload_size(),
+                    submitted_at=self.system.sim.now,
+                )
+            )
+
+    # -- replay --------------------------------------------------------------------
+
+    def replay(self, replica: BaseReplica) -> tuple[StateMachine, list[KVResult]]:
+        """Apply the replica's executed command log to a fresh machine."""
+        machine = self.machine_factory()
+        results: list[KVResult] = []
+        seen: set[int] = set()
+        for block in replica.ledger.executed:
+            for tx in block.transactions:
+                command = self.commands.get(tx.tx_id)
+                if command is None:
+                    continue  # synthetic filler transaction
+                if tx.tx_id in seen:
+                    continue  # deduplicate commands proposed by 2 replicas
+                seen.add(tx.tx_id)
+                results.append(machine.apply(command))
+        return machine, results
+
+    def verify_convergence(self) -> bytes:
+        """All replicas with equally long logs must reach the same digest.
+
+        Returns the digest of the longest log's machine.  Raises
+        :class:`ProtocolError` on divergence (which consensus safety
+        makes impossible).
+        """
+        digests: dict[int, list[bytes]] = {}
+        best: tuple[int, bytes] | None = None
+        for replica in self.system.replicas:
+            machine, results = self.replay(replica)
+            applied = len(results)
+            digests.setdefault(applied, []).append(machine.digest())
+            if best is None or applied > best[0]:
+                best = (applied, machine.digest())
+        for applied, values in digests.items():
+            if len(set(values)) != 1:
+                raise ProtocolError(
+                    f"state divergence at {applied} applied commands"
+                )
+        assert best is not None
+        return best[1]
+
+
+def attach_state_machines(system: ConsensusSystem) -> ReplicatedApp:
+    """Create a :class:`ReplicatedApp` bound to ``system``."""
+    return ReplicatedApp(system=system)

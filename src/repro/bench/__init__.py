@@ -1,0 +1,40 @@
+"""Benchmark harness: regenerates every table and figure of Section 8.
+
+* :mod:`~repro.bench.workload` - workload descriptions (payloads, blocks).
+* :mod:`~repro.bench.runner` - runs (protocol x f x deployment) cells with
+  repetitions and aggregates them.
+* :mod:`~repro.bench.experiments` - one function per paper artefact:
+  Table 1, Fig 6a/6b, Fig 7a/7b, Fig 8, Fig 9.
+* :mod:`~repro.bench.reporting` - plain-text table rendering.
+
+The ``benchmarks/`` directory at the repository root contains the
+pytest-benchmark entry points that drive these functions at a reduced
+scale; run an experiment at full scale by calling it directly, e.g.::
+
+    from repro.bench.experiments import fig6
+    print(fig6(payload_bytes=256).render())
+"""
+
+from repro.bench.experiments import (
+    ExperimentReport,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table1_experiment,
+)
+from repro.bench.runner import ExperimentRunner
+from repro.bench.reporting import format_table
+from repro.bench.workload import Workload
+
+__all__ = [
+    "Workload",
+    "ExperimentRunner",
+    "ExperimentReport",
+    "format_table",
+    "table1_experiment",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+]

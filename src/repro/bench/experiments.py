@@ -1,0 +1,368 @@
+"""Experiment definitions: one function per table/figure of Section 8.
+
+Every function returns an :class:`ExperimentReport` carrying the raw data
+points plus a ``render()`` for human-readable output.  Scale parameters
+(fault thresholds, repetitions, views) default to values that keep the
+whole benchmark suite tractable on a laptop; pass the paper's values
+(``thresholds=[1,2,4,10,20,30,40]``, ``repetitions=100``,
+``views_per_run=30``) for a full-scale reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.complexity import expected_messages, table1
+from repro.analysis.metrics import (
+    Summary,
+    latency_decrease_percent,
+    mean,
+    throughput_increase_percent,
+)
+from repro.bench.reporting import format_table
+from repro.bench.runner import ExperimentRunner
+from repro.config import SystemConfig
+from repro.protocols.system import ConsensusSystem
+from repro.sim.regions import EU_REGIONS, WORLD_REGIONS, RegionMap
+
+#: Protocols in each figure, paper order.
+BASIC_PROTOCOLS = ["hotstuff", "damysus-c", "damysus-a", "damysus"]
+CHAINED_PROTOCOLS = ["chained-hotstuff", "chained-damysus"]
+ALL_PROTOCOLS = BASIC_PROTOCOLS + CHAINED_PROTOCOLS
+
+#: The paper's fault thresholds (Fig 6/7) and our reduced default.
+PAPER_THRESHOLDS = [1, 2, 4, 10, 20, 30, 40]
+DEFAULT_THRESHOLDS = [1, 2, 4, 10]
+
+
+@dataclass
+class ExperimentReport:
+    """Structured result of one experiment."""
+
+    name: str
+    description: str
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [format_table(self.headers, self.rows, title=f"== {self.name} ==")]
+        parts.append(self.description)
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Table 1: message complexity, analytic and measured
+# ---------------------------------------------------------------------------
+
+def table1_experiment(
+    f: int = 2, views_per_run: int = 8, measure: bool = True
+) -> ExperimentReport:
+    """Table 1 instantiated at ``f``, with simulator cross-checks.
+
+    The analytic column is the paper's closed form; the measured column
+    counts steady-state protocol messages per view in an actual
+    simulation of the protocols this library implements.  For the chained
+    protocols Table 1 counts a block's full multi-view lifecycle, whereas
+    the measured marginal cost per view is amortized by pipelining; the
+    lifecycle span (3 views for Chained-Damysus, 4 for chained HotStuff)
+    converts between the two.
+    """
+    rows = []
+    measured: dict[str, float] = {}
+    if measure:
+        runner = ExperimentRunner(
+            payload_bytes=0, block_size=50, views_per_run=views_per_run, repetitions=1
+        )
+        for protocol in ALL_PROTOCOLS:
+            system = ConsensusSystem(runner.config_for(protocol, f, seed=7))
+            system.run_until_views(views_per_run)
+            counts = system.monitor.view_message_counts
+            steady = [counts[v] for v in sorted(counts) if 2 <= v <= views_per_run - 2]
+            per_view = mean([float(c) for c in steady]) if steady else 0.0
+            span = {"chained-hotstuff": 4, "chained-damysus": 3}.get(protocol, 1)
+            measured[protocol] = per_view * span
+    for entry in table1(f):
+        name = entry["protocol"]
+        rows.append(
+            [
+                name,
+                entry["replicas"],
+                entry["comm_steps"],
+                f"{entry['msgs_normal']} ({entry['msgs_normal_expr']})",
+                entry["msgs_view_change"] if entry["msgs_view_change"] else "-",
+                "Yes" if entry["optimistic"] else "No",
+                f"{measured[name]:.1f}" if name in measured else "-",
+                entry["trusted_component"],
+            ]
+        )
+    # Add the two ablation protocols the paper evaluates but Table 1 omits.
+    for name, replicas, steps in [("damysus-c", "2f+1", "8"), ("damysus-a", "3f+1", "6")]:
+        rows.append(
+            [
+                name,
+                replicas,
+                steps,
+                str(expected_messages(name, f)),
+                "-",
+                "No",
+                f"{measured[name]:.1f}" if name in measured else "-",
+                "Checker - Constant" if name == "damysus-c" else "Accumulator - Constant",
+            ]
+        )
+    return ExperimentReport(
+        name=f"Table 1 (f={f})",
+        description=(
+            "Comparative analysis: replicas, communication steps, normal-case "
+            "messages (incl. self-messages), view-change messages, optimistic "
+            "execution, simulator-measured messages per decided block, and "
+            "trusted component."
+        ),
+        headers=[
+            "protocol",
+            "replicas",
+            "steps",
+            "msgs normal (analytic)",
+            "msgs view-change",
+            "optimistic",
+            "msgs measured",
+            "trusted component",
+        ],
+        rows=rows,
+        data={"measured": measured, "f": f},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 and 7: throughput/latency vs fault threshold
+# ---------------------------------------------------------------------------
+
+def _throughput_latency_figure(
+    name: str,
+    regions: RegionMap,
+    payload_bytes: int,
+    thresholds: list[int],
+    views_per_run: int,
+    repetitions: int,
+) -> ExperimentReport:
+    runner = ExperimentRunner(
+        regions=regions,
+        payload_bytes=payload_bytes,
+        views_per_run=views_per_run,
+        repetitions=repetitions,
+    )
+    grid = runner.sweep(ALL_PROTOCOLS, thresholds)
+    rows = []
+    for protocol in ALL_PROTOCOLS:
+        for f in thresholds:
+            cell = grid[(protocol, f)]
+            rows.append(
+                [protocol, f, cell.num_replicas, cell.throughput_kops, cell.latency_ms]
+            )
+    notes = _improvement_notes(grid, thresholds)
+    return ExperimentReport(
+        name=name,
+        description=(
+            f"Throughput (Kops/s) and latency (ms) on {regions.name} with "
+            f"{payload_bytes}B payloads, 400-tx blocks, f in {thresholds} "
+            f"({repetitions} reps x {views_per_run} views)."
+        ),
+        headers=["protocol", "f", "N", "throughput Kops/s", "latency ms"],
+        rows=rows,
+        notes=notes,
+        data={"grid": grid, "thresholds": thresholds},
+    )
+
+
+def _improvement_notes(
+    grid: dict[tuple[str, int], Summary], thresholds: list[int]
+) -> list[str]:
+    """Average improvements over the HotStuff baselines (paper-style)."""
+    notes = []
+    for protocol, baseline in [
+        ("damysus-c", "hotstuff"),
+        ("damysus-a", "hotstuff"),
+        ("damysus", "hotstuff"),
+        ("chained-damysus", "chained-hotstuff"),
+    ]:
+        tputs, lats = [], []
+        for f in thresholds:
+            cell, base = grid[(protocol, f)], grid[(baseline, f)]
+            tputs.append(
+                throughput_increase_percent(cell.throughput_kops, base.throughput_kops)
+            )
+            lats.append(latency_decrease_percent(cell.latency_ms, base.latency_ms))
+        notes.append(
+            f"{protocol} vs {baseline}: avg throughput +{mean(tputs):.1f}%, "
+            f"avg latency -{mean(lats):.1f}%"
+        )
+    return notes
+
+
+def fig6(
+    payload_bytes: int = 256,
+    thresholds: list[int] | None = None,
+    views_per_run: int = 6,
+    repetitions: int = 2,
+) -> ExperimentReport:
+    """Fig 6a (256 B) / Fig 6b (0 B): 4 EU regions."""
+    label = "a" if payload_bytes else "b"
+    return _throughput_latency_figure(
+        name=f"Fig 6{label} (EU regions, {payload_bytes}B payload)",
+        regions=EU_REGIONS,
+        payload_bytes=payload_bytes,
+        thresholds=thresholds or DEFAULT_THRESHOLDS,
+        views_per_run=views_per_run,
+        repetitions=repetitions,
+    )
+
+
+def fig7(
+    payload_bytes: int = 256,
+    thresholds: list[int] | None = None,
+    views_per_run: int = 6,
+    repetitions: int = 2,
+) -> ExperimentReport:
+    """Fig 7a (256 B) / Fig 7b (0 B): 11 world regions."""
+    label = "a" if payload_bytes else "b"
+    return _throughput_latency_figure(
+        name=f"Fig 7{label} (world regions, {payload_bytes}B payload)",
+        regions=WORLD_REGIONS,
+        payload_bytes=payload_bytes,
+        thresholds=thresholds or DEFAULT_THRESHOLDS,
+        views_per_run=views_per_run,
+        repetitions=repetitions,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: comparison at fixed N = 61
+# ---------------------------------------------------------------------------
+
+def fig8(views_per_run: int = 6, repetitions: int = 1) -> ExperimentReport:
+    """Fig 8: improvements over (chained) HotStuff at N = 61.
+
+    3 x 20 + 1 = 61 = 2 x 30 + 1: the non-hybrid protocols run with
+    f = 20 and the hybrid ones with f = 30, so all systems have 61
+    replicas while the hybrid ones additionally tolerate 10 more faults.
+    """
+    rows = []
+    data = {}
+    for fig_name, regions, payload in [
+        ("Fig 6a", EU_REGIONS, 256),
+        ("Fig 6b", EU_REGIONS, 0),
+        ("Fig 7a", WORLD_REGIONS, 256),
+        ("Fig 7b", WORLD_REGIONS, 0),
+    ]:
+        runner = ExperimentRunner(
+            regions=regions,
+            payload_bytes=payload,
+            views_per_run=views_per_run,
+            repetitions=repetitions,
+        )
+        cells = {
+            "hotstuff": runner.run_cell("hotstuff", 20),
+            "chained-hotstuff": runner.run_cell("chained-hotstuff", 20),
+            "damysus-c": runner.run_cell("damysus-c", 30),
+            "damysus-a": runner.run_cell("damysus-a", 20),
+            "damysus": runner.run_cell("damysus", 30),
+            "chained-damysus": runner.run_cell("chained-damysus", 30),
+        }
+        data[fig_name] = cells
+        row = [fig_name]
+        for protocol, baseline in [
+            ("damysus-c", "hotstuff"),
+            ("damysus-a", "hotstuff"),
+            ("damysus", "hotstuff"),
+            ("chained-damysus", "chained-hotstuff"),
+        ]:
+            tput = throughput_increase_percent(
+                cells[protocol].throughput_kops, cells[baseline].throughput_kops
+            )
+            lat = latency_decrease_percent(
+                cells[protocol].latency_ms, cells[baseline].latency_ms
+            )
+            row.append(f"{tput:+.1f}%/{lat:+.1f}%")
+        rows.append(row)
+    return ExperimentReport(
+        name="Fig 8 (N = 61: throughput/latency improvement over HotStuff)",
+        description=(
+            "Each cell is 'throughput improvement / latency improvement' of the "
+            "protocol over its HotStuff baseline at 61 replicas (f=20 for "
+            "3f+1 protocols, f=30 for 2f+1 protocols; Damysus-A is 3f+1)."
+        ),
+        headers=["deployment", "Damysus-C", "Damysus-A", "Damysus", "Chained-Damysus"],
+        rows=rows,
+        notes=[
+            "hybrid 2f+1 protocols tolerate 30 faults at N=61 vs 20 for 3f+1",
+        ],
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: throughput vs latency to saturation (client-driven)
+# ---------------------------------------------------------------------------
+
+def fig9(
+    intervals_ms: list[float] | None = None,
+    num_clients: int = 6,
+    duration_ms: float = 1_500.0,
+    protocols: list[str] | None = None,
+) -> ExperimentReport:
+    """Fig 9: client-measured throughput vs latency while raising load.
+
+    f = 1, 0 B payloads, 400-tx blocks, EU regions; clients submit at
+    decreasing inter-arrival intervals until the system saturates.  The
+    paper uses 6 clients for the basic protocols and 10 for the chained
+    ones with submission intervals from 900 us down to 0; we sweep a
+    scaled interval list (defaults chosen to cross each protocol's
+    saturation knee).
+    """
+    intervals = intervals_ms or [2.0, 1.0, 0.5, 0.25, 0.1]
+    protos = protocols or ALL_PROTOCOLS
+    rows = []
+    data: dict[tuple[str, float], dict] = {}
+    for protocol in protos:
+        for interval in intervals:
+            config = SystemConfig(
+                protocol=protocol,
+                f=1,
+                payload_bytes=0,
+                block_size=400,
+                seed=11,
+                regions=EU_REGIONS,
+                open_loop=False,
+                num_clients=num_clients,
+                client_interval_ms=interval,
+            )
+            system = ConsensusSystem(config)
+            system.run(duration_ms)
+            completed = sum(len(c.completed) for c in system.clients)
+            achieved = (completed / (duration_ms / 1000.0)) / 1000.0
+            latency = mean([c.mean_latency_ms() for c in system.clients if c.completed])
+            offered = (num_clients / interval) if interval > 0 else float("inf")
+            rows.append([protocol, interval, offered, achieved, latency])
+            data[(protocol, interval)] = {
+                "achieved_kops": achieved,
+                "latency_ms": latency,
+                "completed": completed,
+            }
+    return ExperimentReport(
+        name="Fig 9 (throughput vs latency to saturation, f=1, 0B, EU)",
+        description=(
+            f"{num_clients} clients sweep submission intervals {intervals} ms; "
+            "throughput and latency are measured client-side (first reply)."
+        ),
+        headers=[
+            "protocol",
+            "interval ms",
+            "offered Kops/s",
+            "achieved Kops/s",
+            "client latency ms",
+        ],
+        rows=rows,
+        data=data,
+    )

@@ -1,0 +1,39 @@
+"""Workload descriptions (paper Section 8, "Deployment settings").
+
+The paper fixes blocks at 400 transactions and evaluates two payload
+sizes: 0 B (protocol overhead) and 256 B (trend for larger blocks).  Each
+transaction additionally carries 40 B of metadata, so blocks weigh
+400 x 40 B = 15.6 KB and 400 x 296 B = 115.6 KB more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mempool import TX_METADATA_BYTES
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A block-level workload: payload size and block size."""
+
+    payload_bytes: int
+    block_size: int = 400
+
+    @property
+    def tx_bytes(self) -> int:
+        """Per-transaction bytes including metadata."""
+        return self.payload_bytes + TX_METADATA_BYTES
+
+    @property
+    def block_bytes(self) -> int:
+        """Transaction bytes per block (excluding the block header)."""
+        return self.block_size * self.tx_bytes
+
+    def label(self) -> str:
+        return f"{self.payload_bytes}B x {self.block_size}tx"
+
+
+#: The paper's two workloads.
+PAYLOAD_0B = Workload(payload_bytes=0)
+PAYLOAD_256B = Workload(payload_bytes=256)

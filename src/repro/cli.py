@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` - simulate one protocol deployment and print its metrics;
+* ``compare`` - run several protocols on the same deployment side by side;
+* ``experiment`` - regenerate one of the paper's tables/figures;
+* ``counterexample`` - print the Section 4 trusted-counter demonstration;
+* ``protocols`` - list the implemented protocols and their properties.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.counterexample import run_checker_scenario, run_counter_scenario
+from repro.bench.experiments import fig6, fig7, fig8, fig9, table1_experiment
+from repro.bench.reporting import format_table
+from repro.config import SystemConfig
+from repro.protocols.registry import PROTOCOL_ORDER, SPECS, get_spec
+from repro.protocols.system import ConsensusSystem
+from repro.sim.regions import EU_REGIONS, WORLD_REGIONS
+
+_REGIONS = {"eu": EU_REGIONS, "world": WORLD_REGIONS}
+
+_EXPERIMENTS = {
+    "table1": lambda: table1_experiment(f=2),
+    "fig6a": lambda: fig6(payload_bytes=256),
+    "fig6b": lambda: fig6(payload_bytes=0),
+    "fig7a": lambda: fig7(payload_bytes=256),
+    "fig7b": lambda: fig7(payload_bytes=0),
+    "fig8": lambda: fig8(),
+    "fig9": lambda: fig9(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAMYSUS (EuroSys 2022) reproduction - simulate hybrid "
+        "streamlined BFT protocols.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one protocol deployment")
+    run_p.add_argument("--protocol", default="damysus", choices=sorted(SPECS))
+    run_p.add_argument("--f", type=int, default=1, help="fault threshold")
+    run_p.add_argument("--views", type=int, default=10, help="blocks to commit")
+    run_p.add_argument("--payload", type=int, default=256, help="tx payload bytes")
+    run_p.add_argument("--block-size", type=int, default=400, help="txs per block")
+    run_p.add_argument("--regions", default="eu", choices=sorted(_REGIONS))
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--crash", type=int, nargs="*", default=[], metavar="PID")
+    run_p.add_argument("--real-crypto", action="store_true",
+                       help="use the Schnorr scheme instead of fast HMAC")
+
+    cmp_p = sub.add_parser("compare", help="run several protocols side by side")
+    cmp_p.add_argument("--protocols", nargs="*", default=PROTOCOL_ORDER,
+                       choices=sorted(SPECS), metavar="NAME")
+    cmp_p.add_argument("--f", type=int, default=1)
+    cmp_p.add_argument("--views", type=int, default=8)
+    cmp_p.add_argument("--payload", type=int, default=256)
+    cmp_p.add_argument("--regions", default="eu", choices=sorted(_REGIONS))
+    cmp_p.add_argument("--seed", type=int, default=1)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp_p.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    sub.add_parser("counterexample", help="Section 4: counters are not enough")
+    sub.add_parser("protocols", help="list implemented protocols")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = SystemConfig(
+        protocol=args.protocol,
+        f=args.f,
+        payload_bytes=args.payload,
+        block_size=args.block_size,
+        regions=_REGIONS[args.regions],
+        seed=args.seed,
+        use_real_crypto=args.real_crypto,
+    )
+    system = ConsensusSystem(config)
+    if args.crash:
+        system.crash_replicas(args.crash)
+    result = system.run_until_views(args.views)
+    print(f"protocol           {result.protocol}")
+    print(f"replicas           {result.num_replicas} (f={result.f})")
+    print(f"committed blocks   {result.committed_blocks}")
+    print(f"virtual time       {result.duration_ms:.0f} ms")
+    print(f"throughput         {result.throughput_kops:.2f} Kops/s")
+    print(f"latency            {result.mean_latency_ms:.1f} ms")
+    print(f"messages / bytes   {result.messages_sent} / {result.bytes_sent}")
+    print(f"safety             {'OK' if result.safe else 'VIOLATED'}")
+    return 0 if result.safe else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for protocol in args.protocols:
+        config = SystemConfig(
+            protocol=protocol,
+            f=args.f,
+            payload_bytes=args.payload,
+            regions=_REGIONS[args.regions],
+            seed=args.seed,
+        )
+        result = ConsensusSystem(config).run_until_views(args.views)
+        rows.append(
+            [
+                protocol,
+                result.num_replicas,
+                result.throughput_kops,
+                result.mean_latency_ms,
+                result.messages_sent,
+                "OK" if result.safe else "VIOLATED",
+            ]
+        )
+    print(
+        format_table(
+            ["protocol", "N", "Kops/s", "latency ms", "msgs", "safety"],
+            rows,
+            title=f"f={args.f}, {args.payload}B payload, {args.regions} regions",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    report = _EXPERIMENTS[args.name]()
+    print(report.render())
+    return 0
+
+
+def _cmd_counterexample(_: argparse.Namespace) -> int:
+    print("Plain trusted counters (Section 4.1):")
+    print(run_counter_scenario().describe())
+    print()
+    print("Checker + Accumulator:")
+    print(run_checker_scenario().describe())
+    return 0
+
+
+def _cmd_protocols(_: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(SPECS):
+        spec = get_spec(name)
+        rows.append(
+            [
+                name,
+                spec.num_replicas.__doc__,  # "3f+1" or "2f+1"
+                spec.core_phases,
+                spec.comm_steps,
+                "yes" if spec.chained else "no",
+                ", ".join(spec.trusted_components) or "-",
+                "paper" if name in PROTOCOL_ORDER else "extra",
+            ]
+        )
+    print(
+        format_table(
+            ["protocol", "replicas", "phases", "steps", "chained", "TEEs", "origin"],
+            rows,
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "experiment": _cmd_experiment,
+        "counterexample": _cmd_counterexample,
+        "protocols": _cmd_protocols,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""System configuration for one simulated deployment.
+
+One :class:`SystemConfig` fully determines a run: protocol, fault
+threshold, workload, deployment geography, crypto scheme, cost model and
+seed.  Everything downstream (replica count, quorum size, latency model)
+is derived from it, so experiments are declarative parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costs import DEFAULT_COSTS, CostModel
+from repro.errors import ConfigError
+from repro.sim.regions import EU_REGIONS, RegionMap
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Declarative description of one simulated consensus deployment."""
+
+    protocol: str = "damysus"
+    f: int = 1
+    payload_bytes: int = 256  # per-transaction payload (paper: 0 or 256)
+    block_size: int = 400  # transactions per block (paper: 400)
+    seed: int = 1
+    regions: RegionMap = EU_REGIONS
+    bandwidth_bytes_per_ms: float = 125_000.0  # ~1 Gbit/s links
+    latency_jitter: float = 0.05
+    fifo_links: bool = False  # TCP-like per-link ordering
+    # Constant-size quorum certificates via threshold signatures (original
+    # HotStuff style) instead of ECDSA signature lists (DAMYSUS-impl
+    # style).  Supported by basic HotStuff.
+    compact_qcs: bool = False
+    timeout_ms: float = 2_000.0  # pacemaker base view timeout
+    timeout_backoff: float = 2.0  # exponential factor on timeout
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    use_real_crypto: bool = False  # Schnorr (True) vs fast HMAC (False)
+    gst_ms: float = 0.0  # 0 disables the pre-GST chaos wrapper
+    delta_ms: float = 400.0  # post-GST delay bound
+    pre_gst_extra_ms: float = 300.0  # max adversarial delay before GST
+    open_loop: bool = True  # synthetic full blocks vs client-driven
+    num_clients: int = 0
+    client_interval_ms: float = 1.0  # per-client submission interval
+    client_total_txs: int = 0  # 0 = unlimited
+    client_poisson: bool = False  # exponential inter-arrivals vs periodic
+
+    def __post_init__(self) -> None:
+        if self.f < 1:
+            raise ConfigError("f must be at least 1")
+        if self.block_size < 1:
+            raise ConfigError("block_size must be positive")
+        if self.payload_bytes < 0:
+            raise ConfigError("payload_bytes must be non-negative")

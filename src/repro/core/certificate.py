@@ -1,0 +1,172 @@
+"""Quorum certificates and accumulators (paper Sections 6.2 and 7.1).
+
+Both kinds of certificate can justify a chained block (``b.just``), so
+they share the ``cview`` / ``view`` / ``hash`` accessor vocabulary defined
+in Section 7.1:
+
+* for a quorum certificate ``<v, h, sigs>``: ``cview = view = v``;
+* for an accumulator ``<view, v, h, n, sig>``: ``cview`` is the view the
+  accumulator was created in, ``view`` the view at which ``hash`` was
+  certified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import HASH_SIZE, Hash, encode_fields, sha256
+from repro.crypto.scheme import SIGNATURE_WIRE_SIZE, Signature, SignatureScheme
+from repro.core.phases import Phase
+
+
+@dataclass(frozen=True)
+class QuorumCert:
+    """A set of partial signatures certifying a block at (view, phase)."""
+
+    view: int
+    block_hash: Hash
+    phase: Phase
+    sigs: tuple[Signature, ...]
+    is_genesis: bool = False
+
+    # -- certificate vocabulary (Section 7.1) -------------------------------
+
+    @property
+    def cview(self) -> int:
+        """View in which the certificate was created."""
+        return self.view
+
+    @property
+    def hash(self) -> Hash:
+        return self.block_hash
+
+    def __len__(self) -> int:
+        """Paper's ``|qc|``: the number of contributing signers."""
+        return len(self.sigs)
+
+    # -- signing -------------------------------------------------------------
+
+    def signed_payload(self) -> bytes:
+        """Bytes each contributing vote signed."""
+        return vote_payload(self.view, self.phase, self.block_hash)
+
+    def verify(self, scheme: SignatureScheme, quorum: int) -> bool:
+        """Check quorum size, signer distinctness and every signature.
+
+        The genesis certificate (paper's bottom certificate for view 0) is
+        valid by fiat: it is a well-known constant, not a signed object.
+        """
+        if self.is_genesis:
+            return True
+        if len(self.sigs) != quorum:
+            return False
+        return scheme.verify_all(self.signed_payload(), list(self.sigs))
+
+    def digest(self) -> Hash:
+        """Digest for embedding the certificate in a block hash."""
+        return sha256(
+            encode_fields(
+                (
+                    "qc",
+                    self.view,
+                    self.phase.value,
+                    self.block_hash,
+                    self.is_genesis,
+                    tuple(sig.data for sig in self.sigs),
+                )
+            )
+        )
+
+    def wire_size(self) -> int:
+        return 4 + 1 + HASH_SIZE + 4 + SIGNATURE_WIRE_SIZE * len(self.sigs)
+
+
+def vote_payload(view: int, phase: Phase, block_hash: Hash) -> bytes:
+    """Canonical bytes a replica signs when voting in HotStuff-style phases."""
+    return encode_fields(("vote", view, phase.value, block_hash))
+
+
+def genesis_qc(genesis_hash: Hash) -> QuorumCert:
+    """The special bottom certificate for view 0 (Section 7.1)."""
+    return QuorumCert(
+        view=0,
+        block_hash=genesis_hash,
+        phase=Phase.PREPARE,
+        sigs=(),
+        is_genesis=True,
+    )
+
+
+@dataclass(frozen=True)
+class Accumulator:
+    """Certificate that ``prep_hash`` is the highest prepared block.
+
+    Two forms exist (Section 6.2): the working form carries the list of
+    contributing node ids; ``TEEfinalize`` replaces the list by its length
+    (the ``count`` field), which is the form that travels in proposals.
+    """
+
+    made_in_view: int  # the view the accumulator certifies a selection for
+    prep_view: int  # view at which prep_hash was prepared
+    prep_hash: Hash
+    signature: Signature
+    ids: tuple[int, ...] | None = None  # working form
+    count: int | None = None  # finalized form
+
+    # -- certificate vocabulary ----------------------------------------------
+
+    @property
+    def cview(self) -> int:
+        return self.made_in_view
+
+    @property
+    def view(self) -> int:
+        return self.prep_view
+
+    @property
+    def hash(self) -> Hash:
+        return self.prep_hash
+
+    @property
+    def finalized(self) -> bool:
+        return self.count is not None
+
+    def __len__(self) -> int:
+        """Paper's ``|acc|``: number of contributing commitments."""
+        if self.count is not None:
+            return self.count
+        return len(self.ids or ())
+
+    # -- signing -------------------------------------------------------------
+
+    def signed_payload(self) -> bytes:
+        """Bytes the accumulator TEE signed (depends on the form)."""
+        if self.finalized:
+            return encode_fields(
+                ("acc-final", self.made_in_view, self.prep_view, self.prep_hash, self.count)
+            )
+        return encode_fields(
+            ("acc", self.made_in_view, self.prep_view, self.prep_hash, tuple(self.ids or ()))
+        )
+
+    def verify(self, scheme: SignatureScheme) -> bool:
+        """Check the accumulator TEE's signature over the current form."""
+        return scheme.verify(self.signed_payload(), self.signature)
+
+    def digest(self) -> Hash:
+        return sha256(
+            encode_fields(
+                (
+                    "acc-digest",
+                    self.made_in_view,
+                    self.prep_view,
+                    self.prep_hash,
+                    self.count if self.finalized else tuple(self.ids or ()),
+                    self.signature.data,
+                )
+            )
+        )
+
+    def wire_size(self) -> int:
+        ids_bytes = 4 if self.finalized else 4 * len(self.ids or ())
+        return 4 + 4 + HASH_SIZE + ids_bytes + SIGNATURE_WIRE_SIZE

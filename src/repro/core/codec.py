@@ -1,0 +1,561 @@
+"""Byte-level wire codec for all protocol messages.
+
+The simulator never *needs* serialized bytes (payloads travel as Python
+objects), but a production system does, and the byte accounting the
+benchmarks rely on should be honest.  This module provides a complete
+encoder/decoder for every message type; the test suite round-trips every
+message and checks that the declared ``wire_size()`` tracks the real
+encoded length.
+
+Format: little-endian fixed-width integers, length-prefixed variable
+fields, one leading type tag per message.  Transaction payloads are
+zero-filled to their declared size (their content is abstract, Section 5,
+but their bytes must exist on a real wire).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable
+
+from repro.crypto.hashing import HASH_SIZE, Hash
+from repro.crypto.scheme import Signature
+from repro.errors import ProtocolError
+from repro.core.block import Block
+from repro.core.certificate import Accumulator, QuorumCert
+from repro.core.commitment import Commitment
+from repro.core.mempool import Transaction
+from repro.core.messages import (
+    BlockProposal,
+    BlockRequest,
+    BlockResponse,
+    ChainedProposal,
+    ClientReply,
+    ClientRequest,
+    CommitmentMsg,
+    NewViewAMsg,
+    NewViewMsg,
+    ProposalAMsg,
+    ProposalMsg,
+    QCMsg,
+    VoteMsg,
+)
+from repro.core.phases import Phase
+
+
+class CodecError(ProtocolError):
+    """Malformed bytes on the wire."""
+
+
+class Encoder:
+    """Append-only byte writer."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def bytes(self) -> bytes:
+        return b"".join(self._parts)
+
+    def u8(self, value: int) -> "Encoder":
+        self._parts.append(struct.pack("<B", value))
+        return self
+
+    def u32(self, value: int) -> "Encoder":
+        self._parts.append(struct.pack("<I", value))
+        return self
+
+    def i64(self, value: int) -> "Encoder":
+        self._parts.append(struct.pack("<q", value))
+        return self
+
+    def f64(self, value: float) -> "Encoder":
+        self._parts.append(struct.pack("<d", value))
+        return self
+
+    def raw(self, data: bytes) -> "Encoder":
+        self._parts.append(data)
+        return self
+
+    def var_bytes(self, data: bytes) -> "Encoder":
+        self.u32(len(data))
+        self._parts.append(data)
+        return self
+
+    def hash32(self, value: Hash) -> "Encoder":
+        if len(value) != HASH_SIZE:
+            raise CodecError(f"hash must be {HASH_SIZE} bytes")
+        self._parts.append(value)
+        return self
+
+    def opt(self, value: Any, write: Callable[[Any], Any]) -> "Encoder":
+        if value is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            write(value)
+        return self
+
+    def string(self, value: str) -> "Encoder":
+        return self.var_bytes(value.encode())
+
+
+class Decoder:
+    """Bounds-checked byte reader."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise CodecError("truncated message")
+        out = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    def done(self) -> bool:
+        return self._pos == len(self._data)
+
+    def expect_done(self) -> None:
+        if not self.done():
+            raise CodecError(f"{len(self._data) - self._pos} trailing bytes")
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self._take(1))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def var_bytes(self) -> bytes:
+        return self._take(self.u32())
+
+    def hash32(self) -> Hash:
+        return self._take(HASH_SIZE)
+
+    def opt(self, read: Callable[[], Any]) -> Any:
+        return read() if self.u8() else None
+
+    def string(self) -> str:
+        return self.var_bytes().decode()
+
+
+# -- component codecs ----------------------------------------------------------
+
+_PHASES = list(Phase)
+
+
+def _enc_phase(enc: Encoder, phase: Phase) -> None:
+    enc.u8(_PHASES.index(phase))
+
+
+def _dec_phase(dec: Decoder) -> Phase:
+    idx = dec.u8()
+    if idx >= len(_PHASES):
+        raise CodecError("unknown phase tag")
+    return _PHASES[idx]
+
+
+def _enc_signature(enc: Encoder, sig: Signature) -> None:
+    enc.i64(sig.signer)
+    enc.var_bytes(sig.data)
+    enc.string(sig.scheme)
+
+
+def _dec_signature(dec: Decoder) -> Signature:
+    return Signature(signer=dec.i64(), data=dec.var_bytes(), scheme=dec.string())
+
+
+def _enc_sig_list(enc: Encoder, sigs: tuple[Signature, ...]) -> None:
+    enc.u32(len(sigs))
+    for sig in sigs:
+        _enc_signature(enc, sig)
+
+
+def _dec_sig_list(dec: Decoder) -> tuple[Signature, ...]:
+    return tuple(_dec_signature(dec) for _ in range(dec.u32()))
+
+
+def _enc_transaction(enc: Encoder, tx: Transaction) -> None:
+    enc.i64(tx.client_id)
+    enc.i64(tx.tx_id)
+    enc.u32(tx.payload_bytes)
+    enc.f64(tx.submitted_at)
+    enc.raw(b"\x00" * tx.payload_bytes)  # abstract payload, real bytes
+
+
+def _dec_transaction(dec: Decoder) -> Transaction:
+    client_id = dec.i64()
+    tx_id = dec.i64()
+    payload_bytes = dec.u32()
+    submitted_at = dec.f64()
+    dec._take(payload_bytes)  # discard the abstract payload
+    return Transaction(client_id, tx_id, payload_bytes, submitted_at)
+
+
+def _enc_qc(enc: Encoder, qc: QuorumCert) -> None:
+    enc.i64(qc.view)
+    enc.hash32(qc.block_hash)
+    _enc_phase(enc, qc.phase)
+    enc.u8(1 if qc.is_genesis else 0)
+    _enc_sig_list(enc, qc.sigs)
+
+
+def _dec_qc(dec: Decoder) -> QuorumCert:
+    return QuorumCert(
+        view=dec.i64(),
+        block_hash=dec.hash32(),
+        phase=_dec_phase(dec),
+        is_genesis=bool(dec.u8()),
+        sigs=_dec_sig_list(dec),
+    )
+
+
+def _enc_accumulator(enc: Encoder, acc: Accumulator) -> None:
+    enc.i64(acc.made_in_view)
+    enc.i64(acc.prep_view)
+    enc.hash32(acc.prep_hash)
+    _enc_signature(enc, acc.signature)
+    if acc.finalized:
+        enc.u8(1)
+        enc.u32(acc.count or 0)
+    else:
+        enc.u8(0)
+        ids = acc.ids or ()
+        enc.u32(len(ids))
+        for node_id in ids:
+            enc.i64(node_id)
+
+
+def _dec_accumulator(dec: Decoder) -> Accumulator:
+    made_in_view = dec.i64()
+    prep_view = dec.i64()
+    prep_hash = dec.hash32()
+    signature = _dec_signature(dec)
+    if dec.u8():
+        return Accumulator(made_in_view, prep_view, prep_hash, signature, count=dec.u32())
+    ids = tuple(dec.i64() for _ in range(dec.u32()))
+    return Accumulator(made_in_view, prep_view, prep_hash, signature, ids=ids)
+
+
+def _enc_commitment(enc: Encoder, phi: Commitment) -> None:
+    enc.opt(phi.h_prep, enc.hash32)
+    enc.i64(phi.v_prep)
+    enc.opt(phi.h_just, enc.hash32)
+    enc.opt(phi.v_just, enc.i64)
+    _enc_phase(enc, phi.phase)
+    _enc_sig_list(enc, phi.sigs)
+
+
+def _dec_commitment(dec: Decoder) -> Commitment:
+    return Commitment(
+        h_prep=dec.opt(dec.hash32),
+        v_prep=dec.i64(),
+        h_just=dec.opt(dec.hash32),
+        v_just=dec.opt(dec.i64),
+        phase=_dec_phase(dec),
+        sigs=_dec_sig_list(dec),
+    )
+
+
+# Justification kinds inside a block.
+_JUST_NONE, _JUST_QC, _JUST_ACC, _JUST_COMMIT = range(4)
+
+
+def _enc_block(enc: Encoder, block: Block) -> None:
+    enc.hash32(block.parent_hash)
+    enc.i64(block.view)
+    enc.u8(1 if block.is_genesis else 0)
+    enc.u8(1 if block.is_blank else 0)
+    enc.f64(block.created_at)
+    enc.u32(len(block.transactions))
+    for tx in block.transactions:
+        _enc_transaction(enc, tx)
+    justify = block.justify
+    if justify is None:
+        enc.u8(_JUST_NONE)
+    elif isinstance(justify, QuorumCert):
+        enc.u8(_JUST_QC)
+        _enc_qc(enc, justify)
+    elif isinstance(justify, Accumulator):
+        enc.u8(_JUST_ACC)
+        _enc_accumulator(enc, justify)
+    elif isinstance(justify, Commitment):
+        enc.u8(_JUST_COMMIT)
+        _enc_commitment(enc, justify)
+    else:  # pragma: no cover - exhaustive over certificate kinds
+        raise CodecError(f"unknown justification {type(justify).__name__}")
+
+
+def _dec_block(dec: Decoder) -> Block:
+    parent_hash = dec.hash32()
+    view = dec.i64()
+    is_genesis = bool(dec.u8())
+    is_blank = bool(dec.u8())
+    created_at = dec.f64()
+    transactions = tuple(_dec_transaction(dec) for _ in range(dec.u32()))
+    kind = dec.u8()
+    justify: QuorumCert | Accumulator | Commitment | None
+    if kind == _JUST_NONE:
+        justify = None
+    elif kind == _JUST_QC:
+        justify = _dec_qc(dec)
+    elif kind == _JUST_ACC:
+        justify = _dec_accumulator(dec)
+    elif kind == _JUST_COMMIT:
+        justify = _dec_commitment(dec)
+    else:
+        raise CodecError("unknown justification tag")
+    return Block(
+        parent_hash=parent_hash,
+        view=view,
+        transactions=transactions,
+        justify=justify,
+        is_genesis=is_genesis,
+        is_blank=is_blank,
+        created_at=created_at,
+    )
+
+
+# -- message codecs (type tag + body) ----------------------------------------------
+
+def _enc_new_view(enc: Encoder, msg: NewViewMsg) -> None:
+    enc.i64(msg.view)
+    _enc_qc(enc, msg.justify)
+
+
+def _dec_new_view(dec: Decoder) -> NewViewMsg:
+    return NewViewMsg(view=dec.i64(), justify=_dec_qc(dec))
+
+
+def _enc_new_view_a(enc: Encoder, msg: NewViewAMsg) -> None:
+    enc.i64(msg.view)
+    _enc_qc(enc, msg.justify)
+    _enc_signature(enc, msg.sender_sig)
+
+
+def _dec_new_view_a(dec: Decoder) -> NewViewAMsg:
+    return NewViewAMsg(dec.i64(), _dec_qc(dec), _dec_signature(dec))
+
+
+def _enc_proposal(enc: Encoder, msg: ProposalMsg) -> None:
+    enc.i64(msg.view)
+    _enc_block(enc, msg.block)
+    _enc_qc(enc, msg.justify)
+
+
+def _dec_proposal(dec: Decoder) -> ProposalMsg:
+    return ProposalMsg(dec.i64(), _dec_block(dec), _dec_qc(dec))
+
+
+def _enc_proposal_a(enc: Encoder, msg: ProposalAMsg) -> None:
+    enc.i64(msg.view)
+    _enc_block(enc, msg.block)
+    _enc_accumulator(enc, msg.acc)
+    _enc_signature(enc, msg.leader_sig)
+
+
+def _dec_proposal_a(dec: Decoder) -> ProposalAMsg:
+    return ProposalAMsg(dec.i64(), _dec_block(dec), _dec_accumulator(dec), _dec_signature(dec))
+
+
+def _enc_vote(enc: Encoder, msg: VoteMsg) -> None:
+    enc.i64(msg.view)
+    _enc_phase(enc, msg.phase)
+    enc.hash32(msg.block_hash)
+    _enc_signature(enc, msg.sig)
+
+
+def _dec_vote(dec: Decoder) -> VoteMsg:
+    return VoteMsg(dec.i64(), _dec_phase(dec), dec.hash32(), _dec_signature(dec))
+
+
+def _enc_qc_msg(enc: Encoder, msg: QCMsg) -> None:
+    enc.i64(msg.view)
+    _enc_phase(enc, msg.phase)
+    _enc_qc(enc, msg.qc)
+
+
+def _dec_qc_msg(dec: Decoder) -> QCMsg:
+    return QCMsg(dec.i64(), _dec_phase(dec), _dec_qc(dec))
+
+
+def _enc_commitment_msg(enc: Encoder, msg: CommitmentMsg) -> None:
+    enc.string(msg.kind)
+    _enc_commitment(enc, msg.commitment)
+
+
+def _dec_commitment_msg(dec: Decoder) -> CommitmentMsg:
+    kind = dec.string()
+    return CommitmentMsg(_dec_commitment(dec), kind)
+
+
+def _enc_block_proposal(enc: Encoder, msg: BlockProposal) -> None:
+    enc.i64(msg.view)
+    _enc_block(enc, msg.block)
+    enc.opt(msg.acc, lambda acc: _enc_accumulator(enc, acc))
+    _enc_signature(enc, msg.leader_sig)
+    enc.opt(msg.justify_commitment, lambda phi: _enc_commitment(enc, phi))
+
+
+def _dec_block_proposal(dec: Decoder) -> BlockProposal:
+    return BlockProposal(
+        view=dec.i64(),
+        block=_dec_block(dec),
+        acc=dec.opt(lambda: _dec_accumulator(dec)),
+        leader_sig=_dec_signature(dec),
+        justify_commitment=dec.opt(lambda: _dec_commitment(dec)),
+    )
+
+
+def _enc_chained_proposal(enc: Encoder, msg: ChainedProposal) -> None:
+    enc.i64(msg.view)
+    _enc_block(enc, msg.block)
+    _enc_signature(enc, msg.leader_sig)
+
+
+def _dec_chained_proposal(dec: Decoder) -> ChainedProposal:
+    return ChainedProposal(dec.i64(), _dec_block(dec), _dec_signature(dec))
+
+
+def _enc_block_request(enc: Encoder, msg: BlockRequest) -> None:
+    enc.hash32(msg.block_hash)
+
+
+def _dec_block_request(dec: Decoder) -> BlockRequest:
+    return BlockRequest(dec.hash32())
+
+
+def _enc_block_response(enc: Encoder, msg: BlockResponse) -> None:
+    _enc_block(enc, msg.block)
+
+
+def _dec_block_response(dec: Decoder) -> BlockResponse:
+    return BlockResponse(_dec_block(dec))
+
+
+def _enc_client_request(enc: Encoder, msg: ClientRequest) -> None:
+    enc.i64(msg.client_id)
+    _enc_transaction(enc, msg.tx)
+
+
+def _dec_client_request(dec: Decoder) -> ClientRequest:
+    return ClientRequest(dec.i64(), _dec_transaction(dec))
+
+
+def _enc_client_reply(enc: Encoder, msg: ClientReply) -> None:
+    enc.i64(msg.replica)
+    enc.i64(msg.client_id)
+    enc.i64(msg.tx_id)
+    enc.f64(msg.executed_at)
+
+
+def _dec_client_reply(dec: Decoder) -> ClientReply:
+    return ClientReply(dec.i64(), dec.i64(), dec.i64(), dec.f64())
+
+
+def _enc_chained_vote(enc: Encoder, msg) -> None:
+    enc.i64(msg.view)
+    enc.opt(msg.prep, lambda phi: _enc_commitment(enc, phi))
+    _enc_commitment(enc, msg.nv)
+
+
+def _dec_chained_vote(dec: Decoder):
+    from repro.protocols.chained_damysus import ChainedVote
+
+    return ChainedVote(
+        view=dec.i64(),
+        prep=dec.opt(lambda: _dec_commitment(dec)),
+        nv=_dec_commitment(dec),
+    )
+
+
+def _enc_fast_proposal(enc: Encoder, msg) -> None:
+    enc.i64(msg.view)
+    _enc_block(enc, msg.block)
+    _enc_qc(enc, msg.justify)
+    if msg.proof is None:
+        enc.u8(0)
+    else:
+        enc.u8(1)
+        enc.u32(len(msg.proof))
+        for report in msg.proof:
+            _enc_new_view_a(enc, report)
+
+
+def _dec_fast_proposal(dec: Decoder):
+    from repro.protocols.fast_hotstuff import FastProposal
+
+    view = dec.i64()
+    block = _dec_block(dec)
+    justify = _dec_qc(dec)
+    proof = None
+    if dec.u8():
+        proof = tuple(_dec_new_view_a(dec) for _ in range(dec.u32()))
+    return FastProposal(view, block, justify, proof)
+
+
+def _registry():
+    from repro.protocols.chained_damysus import ChainedVote
+    from repro.protocols.fast_hotstuff import FastProposal
+
+    return [
+        (NewViewMsg, _enc_new_view, _dec_new_view),
+        (NewViewAMsg, _enc_new_view_a, _dec_new_view_a),
+        (ProposalMsg, _enc_proposal, _dec_proposal),
+        (ProposalAMsg, _enc_proposal_a, _dec_proposal_a),
+        (VoteMsg, _enc_vote, _dec_vote),
+        (QCMsg, _enc_qc_msg, _dec_qc_msg),
+        (CommitmentMsg, _enc_commitment_msg, _dec_commitment_msg),
+        (BlockProposal, _enc_block_proposal, _dec_block_proposal),
+        (ChainedProposal, _enc_chained_proposal, _dec_chained_proposal),
+        (ChainedVote, _enc_chained_vote, _dec_chained_vote),
+        (FastProposal, _enc_fast_proposal, _dec_fast_proposal),
+        (BlockRequest, _enc_block_request, _dec_block_request),
+        (BlockResponse, _enc_block_response, _dec_block_response),
+        (ClientRequest, _enc_client_request, _dec_client_request),
+        (ClientReply, _enc_client_reply, _dec_client_reply),
+    ]
+
+
+_BY_TYPE: dict[type, tuple[int, Callable]] = {}
+_BY_TAG: dict[int, Callable] = {}
+
+
+def _ensure_tables() -> None:
+    if _BY_TYPE:
+        return
+    for tag, (cls, enc_fn, dec_fn) in enumerate(_registry()):
+        _BY_TYPE[cls] = (tag, enc_fn)
+        _BY_TAG[tag] = dec_fn
+
+
+def encode_message(msg: Any) -> bytes:
+    """Serialize any protocol message to bytes (leading type tag)."""
+    _ensure_tables()
+    entry = _BY_TYPE.get(type(msg))
+    if entry is None:
+        raise CodecError(f"no codec for {type(msg).__name__}")
+    tag, enc_fn = entry
+    enc = Encoder()
+    enc.u8(tag)
+    enc_fn(enc, msg)
+    return enc.bytes()
+
+
+def decode_message(data: bytes) -> Any:
+    """Parse bytes produced by :func:`encode_message`."""
+    _ensure_tables()
+    dec = Decoder(data)
+    tag = dec.u8()
+    dec_fn = _BY_TAG.get(tag)
+    if dec_fn is None:
+        raise CodecError(f"unknown message tag {tag}")
+    msg = dec_fn(dec)
+    dec.expect_done()
+    return msg

@@ -1,0 +1,138 @@
+"""Execution ledger and global safety oracle.
+
+Each replica owns a :class:`Ledger` that executes decided blocks in chain
+order (executing a block first executes any not-yet-executed ancestors,
+which is how chained protocols "execute b1 and previous blocks", Fig 5a).
+
+The :class:`SafetyOracle` is shared by all replicas of one simulated
+system.  It observes every execution and checks the consensus safety
+property - all correct replicas execute the same blocks in the same order.
+In *recording* mode it collects violations (used by the Section 4
+counter-example, which deliberately breaks a weakened protocol); in
+*strict* mode it raises :class:`~repro.errors.SafetyViolation` immediately,
+which is how the test suite guards every Damysus/HotStuff run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import Hash
+from repro.errors import ProtocolError, SafetyViolation
+from repro.core.block import Block
+from repro.core.chain import BlockStore
+from repro.sim.monitor import ExecutionRecord, Monitor
+
+
+@dataclass
+class Violation:
+    """One observed disagreement between replicas' executed sequences."""
+
+    index: int
+    replica: int
+    block_hash: Hash
+    canonical_hash: Hash
+
+    def describe(self) -> str:
+        return (
+            f"replica {self.replica} executed {self.block_hash.hex()[:12]} at "
+            f"index {self.index}, but {self.canonical_hash.hex()[:12]} was "
+            "already executed there"
+        )
+
+
+class SafetyOracle:
+    """Cross-replica agreement checker."""
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self._canonical: list[Hash] = []
+        self.sequences: dict[int, list[Hash]] = {}
+        self.violations: list[Violation] = []
+
+    def record(self, replica: int, block_hash: Hash) -> None:
+        """Append ``block_hash`` to ``replica``'s executed sequence."""
+        seq = self.sequences.setdefault(replica, [])
+        index = len(seq)
+        seq.append(block_hash)
+        if index < len(self._canonical):
+            if self._canonical[index] != block_hash:
+                violation = Violation(index, replica, block_hash, self._canonical[index])
+                self.violations.append(violation)
+                if self.strict:
+                    raise SafetyViolation(violation.describe())
+        else:
+            self._canonical.append(block_hash)
+
+    @property
+    def safe(self) -> bool:
+        return not self.violations
+
+    def canonical_chain(self) -> list[Hash]:
+        """The longest executed prefix observed so far."""
+        return list(self._canonical)
+
+
+class Ledger:
+    """Per-replica executed-block sequence."""
+
+    def __init__(
+        self,
+        replica: int,
+        store: BlockStore,
+        oracle: SafetyOracle | None = None,
+        monitor: Monitor | None = None,
+    ) -> None:
+        self.replica = replica
+        self.store = store
+        self.oracle = oracle
+        self.monitor = monitor
+        self.executed: list[Block] = []
+        self._executed_hashes: set[Hash] = set()
+        self.last_executed_hash: Hash = store.genesis.hash
+
+    def is_executed(self, block_hash: Hash) -> bool:
+        return block_hash in self._executed_hashes
+
+    def execute(self, block: Block, now: float, view: int | None = None) -> list[Block]:
+        """Execute ``block`` and any not-yet-executed ancestors, in order.
+
+        Returns the blocks newly executed.  Raises
+        :class:`~repro.errors.ProtocolError` if ``block`` does not descend
+        from the last executed block - a replica-local fork, which correct
+        protocol code never produces.
+        """
+        if self.is_executed(block.hash):
+            return []
+        path = self.store.path_between(self.last_executed_hash, block.hash)
+        newly: list[Block] = []
+        for ancestor in path:
+            self._execute_one(ancestor, now, view)
+            newly.append(ancestor)
+        return newly
+
+    def _execute_one(self, block: Block, now: float, view: int | None) -> None:
+        if block.parent_hash != self.last_executed_hash:
+            raise ProtocolError("execution out of chain order")
+        self.executed.append(block)
+        self._executed_hashes.add(block.hash)
+        self.last_executed_hash = block.hash
+        if self.oracle is not None:
+            self.oracle.record(self.replica, block.hash)
+        if self.monitor is not None:
+            # Ancestors executed during catch-up are recorded under their
+            # own proposal view, not the view of the descendant that
+            # triggered the execution.
+            self.monitor.record_execution(
+                ExecutionRecord(
+                    replica=self.replica,
+                    view=block.view,
+                    block_hash=block.hash,
+                    num_transactions=block.num_transactions(),
+                    proposed_at=block.created_at,
+                    executed_at=now,
+                )
+            )
+
+    def height(self) -> int:
+        return len(self.executed)

@@ -1,0 +1,97 @@
+"""Client transactions and the replica mempool.
+
+The paper works "at the block level" and leaves transaction internals
+abstract (Section 5); the only transaction properties the evaluation
+depends on are counts and byte sizes: each transaction carries a payload
+plus 40 B of metadata (client id, transaction id, previous-block hash -
+Section 8, "Deployment settings").
+
+The mempool supports two modes:
+
+* *open loop* (Figs 6-8): an inexhaustible supply of synthetic
+  transactions, so every block is full (400 transactions in the paper);
+* *closed loop* (Fig 9): transactions are queued as client requests
+  arrive, so block fullness - and therefore throughput and queueing
+  latency - depends on the offered load.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+
+from repro.crypto.hashing import Hash, hash_fields
+
+#: Metadata bytes per transaction (2 x 4 B ids + 32 B previous-block hash).
+TX_METADATA_BYTES = 40
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A client transaction; payload content is abstracted to its size."""
+
+    client_id: int
+    tx_id: int
+    payload_bytes: int
+    submitted_at: float = 0.0
+
+    def wire_size(self) -> int:
+        """Bytes this transaction occupies inside a block."""
+        return self.payload_bytes + TX_METADATA_BYTES
+
+    def digest_fields(self) -> tuple:
+        return (self.client_id, self.tx_id, self.payload_bytes)
+
+
+def payload_digest(transactions: tuple[Transaction, ...]) -> Hash:
+    """Digest binding a block to its transaction list."""
+    return hash_fields(tuple(tx.digest_fields() for tx in transactions))
+
+
+class Mempool:
+    """Per-replica transaction pool."""
+
+    def __init__(
+        self,
+        payload_bytes: int,
+        block_size: int,
+        open_loop: bool = True,
+        synthetic_client: int = -1,
+    ) -> None:
+        self.payload_bytes = payload_bytes
+        self.block_size = block_size
+        self.open_loop = open_loop
+        self._queue: deque[Transaction] = deque()
+        self._synth = itertools.count()
+        self._synthetic_client = synthetic_client
+
+    def add(self, tx: Transaction) -> None:
+        """Queue a client transaction (closed-loop mode)."""
+        self._queue.append(tx)
+
+    def pending(self) -> int:
+        """Number of queued client transactions."""
+        return len(self._queue)
+
+    def take_block(self, now: float) -> tuple[Transaction, ...]:
+        """Pull up to ``block_size`` transactions for a new proposal.
+
+        In open-loop mode missing transactions are synthesized, so blocks
+        are always full; in closed-loop mode the block may be short or
+        empty, matching a real system under light load.
+        """
+        batch: list[Transaction] = []
+        while self._queue and len(batch) < self.block_size:
+            batch.append(self._queue.popleft())
+        if self.open_loop:
+            while len(batch) < self.block_size:
+                batch.append(
+                    Transaction(
+                        client_id=self._synthetic_client,
+                        tx_id=next(self._synth),
+                        payload_bytes=self.payload_bytes,
+                        submitted_at=now,
+                    )
+                )
+        return tuple(batch)

@@ -1,0 +1,89 @@
+"""Phases and steps (paper Section 6.2 and Section 7.1).
+
+A *step* is a pair of a view and a phase.  Trusted components advance
+their monotonic counter through steps; the increment rule differs between
+protocol families:
+
+* ``StepRule.BASIC`` (Damysus, Fig 2):
+  ``(v, nv_p) -> (v, prep_p) -> (v, pcom_p) -> (v+1, nv_p)``
+* ``StepRule.CHAINED`` (Chained-Damysus, Fig 5):
+  ``(v, prep_p) -> (v, nv_p) -> (v+1, prep_p)``
+* ``StepRule.THREE_PHASE`` (Damysus-C, which keeps HotStuff's commit
+  phase): ``(v, nv_p) -> (v, prep_p) -> (v, pcom_p) -> (v, com_p) ->
+  (v+1, nv_p)``
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class Phase(enum.Enum):
+    """Phase tags carried by TEE-generated messages (Section 6.2)."""
+
+    NEW_VIEW = "nv_p"
+    PREPARE = "prep_p"
+    PRECOMMIT = "pcom_p"
+    COMMIT = "com_p"  # only used by Damysus-C / HotStuff's third core phase
+    DECIDE = "dec_p"  # never signed; used for message labelling only
+
+    def __repr__(self) -> str:  # compact in test output
+        return self.value
+
+
+class StepRule(enum.Enum):
+    """Which step-increment cycle a trusted component follows."""
+
+    BASIC = "basic"
+    CHAINED = "chained"
+    THREE_PHASE = "three_phase"
+
+
+_BASIC_CYCLE = [Phase.NEW_VIEW, Phase.PREPARE, Phase.PRECOMMIT]
+_CHAINED_CYCLE = [Phase.PREPARE, Phase.NEW_VIEW]
+_THREE_PHASE_CYCLE = [Phase.NEW_VIEW, Phase.PREPARE, Phase.PRECOMMIT, Phase.COMMIT]
+
+_CYCLES = {
+    StepRule.BASIC: _BASIC_CYCLE,
+    StepRule.CHAINED: _CHAINED_CYCLE,
+    StepRule.THREE_PHASE: _THREE_PHASE_CYCLE,
+}
+
+
+@dataclass(frozen=True, order=False)
+class Step:
+    """A (view, phase) pair; ordering follows the protocol's cycle."""
+
+    view: int
+    phase: Phase
+
+    def increment(self, rule: StepRule) -> "Step":
+        """The paper's ``(v, ph)++`` operator for the given rule."""
+        cycle = _CYCLES[rule]
+        if self.phase not in cycle:
+            raise ConfigError(f"phase {self.phase} not in cycle of {rule}")
+        idx = cycle.index(self.phase)
+        if idx + 1 < len(cycle):
+            return Step(self.view, cycle[idx + 1])
+        return Step(self.view + 1, cycle[0])
+
+    def index(self, rule: StepRule) -> int:
+        """Total order of steps under a rule (for monotonicity checks)."""
+        cycle = _CYCLES[rule]
+        if self.phase not in cycle:
+            raise ConfigError(f"phase {self.phase} not in cycle of {rule}")
+        return self.view * len(cycle) + cycle.index(self.phase)
+
+
+def initial_step(rule: StepRule) -> Step:
+    """Where a fresh trusted component starts.
+
+    Both the basic (Fig 2b) and chained (Fig 5b) TEEs start at
+    ``(0, nv_p)``; note that in the chained cycle ``nv_p`` is the *second*
+    phase of view 0, so the first increment lands on ``(1, prep_p)``,
+    matching "nodes now start at view 1" (Section 7.1).
+    """
+    return Step(0, Phase.NEW_VIEW)

@@ -1,0 +1,80 @@
+"""Hashing and canonical field encoding.
+
+Commitments, accumulators and blocks are signed over tuples of
+heterogeneous fields (hash values, view numbers, phase tags, the bottom
+symbol...).  ``encode_fields`` defines one canonical, prefix-free byte
+encoding for such tuples so that signatures are well-defined and two
+different field tuples can never encode to the same bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+#: SHA-256 digest size; the paper assumes 32-byte block hashes.
+HASH_SIZE = 32
+
+#: Type alias used across the library for 32-byte digests.
+Hash = bytes
+
+
+def sha256(data: bytes) -> Hash:
+    """Plain SHA-256."""
+    return hashlib.sha256(data).digest()
+
+
+# Tags make the encoding prefix-free across types.
+_TAG_NONE = b"\x00"
+_TAG_INT = b"\x01"
+_TAG_BYTES = b"\x02"
+_TAG_STR = b"\x03"
+_TAG_SEQ = b"\x04"
+_TAG_BOOL = b"\x05"
+
+
+def encode_fields(fields: tuple | list) -> bytes:
+    """Canonically encode a tuple of fields to bytes.
+
+    Supported field types: ``None`` (the paper's bottom symbol), ``bool``,
+    ``int``, ``bytes``, ``str`` and nested sequences thereof.  Each value is
+    length-prefixed so the encoding is injective.
+    """
+    out = bytearray()
+    out += _TAG_SEQ + len(fields).to_bytes(4, "big")
+    for field in fields:
+        out += _encode_one(field)
+    return bytes(out)
+
+
+def _encode_one(value: Any) -> bytes:
+    if value is None:
+        return _TAG_NONE
+    if isinstance(value, bool):  # bool before int: bool is an int subclass
+        return _TAG_BOOL + (b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        raw = value.to_bytes((value.bit_length() + 8) // 8 or 1, "big", signed=True)
+        return _TAG_INT + len(raw).to_bytes(4, "big") + raw
+    if isinstance(value, bytes):
+        return _TAG_BYTES + len(value).to_bytes(4, "big") + value
+    if isinstance(value, str):
+        raw = value.encode()
+        return _TAG_STR + len(raw).to_bytes(4, "big") + raw
+    if isinstance(value, (tuple, list)):
+        return encode_fields(tuple(value))
+    raise TypeError(f"cannot canonically encode {type(value).__name__}")
+
+
+def hash_fields(fields: tuple | list) -> Hash:
+    """SHA-256 of the canonical encoding of ``fields``."""
+    return sha256(encode_fields(fields))
+
+
+def hash_block_fields(parent_hash: Hash, view: int, payload_digest: Hash, extra: tuple = ()) -> Hash:
+    """Hash value of a block from its identifying fields.
+
+    Blocks "store the hash values of the blocks they extend" (Section 5),
+    so the parent hash is part of the preimage, which is what makes the
+    extension relation checkable.
+    """
+    return hash_fields(("block", parent_hash, view, payload_digest, extra))

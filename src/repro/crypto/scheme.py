@@ -1,0 +1,64 @@
+"""Signature scheme interface and signature values.
+
+A :class:`Signature` carries the signer's identity, mirroring the paper's
+assumption that "a digital signature contains the identity of the signing
+replica or component, which is obtained using sigma.id" (Section 5).
+
+Schemes are stateful objects holding a key directory: ``keygen`` registers
+a signer, ``sign`` requires that signer's private key, and ``verify`` only
+needs the public directory.  Protocol code never touches key material
+directly; TEEs hold private keys internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Wire size we account for one signature, matching ECDSA/prime256v1 (64 B).
+SIGNATURE_WIRE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature over some message bytes, tagged with the signer id."""
+
+    signer: int
+    data: bytes
+    scheme: str
+
+    @property
+    def id(self) -> int:
+        """Paper notation ``sigma.id``: the identity of the signer."""
+        return self.signer
+
+    def wire_size(self) -> int:
+        return SIGNATURE_WIRE_SIZE
+
+
+class SignatureScheme:
+    """Common interface of the Schnorr and HMAC schemes."""
+
+    name = "abstract"
+
+    def keygen(self, signer: int) -> None:
+        """Create and register a key pair for ``signer``."""
+        raise NotImplementedError
+
+    def sign(self, signer: int, message: bytes) -> Signature:
+        """Sign ``message`` with ``signer``'s private key."""
+        raise NotImplementedError
+
+    def verify(self, message: bytes, signature: Signature) -> bool:
+        """Check ``signature`` over ``message`` against the public directory."""
+        raise NotImplementedError
+
+    def verify_all(self, message: bytes, signatures: list[Signature]) -> bool:
+        """Verify a list of signatures over the same message.
+
+        Also enforces the quorum-certificate requirement that all
+        signatures come from *distinct* signers.
+        """
+        signers = {sig.signer for sig in signatures}
+        if len(signers) != len(signatures):
+            return False
+        return all(self.verify(message, sig) for sig in signatures)

@@ -1,0 +1,217 @@
+"""Chained (pipelined) HotStuff (paper Sections 3 and 7): the baseline
+for Chained-Damysus.
+
+One block is proposed per view and a single generic vote phase is
+pipelined: the proposal of view v simultaneously serves as the prepare of
+block b_v, the pre-commit of b_{v-1}, the commit of b_{v-2} and the
+decide of b_{v-3}.  A block executes as the oldest of a chain of 4
+consecutive blocks (Section 7.1), i.e. three direct-parent certified
+links below a newly justified block.
+
+Per view: one proposal broadcast (N messages) and one vote per replica to
+the *next* leader (N messages); a block therefore costs 8 steps spread
+over 4 views - Table 1's 24f + 8 messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.block import Block, create_chain
+from repro.core.certificate import QuorumCert, genesis_qc, vote_payload
+from repro.core.messages import ChainedProposal, NewViewMsg, VoteMsg
+from repro.core.phases import Phase
+from repro.protocols.replica import BaseReplica, QuorumCollector
+
+
+class ChainedHotStuffReplica(BaseReplica):
+    """One replica of chained HotStuff."""
+
+    protocol_name = "chained-hotstuff"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        bottom = genesis_qc(self.store.genesis.hash)
+        self.high_qc = bottom  # highest known certificate (generic QC)
+        self.locked_qc = bottom  # 2-chain lock
+        self._votes = QuorumCollector(self.quorum)
+        self._new_views = QuorumCollector(self.quorum)
+        self._proposed: set[int] = set()
+        self._voted: set[int] = set()
+        self.view = 1  # chained protocols start at view 1
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _just_of(self, block: Block) -> QuorumCert:
+        """A block's justification; genesis justifies itself at view 0."""
+        if block.justify is not None:
+            return block.justify  # type: ignore[return-value]
+        return genesis_qc(self.store.genesis.hash)
+
+    def message_view(self, payload: Any) -> int | None:
+        # Votes are addressed to the *next* view's leader, who collects
+        # them after advancing; route them to view + 1.
+        if isinstance(payload, VoteMsg):
+            return payload.view + 1
+        return super().message_view(payload)
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.pacemaker.start_view(self.view)
+        if self.is_leader(self.view):
+            self._try_propose(self.view)
+
+    def on_view_timeout(self, view: int) -> None:
+        self.advance_view(view + 1)
+        self.send_charged(
+            self.leader_of(self.view), NewViewMsg(self.view, self.high_qc)
+        )
+
+    def on_view_entered(self, view: int) -> None:
+        if self.is_leader(view):
+            self._try_propose(view)
+
+    def prune_state(self, view: int) -> None:
+        # Votes stamped view-1 are still being collected by this view's
+        # leader, so prune two views back.
+        horizon = view - 2
+        self._votes.discard_before_view(horizon)
+        self._new_views.discard_before_view(horizon)
+        self._prune_view_sets(horizon, self._proposed, self._voted)
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def dispatch(self, sender: int, payload: Any) -> None:
+        if isinstance(payload, ChainedProposal):
+            self._handle_proposal(sender, payload)
+        elif isinstance(payload, VoteMsg):
+            self._handle_vote(sender, payload)
+        elif isinstance(payload, NewViewMsg):
+            self._handle_new_view(sender, payload)
+
+    def on_stale(self, sender: int, payload: Any) -> None:
+        if isinstance(payload, ChainedProposal):
+            self.store.add(payload.block)
+
+    # -- leader ---------------------------------------------------------------------------
+
+    def _try_propose(self, view: int) -> None:
+        """Propose when holding a certificate from the previous view.
+
+        After a timeout the leader instead waits for 2f+1 new-view
+        messages and extends the highest reported certificate (handled by
+        :meth:`_handle_new_view`).
+        """
+        if view in self._proposed or not self.is_leader(view):
+            return
+        if self.high_qc.view == view - 1 or view == 1:
+            self._propose(view)
+
+    def _propose(self, view: int) -> None:
+        self._proposed.add(view)
+        block = create_chain(
+            self.high_qc,
+            view,
+            self.mempool.take_block(self.sim.now),
+            created_at=self.sim.now,
+        )
+        self.store.add(block)
+        self.charge_sign()
+        leader_sig = self.scheme.sign(
+            self.pid, vote_payload(view, Phase.PREPARE, block.hash)
+        )
+        self.broadcast_charged(ChainedProposal(view, block, leader_sig), include_self=True)
+
+    def _handle_new_view(self, sender: int, msg: NewViewMsg) -> None:
+        if not self.is_leader(msg.view):
+            return
+        self.charge_verify(len(msg.justify.sigs))
+        if not msg.justify.verify(self.scheme, self.quorum):
+            return
+        quorum = self._new_views.add(msg.view, msg, sender)
+        if quorum is not None and msg.view not in self._proposed:
+            best = max((m.justify for m in quorum), key=lambda qc: qc.view)
+            if best.view > self.high_qc.view:
+                self.high_qc = best
+            self._propose(msg.view)
+
+    # -- all replicas: proposal processing -----------------------------------------------------
+
+    def _handle_proposal(self, sender: int, msg: ChainedProposal) -> None:
+        if sender != self.leader_of(msg.view):
+            return
+        block = msg.block
+        justify = self._just_of(block)
+        self.charge_verify(len(justify.sigs) + 1)
+        if not justify.verify(self.scheme, self.quorum):
+            return
+        if not self.scheme.verify(
+            vote_payload(msg.view, Phase.PREPARE, block.hash), msg.leader_sig
+        ):
+            return
+        if not block.extends(justify.hash):
+            return
+        self.store.add(block)
+        if justify.view > self.high_qc.view:
+            self.high_qc = justify
+        self._update_chain_state(block, justify)
+        if msg.view not in self._voted and self._safe_node(block, justify):
+            self._voted.add(msg.view)
+            self.charge_sign()
+            sig = self.scheme.sign(
+                self.pid, vote_payload(msg.view, Phase.PREPARE, block.hash)
+            )
+            self.send_charged(
+                self.leader_of(msg.view + 1),
+                VoteMsg(msg.view, Phase.PREPARE, block.hash, sig),
+            )
+        self.pacemaker.view_succeeded()
+        self.advance_view(msg.view + 1)
+
+    def _safe_node(self, block: Block, justify: QuorumCert) -> bool:
+        extends_locked = self.store.is_ancestor(self.locked_qc.block_hash, block.hash)
+        return extends_locked or justify.view > self.locked_qc.view
+
+    def _update_chain_state(self, block: Block, justify: QuorumCert) -> None:
+        """Walk the certified chain: lock on a 2-chain, execute on a 3-chain.
+
+        With b the new proposal: b2 is the block b.just certifies, b1 the
+        block b2.just certifies, b0 the block b1.just certifies.  Direct
+        parent links all the way down mean consecutive views (one
+        certificate per view), so b0 heads a chain of 4 consecutive blocks
+        and executes.
+        """
+        b2 = self.store.get(justify.hash)
+        if b2 is None or not block.extends(b2.hash):
+            return
+        just2 = self._just_of(b2)
+        b1 = self.store.get(just2.hash)
+        if b1 is None or not b2.extends(b1.hash):
+            return
+        if just2.view > self.locked_qc.view:
+            self.locked_qc = just2  # lock on the 2-chain
+        just1 = self._just_of(b1)
+        b0 = self.store.get(just1.hash)
+        if b0 is None or not b1.extends(b0.hash):
+            return
+        if not b0.is_genesis:
+            self.execute_block(b0, block.view)
+
+    # -- next leader: vote aggregation ------------------------------------------------------------
+
+    def _handle_vote(self, sender: int, msg: VoteMsg) -> None:
+        if not self.is_leader(msg.view + 1):
+            return
+        self.charge_verify(1)
+        if not self.scheme.verify(
+            vote_payload(msg.view, msg.phase, msg.block_hash), msg.sig
+        ):
+            return
+        sigs = self._votes.add((msg.view, msg.block_hash), msg.sig, msg.sig.signer)
+        if sigs is None:
+            return
+        qc = QuorumCert(msg.view, msg.block_hash, Phase.PREPARE, tuple(sigs))
+        if qc.view > self.high_qc.view:
+            self.high_qc = qc
+        self._try_propose(msg.view + 1)

@@ -1,0 +1,114 @@
+"""Clients for the closed-loop (Fig 9) experiments.
+
+A client submits transactions at a configurable interval, broadcasting
+each request to all replicas (the paper's client interaction model:
+"clients send requests to replicas, and replicas send replies to
+clients").  End-to-end latency is measured from submission to the first
+reply, and throughput from the completion timestamps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.mempool import Transaction
+from repro.core.messages import ClientReply, ClientRequest
+from repro.sim.events import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RngStream
+
+
+@dataclass
+class CompletedRequest:
+    """One transaction's client-side record."""
+
+    tx_id: int
+    submitted_at: float
+    first_reply_at: float
+
+    @property
+    def latency_ms(self) -> float:
+        return self.first_reply_at - self.submitted_at
+
+
+class Client(Process):
+    """An open- or closed-loop load generator."""
+
+    def __init__(
+        self,
+        pid: int,
+        sim: Simulator,
+        client_id: int,
+        replica_pids: list[int],
+        payload_bytes: int,
+        interval_ms: float,
+        total_txs: int = 0,
+        rng: "RngStream | None" = None,
+    ) -> None:
+        super().__init__(pid, sim)
+        self.client_id = client_id
+        self.replica_pids = list(replica_pids)
+        self.payload_bytes = payload_bytes
+        self.interval_ms = interval_ms
+        self.total_txs = total_txs  # 0 = unlimited
+        # With an RNG, inter-arrival times are exponential (a Poisson
+        # process at rate 1/interval_ms); without, arrivals are periodic.
+        self.rng = rng
+        self._tx_ids = itertools.count()
+        self.submitted: dict[int, float] = {}
+        self.completed: list[CompletedRequest] = []
+
+    def start(self) -> None:
+        self._submit_next()
+
+    def _submit_next(self) -> None:
+        if self.crashed:
+            return
+        if self.total_txs and len(self.submitted) >= self.total_txs:
+            return
+        tx_id = next(self._tx_ids)
+        tx = Transaction(
+            client_id=self.client_id,
+            tx_id=tx_id,
+            payload_bytes=self.payload_bytes,
+            submitted_at=self.sim.now,
+        )
+        self.submitted[tx_id] = self.sim.now
+        request = ClientRequest(self.client_id, tx)
+        for pid in self.replica_pids:
+            self.send(pid, request)
+        if self.rng is not None:
+            delay = self.rng.expovariate(1.0 / max(self.interval_ms, 0.001))
+        else:
+            delay = self.interval_ms
+        self.set_timer(max(delay, 0.001), self._submit_next)
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if not isinstance(payload, ClientReply):
+            return
+        if payload.client_id != self.client_id:
+            return
+        submitted = self.submitted.pop(payload.tx_id, None)
+        if submitted is None:
+            return  # already completed (first reply wins)
+        self.completed.append(
+            CompletedRequest(
+                tx_id=payload.tx_id,
+                submitted_at=submitted,
+                first_reply_at=self.sim.now,
+            )
+        )
+
+    # -- client-side metrics ---------------------------------------------------
+
+    def mean_latency_ms(self) -> float:
+        if not self.completed:
+            return 0.0
+        return sum(c.latency_ms for c in self.completed) / len(self.completed)
+
+    def throughput_kops(self, duration_ms: float) -> float:
+        if duration_ms <= 0:
+            return 0.0
+        return (len(self.completed) / (duration_ms / 1000.0)) / 1000.0

@@ -1,0 +1,294 @@
+"""Damysus (paper Section 6, Fig 2): 2f+1 replicas, 2 core phases.
+
+Every replica carries a Checker and an Accumulator trusted component.
+Six communication steps per view (Table 1's ``12f + 6`` messages,
+self-messages included): new-view commitments, proposal, prepare votes,
+prepare-QC broadcast, pre-commit votes, decide broadcast.
+
+No locking phase: the accumulator certifies that the leader extended the
+highest prepared block among f+1 TEE-attested reports, so a proposal with
+a valid accumulator for the current view is safe by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import TEERefusal
+from repro.core.block import create_leaf
+from repro.core.commitment import Commitment, c_combine, c_match
+from repro.core.messages import BlockProposal, CommitmentMsg
+from repro.core.phases import Phase, Step, StepRule
+from repro.protocols.replica import BaseReplica, QuorumCollector
+from repro.tee.accumulator import AccumulatorService
+from repro.tee.checker import Checker
+
+#: CommitmentMsg kinds used on the wire.
+KIND_NEW_VIEW = "damysus-new-view"
+KIND_PREP_VOTE = "damysus-prep-vote"
+KIND_PREP_QC = "damysus-prep-qc"
+KIND_PCOM_VOTE = "damysus-pcom-vote"
+KIND_DECIDE = "damysus-decide"
+
+
+class DamysusReplica(BaseReplica):
+    """One replica of Damysus (Fig 2a), with its trusted services."""
+
+    protocol_name = "damysus"
+    step_rule = StepRule.BASIC
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.checker = self._make_checker()
+        self.acc_service = AccumulatorService(
+            self.pid, self.scheme, self.directory, self.quorum
+        )
+        self._new_views = QuorumCollector(self.quorum)
+        self._prep_votes = QuorumCollector(self.quorum)
+        self._pcom_votes = QuorumCollector(self.quorum)
+        self._proposed: set[int] = set()
+        self._stored: set[int] = set()
+        self._decided: set[int] = set()
+        # Consensus views start at 1; genesis owns view 0, so the first
+        # genuinely prepared block outranks genesis in accumulations.
+        self.view = 1
+
+    def _make_checker(self) -> Checker:
+        return Checker(
+            self.pid,
+            self.scheme,
+            self.directory,
+            self.store.genesis.hash,
+            self.quorum,
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    #: CommitmentMsg kind used for this protocol's new-view messages
+    #: (Damysus-C overrides it).
+    nv_kind = KIND_NEW_VIEW
+
+    def start(self) -> None:
+        self.pacemaker.start_view(self.view)
+        self._send_new_view_commitment()
+
+    def on_view_entered(self, view: int) -> None:
+        # Runs before buffered messages replay, so the checker's (v, nv_p)
+        # step is always consumed before a leader can reach TEEprepare -
+        # otherwise the prepare commitment would be stamped with the
+        # new-view phase and no backup would accept it.
+        self._send_new_view_commitment()
+
+    def _send_new_view_commitment(self) -> None:
+        """Fig 2a lines 41-47: TEEsign until stamped (view, nv_p), then send.
+
+        A node that left a view mid-way has a checker sitting at an
+        intermediate step; repeatedly calling TEEsign skips those steps
+        (the intermediate commitments are unusable by construction).
+        """
+        target = Step(self.view, Phase.NEW_VIEW)
+        rule = self.checker.step_rule
+        phi: Commitment | None = None
+        while self.checker.step.index(rule) <= target.index(rule):
+            self.charge_tee(signs=1)
+            phi = self.checker.tee_sign()
+            if phi.v_prep == target.view and phi.phase == target.phase:
+                break
+            phi = None
+        if phi is not None:
+            self.send_charged(
+                self.leader_of(self.view), CommitmentMsg(phi, self.nv_kind)
+            )
+
+    def on_view_timeout(self, view: int) -> None:
+        self.advance_view(view + 1)
+
+    def prune_state(self, view: int) -> None:
+        horizon = view - 1
+        self._new_views.discard_before_view(horizon)
+        self._prep_votes.discard_before_view(horizon)
+        self._pcom_votes.discard_before_view(horizon)
+        self._prune_view_sets(
+            horizon, self._proposed, self._stored, self._decided
+        )
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def dispatch(self, sender: int, payload: Any) -> None:
+        if isinstance(payload, CommitmentMsg):
+            handler = {
+                KIND_NEW_VIEW: self._handle_new_view,
+                KIND_PREP_VOTE: self._handle_prep_vote,
+                KIND_PREP_QC: self._handle_prep_qc,
+                KIND_PCOM_VOTE: self._handle_pcom_vote,
+                KIND_DECIDE: self._handle_decide,
+            }.get(payload.kind)
+            if handler is not None:
+                handler(sender, payload.commitment)
+        elif isinstance(payload, BlockProposal):
+            self._handle_proposal(sender, payload)
+
+    def on_stale(self, sender: int, payload: Any) -> None:
+        if isinstance(payload, BlockProposal):
+            self.store.add(payload.block)
+
+    # -- untrusted TEE-certificate verification ----------------------------------------
+
+    def _verify_tee_commitment(self, phi: Commitment, expected_sigs: int) -> bool:
+        if len(phi.sigs) != expected_sigs:
+            return False
+        if any(self.directory.kind_of(sig.signer) != "tee" for sig in phi.sigs):
+            return False
+        return phi.verify(self.scheme)
+
+    # -- prepare phase: leader ------------------------------------------------------------
+
+    def _handle_new_view(self, sender: int, phi: Commitment) -> None:
+        if not self.is_leader(phi.v_prep):
+            return
+        if phi.phase != Phase.NEW_VIEW or phi.h_prep is not None or len(phi.sigs) != 1:
+            return
+        self.charge_verify(1)
+        if not self._verify_tee_commitment(phi, expected_sigs=1):
+            return
+        quorum = self._new_views.add(phi.v_prep, phi, phi.sigs[0].signer)
+        if quorum is not None and phi.v_prep not in self._proposed:
+            self._propose(phi.v_prep, quorum)
+
+    def _propose(self, view: int, phis: list[Commitment]) -> None:
+        """Fig 2a lines 6-10: accumulate, extend, TEE-prepare, broadcast."""
+        if not c_match(phis, self.quorum, None, view, Phase.NEW_VIEW):
+            return
+        # accumList: one TEEstart + f TEEaccum + one TEEfinalize, each
+        # verifying and re-signing inside the enclave.
+        self.charge(
+            (self.quorum + 1) * self.costs.tee_op_ms(signs=1, verifies=1)
+        )
+        try:
+            acc = self.acc_service.accumulate(phis)
+        except TEERefusal:
+            return
+        self._proposed.add(view)
+        block = create_leaf(
+            acc.prep_hash,
+            view,
+            self.mempool.take_block(self.sim.now),
+            created_at=self.sim.now,
+        )
+        self.store.add(block)
+        self.charge_tee(signs=1, verifies=1)
+        try:
+            phi_prep = self.checker.tee_prepare(block.hash, acc)
+        except TEERefusal:
+            return
+        self.broadcast_charged(
+            BlockProposal(view, block, acc, phi_prep.sigs[0]), include_self=True
+        )
+        # The leader's own prepare vote travels as a self-message so that
+        # vote aggregation is uniform (and message counts match Table 1).
+        self.send_charged(self.pid, CommitmentMsg(phi_prep, KIND_PREP_VOTE))
+
+    # -- prepare phase: backups -------------------------------------------------------------
+
+    def _handle_proposal(self, sender: int, msg: BlockProposal) -> None:
+        if sender != self.leader_of(msg.view):
+            return
+        if sender == self.pid:
+            return  # own broadcast copy; the self-vote already went out
+        acc = msg.acc
+        if acc is None or not acc.finalized or len(acc) != self.quorum:
+            return
+        if acc.made_in_view != msg.view:
+            return
+        # Fig 2a lines 14-16: reconstruct and verify the leader's prepare
+        # commitment, and check the proposal extends the accumulated block.
+        phi_prep = Commitment(
+            h_prep=msg.block.hash,
+            v_prep=msg.view,
+            h_just=acc.prep_hash,
+            v_just=acc.prep_view,
+            phase=Phase.PREPARE,
+            sigs=(msg.leader_sig,),
+        )
+        self.charge_verify(2)  # leader commitment + accumulator signature
+        if not self._verify_tee_commitment(phi_prep, expected_sigs=1):
+            return
+        if not msg.block.extends(acc.prep_hash):
+            return
+        self.store.add(msg.block)
+        self.charge_tee(signs=1, verifies=1)
+        try:
+            phi = self.checker.tee_prepare(msg.block.hash, acc)
+        except TEERefusal:
+            return
+        self.send_charged(self.leader_of(msg.view), CommitmentMsg(phi, KIND_PREP_VOTE))
+
+    # -- pre-commit phase ----------------------------------------------------------------------
+
+    def _handle_prep_vote(self, sender: int, phi: Commitment) -> None:
+        if not self.is_leader(phi.v_prep):
+            return
+        if phi.phase != Phase.PREPARE or phi.h_prep is None or len(phi.sigs) != 1:
+            return
+        self.charge_verify(1)
+        if not self._verify_tee_commitment(phi, expected_sigs=1):
+            return
+        key = (phi.v_prep, phi.h_prep, phi.h_just, phi.v_just)
+        quorum = self._prep_votes.add(key, phi, phi.sigs[0].signer)
+        if quorum is None:
+            return
+        if not c_match(quorum, self.quorum, phi.h_prep, phi.v_prep, Phase.PREPARE):
+            return
+        combined = c_combine(quorum)
+        self.broadcast_charged(CommitmentMsg(combined, KIND_PREP_QC), include_self=True)
+
+    def _handle_prep_qc(self, sender: int, phi: Commitment) -> None:
+        if sender != self.leader_of(phi.v_prep):
+            return
+        if phi.v_prep in self._stored:
+            return
+        self._stored.add(phi.v_prep)
+        self.charge_tee(signs=1, verifies=self.quorum)
+        try:
+            phi_store = self.checker.tee_store(phi)
+        except TEERefusal:
+            return
+        self.send_charged(
+            self.leader_of(phi.v_prep), CommitmentMsg(phi_store, KIND_PCOM_VOTE)
+        )
+
+    # -- decide phase ----------------------------------------------------------------------------
+
+    def _handle_pcom_vote(self, sender: int, phi: Commitment) -> None:
+        if not self.is_leader(phi.v_prep):
+            return
+        if phi.phase != Phase.PRECOMMIT or phi.h_prep is None or len(phi.sigs) != 1:
+            return
+        self.charge_verify(1)
+        if not self._verify_tee_commitment(phi, expected_sigs=1):
+            return
+        key = (phi.v_prep, phi.h_prep)
+        quorum = self._pcom_votes.add(key, phi, phi.sigs[0].signer)
+        if quorum is None:
+            return
+        if not c_match(quorum, self.quorum, phi.h_prep, phi.v_prep, Phase.PRECOMMIT):
+            return
+        combined = c_combine(quorum)
+        self.broadcast_charged(CommitmentMsg(combined, KIND_DECIDE), include_self=True)
+
+    def _handle_decide(self, sender: int, phi: Commitment) -> None:
+        if sender != self.leader_of(phi.v_prep):
+            return
+        if phi.v_prep in self._decided:
+            return
+        if phi.phase != Phase.PRECOMMIT or phi.h_prep is None:
+            return
+        self.charge_verify(self.quorum)
+        if not self._verify_tee_commitment(phi, expected_sigs=self.quorum):
+            return
+        self._decided.add(phi.v_prep)
+        block = self.store.get(phi.h_prep)
+        if block is not None:
+            self.execute_block(block, phi.v_prep)
+        self.pacemaker.view_succeeded()
+        self.advance_view(phi.v_prep + 1)  # on_view_entered sends the new-view

@@ -1,0 +1,209 @@
+"""Damysus-A (paper Section 4.2.3 / Section 8): Accumulator only.
+
+3f+1 replicas with 2f+1 quorums, but only 2 core phases: the leader's
+accumulator certifies that the proposal extends the highest prepared
+block among 2f+1 signed reports, which removes the need for locking.
+Without a Checker, new-view reports must carry full prepare quorum
+certificates (a node could otherwise overstate its latest prepared
+block); quorum intersection guarantees at least one correct node's honest
+report reaches every accumulator.
+
+Six communication steps per view: new-view reports, proposal, prepare
+votes, prepare-QC broadcast, pre-commit votes, decide broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import TEERefusal
+from repro.crypto.hashing import encode_fields
+from repro.core.block import create_leaf
+from repro.core.certificate import QuorumCert, genesis_qc, vote_payload
+from repro.core.messages import NewViewAMsg, ProposalAMsg, QCMsg, VoteMsg
+from repro.core.phases import Phase
+from repro.protocols.replica import BaseReplica, QuorumCollector
+from repro.tee.accumulator import QCAccumulatorService, new_view_a_payload
+
+
+def proposal_a_payload(view: int, block_hash: bytes) -> bytes:
+    """Bytes the leader signs over its Damysus-A proposal."""
+    return encode_fields(("proposal-a", view, block_hash))
+
+
+class DamysusAReplica(BaseReplica):
+    """One Damysus-A replica: accumulator TEE, plain replica signatures."""
+
+    protocol_name = "damysus-a"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.acc_service = QCAccumulatorService(
+            self.pid,
+            self.scheme,
+            self.directory,
+            quorum=self.quorum,
+            qc_quorum=self.quorum,
+        )
+        self.prepare_qc = genesis_qc(self.store.genesis.hash)
+        self._new_views = QuorumCollector(self.quorum)
+        self._votes = QuorumCollector(self.quorum)
+        self._proposed: set[int] = set()
+        self._voted: set[tuple[int, Phase]] = set()
+        self._decided: set[int] = set()
+        # Consensus views start at 1; genesis owns view 0.
+        self.view = 1
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.pacemaker.start_view(self.view)
+        self._send_new_view()
+
+    def _send_new_view(self) -> None:
+        self.charge_sign()
+        sig = self.scheme.sign(
+            self.pid, new_view_a_payload(self.view, self.prepare_qc)
+        )
+        self.send_charged(
+            self.leader_of(self.view), NewViewAMsg(self.view, self.prepare_qc, sig)
+        )
+
+    def on_view_entered(self, view: int) -> None:
+        self._send_new_view()
+
+    def prune_state(self, view: int) -> None:
+        horizon = view - 1
+        self._new_views.discard_before_view(horizon)
+        self._votes.discard_before_view(horizon)
+        self._prune_view_sets(horizon, self._proposed, self._voted, self._decided)
+
+    def on_view_timeout(self, view: int) -> None:
+        self.advance_view(view + 1)
+
+    # -- dispatch -----------------------------------------------------------------------
+
+    def dispatch(self, sender: int, payload: Any) -> None:
+        if isinstance(payload, NewViewAMsg):
+            self._handle_new_view(sender, payload)
+        elif isinstance(payload, ProposalAMsg):
+            self._handle_proposal(sender, payload)
+        elif isinstance(payload, VoteMsg):
+            self._handle_vote(sender, payload)
+        elif isinstance(payload, QCMsg):
+            self._handle_qc(sender, payload)
+
+    def on_stale(self, sender: int, payload: Any) -> None:
+        if isinstance(payload, ProposalAMsg):
+            self.store.add(payload.block)
+
+    # -- prepare phase: leader --------------------------------------------------------------
+
+    def _handle_new_view(self, sender: int, msg: NewViewAMsg) -> None:
+        if not self.is_leader(msg.view):
+            return
+        quorum = self._new_views.add(msg.view, msg, msg.sender_sig.signer)
+        if quorum is not None and msg.view not in self._proposed:
+            self._propose(msg.view, quorum)
+
+    def _propose(self, view: int, reports: list[NewViewAMsg]) -> None:
+        # The accumulator verifies each report's sender signature plus the
+        # selected (highest) report's full prepare QC inside the TEE.
+        best_qc_sigs = max(len(m.justify.sigs) for m in reports)
+        self.charge(
+            self.costs.tee_op_ms(signs=1, verifies=0)
+            + self.costs.verify_many_ms(len(reports) + best_qc_sigs)
+        )
+        try:
+            acc = self.acc_service.accumulate(reports)
+        except TEERefusal:
+            return
+        self._proposed.add(view)
+        block = create_leaf(
+            acc.prep_hash,
+            view,
+            self.mempool.take_block(self.sim.now),
+            created_at=self.sim.now,
+        )
+        self.store.add(block)
+        self.charge_sign()
+        leader_sig = self.scheme.sign(self.pid, proposal_a_payload(view, block.hash))
+        self.broadcast_charged(
+            ProposalAMsg(view, block, acc, leader_sig), include_self=True
+        )
+
+    # -- prepare phase: all replicas (the leader votes on its own copy) -------------------------
+
+    def _handle_proposal(self, sender: int, msg: ProposalAMsg) -> None:
+        if sender != self.leader_of(msg.view):
+            return
+        if (msg.view, Phase.PREPARE) in self._voted:
+            return
+        acc = msg.acc
+        if not acc.finalized or len(acc) != self.quorum or acc.made_in_view != msg.view:
+            return
+        self.charge_verify(2)  # accumulator signature + leader signature
+        if self.directory.kind_of(acc.signature.signer) != "tee":
+            return
+        if not acc.verify(self.scheme):
+            return
+        if not self.scheme.verify(
+            proposal_a_payload(msg.view, msg.block.hash), msg.leader_sig
+        ):
+            return
+        if not msg.block.extends(acc.prep_hash):
+            return
+        self.store.add(msg.block)
+        self._vote(msg.view, Phase.PREPARE, msg.block.hash)
+
+    def _vote(self, view: int, phase: Phase, block_hash: bytes) -> None:
+        self._voted.add((view, phase))
+        self.charge_sign()
+        sig = self.scheme.sign(self.pid, vote_payload(view, phase, block_hash))
+        self.send_charged(self.leader_of(view), VoteMsg(view, phase, block_hash, sig))
+
+    # -- vote aggregation ---------------------------------------------------------------------------
+
+    def _handle_vote(self, sender: int, msg: VoteMsg) -> None:
+        if not self.is_leader(msg.view):
+            return
+        self.charge_verify(1)
+        if not self.scheme.verify(
+            vote_payload(msg.view, msg.phase, msg.block_hash), msg.sig
+        ):
+            return
+        key = (msg.view, msg.phase, msg.block_hash)
+        sigs = self._votes.add(key, msg.sig, msg.sig.signer)
+        if sigs is None:
+            return
+        qc = QuorumCert(msg.view, msg.block_hash, msg.phase, tuple(sigs))
+        self.broadcast_charged(QCMsg(msg.view, msg.phase, qc), include_self=True)
+
+    # -- QC handling: prepare -> pre-commit -> decide ---------------------------------------------------
+
+    def _handle_qc(self, sender: int, msg: QCMsg) -> None:
+        if sender != self.leader_of(msg.view):
+            return
+        qc = msg.qc
+        if qc.view != msg.view or qc.phase != msg.phase:
+            return
+        self.charge_verify(len(qc.sigs))
+        if not qc.verify(self.scheme, self.quorum):
+            return
+        if qc.phase == Phase.PREPARE:
+            if qc.view > self.prepare_qc.view:
+                self.prepare_qc = qc  # latest prepared, relayed in new-views
+            if (msg.view, Phase.PRECOMMIT) not in self._voted:
+                self._vote(msg.view, Phase.PRECOMMIT, qc.block_hash)
+        elif qc.phase == Phase.PRECOMMIT:
+            self._decide(msg.view, qc)
+
+    def _decide(self, view: int, qc: QuorumCert) -> None:
+        if view in self._decided:
+            return
+        self._decided.add(view)
+        block = self.store.get(qc.block_hash)
+        if block is not None:
+            self.execute_block(block, view)
+        self.pacemaker.view_succeeded()
+        self.advance_view(view + 1)  # on_view_entered sends the new-view

@@ -1,0 +1,242 @@
+"""Damysus-C (paper Section 4.2.3 / Section 8): Checker only.
+
+2f+1 replicas, but still 3 core phases: without an accumulator the leader
+cannot *prove* it selected the highest prepared block, so HotStuff's
+locking phase stays, with the lock held - and SafeNode evaluated - inside
+the Checker (see :class:`~repro.tee.checker_lock.LockingChecker`).
+
+Eight communication steps per view with N = 2f+1 and f+1 quorums:
+new-view, proposal, prepare votes, prepare-QC, pre-commit votes,
+pre-commit-QC, commit votes, decide.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import TEERefusal
+from repro.core.block import create_leaf
+from repro.core.commitment import Commitment, c_combine, c_match
+from repro.core.messages import BlockProposal, CommitmentMsg
+from repro.core.phases import Phase
+from repro.protocols.damysus import DamysusReplica
+from repro.protocols.replica import QuorumCollector
+from repro.tee.checker_lock import LockingChecker
+
+KIND_NEW_VIEW = "damysus-c-new-view"
+KIND_PREP_VOTE = "damysus-c-prep-vote"
+KIND_PREP_QC = "damysus-c-prep-qc"
+KIND_PCOM_VOTE = "damysus-c-pcom-vote"
+KIND_PCOM_QC = "damysus-c-pcom-qc"
+KIND_COM_VOTE = "damysus-c-com-vote"
+KIND_DECIDE = "damysus-c-decide"
+
+
+class DamysusCReplica(DamysusReplica):
+    """One Damysus-C replica: LockingChecker, no accumulator, 3 phases."""
+
+    protocol_name = "damysus-c"
+    nv_kind = KIND_NEW_VIEW
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.acc_service = None  # Damysus-C has no accumulator component
+        self._com_votes = QuorumCollector(self.quorum)
+        self._locked: set[int] = set()
+
+    def _make_checker(self) -> LockingChecker:
+        return LockingChecker(
+            self.pid,
+            self.scheme,
+            self.directory,
+            self.store.genesis.hash,
+            self.quorum,
+        )
+
+    def prune_state(self, view: int) -> None:
+        super().prune_state(view)
+        horizon = view - 1
+        self._com_votes.discard_before_view(horizon)
+        self._prune_view_sets(horizon, self._locked)
+
+    # -- dispatch --------------------------------------------------------------------
+
+    def dispatch(self, sender: int, payload: Any) -> None:
+        if isinstance(payload, CommitmentMsg):
+            handler = {
+                KIND_NEW_VIEW: self._handle_new_view,
+                KIND_PREP_VOTE: self._handle_prep_vote,
+                KIND_PREP_QC: self._handle_prep_qc,
+                KIND_PCOM_VOTE: self._handle_pcom_vote,
+                KIND_PCOM_QC: self._handle_pcom_qc,
+                KIND_COM_VOTE: self._handle_com_vote,
+                KIND_DECIDE: self._handle_decide,
+            }.get(payload.kind)
+            if handler is not None:
+                handler(sender, payload.commitment)
+        elif isinstance(payload, BlockProposal):
+            self._handle_proposal(sender, payload)
+
+    # -- prepare phase ----------------------------------------------------------------
+
+    def _propose(self, view: int, phis: list[Commitment]) -> None:
+        """Extend the highest reported prepared block; justify with that report.
+
+        Without an accumulator the justification is the single highest
+        new-view commitment: TEE-signed, so its (prepared block, view)
+        claim is honest, but nothing proves maximality - which is exactly
+        why the locked-based SafeNode and the commit phase remain.
+        """
+        if not c_match(phis, self.quorum, None, view, Phase.NEW_VIEW):
+            return
+        justify = max(phis, key=lambda p: (p.v_just or 0))
+        self._proposed.add(view)
+        block = create_leaf(
+            justify.h_just,
+            view,
+            self.mempool.take_block(self.sim.now),
+            created_at=self.sim.now,
+        )
+        self.store.add(block)
+        self.charge_tee(signs=1, verifies=1)
+        try:
+            phi_prep = self.checker.tee_prepare_locked(block.hash, justify)
+        except TEERefusal:
+            return
+        self.broadcast_charged(
+            BlockProposal(
+                view, block, acc=None, leader_sig=phi_prep.sigs[0],
+                justify_commitment=justify,
+            ),
+            include_self=True,
+        )
+        self.send_charged(self.pid, CommitmentMsg(phi_prep, KIND_PREP_VOTE))
+
+    def _handle_proposal(self, sender: int, msg: BlockProposal) -> None:
+        if sender != self.leader_of(msg.view):
+            return
+        if sender == self.pid:
+            return  # own broadcast copy
+        justify = msg.justify_commitment
+        if justify is None or justify.phase != Phase.NEW_VIEW:
+            return
+        if justify.v_prep != msg.view:
+            return
+        phi_prep = Commitment(
+            h_prep=msg.block.hash,
+            v_prep=msg.view,
+            h_just=justify.h_just,
+            v_just=justify.v_just,
+            phase=Phase.PREPARE,
+            sigs=(msg.leader_sig,),
+        )
+        self.charge_verify(2)  # leader commitment + justification commitment
+        if not self._verify_tee_commitment(phi_prep, expected_sigs=1):
+            return
+        if not self._verify_tee_commitment(justify, expected_sigs=1):
+            return
+        if justify.h_just is None or not msg.block.extends(justify.h_just):
+            return
+        self.store.add(msg.block)
+        self.charge_tee(signs=1, verifies=1)
+        try:
+            phi = self.checker.tee_prepare_locked(msg.block.hash, justify)
+        except TEERefusal:
+            return  # SafeNode (in-TEE) rejected the proposal
+        self.send_charged(self.leader_of(msg.view), CommitmentMsg(phi, KIND_PREP_VOTE))
+
+    # -- pre-commit phase ---------------------------------------------------------------
+
+    def _handle_prep_vote(self, sender: int, phi: Commitment) -> None:
+        if not self.is_leader(phi.v_prep):
+            return
+        if phi.phase != Phase.PREPARE or phi.h_prep is None or len(phi.sigs) != 1:
+            return
+        self.charge_verify(1)
+        if not self._verify_tee_commitment(phi, expected_sigs=1):
+            return
+        key = (phi.v_prep, phi.h_prep, phi.h_just, phi.v_just)
+        quorum = self._prep_votes.add(key, phi, phi.sigs[0].signer)
+        if quorum is None:
+            return
+        combined = c_combine(quorum)
+        self.broadcast_charged(CommitmentMsg(combined, KIND_PREP_QC), include_self=True)
+
+    def _handle_prep_qc(self, sender: int, phi: Commitment) -> None:
+        if sender != self.leader_of(phi.v_prep):
+            return
+        if phi.v_prep in self._stored:
+            return
+        self._stored.add(phi.v_prep)
+        self.charge_tee(signs=1, verifies=self.quorum)
+        try:
+            phi_store = self.checker.tee_store(phi)  # stores the prepared block
+        except TEERefusal:
+            return
+        self.send_charged(
+            self.leader_of(phi.v_prep), CommitmentMsg(phi_store, KIND_PCOM_VOTE)
+        )
+
+    # -- commit phase ------------------------------------------------------------------------
+
+    def _handle_pcom_vote(self, sender: int, phi: Commitment) -> None:
+        if not self.is_leader(phi.v_prep):
+            return
+        if phi.phase != Phase.PRECOMMIT or phi.h_prep is None or len(phi.sigs) != 1:
+            return
+        self.charge_verify(1)
+        if not self._verify_tee_commitment(phi, expected_sigs=1):
+            return
+        quorum = self._pcom_votes.add((phi.v_prep, phi.h_prep), phi, phi.sigs[0].signer)
+        if quorum is None:
+            return
+        combined = c_combine(quorum)
+        self.broadcast_charged(CommitmentMsg(combined, KIND_PCOM_QC), include_self=True)
+
+    def _handle_pcom_qc(self, sender: int, phi: Commitment) -> None:
+        if sender != self.leader_of(phi.v_prep):
+            return
+        if phi.v_prep in self._locked:
+            return
+        self._locked.add(phi.v_prep)
+        self.charge_tee(signs=1, verifies=self.quorum)
+        try:
+            phi_lock = self.checker.tee_store(phi)  # locks the block in the TEE
+        except TEERefusal:
+            return
+        self.send_charged(
+            self.leader_of(phi.v_prep), CommitmentMsg(phi_lock, KIND_COM_VOTE)
+        )
+
+    # -- decide phase ---------------------------------------------------------------------------
+
+    def _handle_com_vote(self, sender: int, phi: Commitment) -> None:
+        if not self.is_leader(phi.v_prep):
+            return
+        if phi.phase != Phase.COMMIT or phi.h_prep is None or len(phi.sigs) != 1:
+            return
+        self.charge_verify(1)
+        if not self._verify_tee_commitment(phi, expected_sigs=1):
+            return
+        quorum = self._com_votes.add((phi.v_prep, phi.h_prep), phi, phi.sigs[0].signer)
+        if quorum is None:
+            return
+        combined = c_combine(quorum)
+        self.broadcast_charged(CommitmentMsg(combined, KIND_DECIDE), include_self=True)
+
+    def _handle_decide(self, sender: int, phi: Commitment) -> None:
+        if sender != self.leader_of(phi.v_prep):
+            return
+        if phi.v_prep in self._decided:
+            return
+        if phi.phase != Phase.COMMIT or phi.h_prep is None:
+            return
+        self.charge_verify(self.quorum)
+        if not self._verify_tee_commitment(phi, expected_sigs=self.quorum):
+            return
+        self._decided.add(phi.v_prep)
+        block = self.store.get(phi.h_prep)
+        if block is not None:
+            self.execute_block(block, phi.v_prep)
+        self.pacemaker.view_succeeded()
+        self.advance_view(phi.v_prep + 1)  # on_view_entered sends the new-view

@@ -1,0 +1,261 @@
+"""Fast-HotStuff (Jalalzai, Niu, Feng 2020) - the TEE-free 2-phase baseline.
+
+Section 2 of the DAMYSUS paper situates Fast-HotStuff as the alternative
+way to drop HotStuff's third phase *without* trusted components: after an
+unhappy view change, "leaders send proofs that the blocks they extend are
+the highest received blocks.  This requires larger messages (containing
+an aggregated vector of 2f+1 quorum certificates) but improves latency".
+
+This implementation follows that description:
+
+* 3f+1 replicas, 2f+1 quorums, no trusted components;
+* happy path: the leader holds the prepare QC of view v-1 and proposes
+  directly - two core phases (prepare, pre-commit) plus decide;
+* unhappy path: the proposal carries an *aggregate proof* - the 2f+1
+  signed new-view reports the leader collected - and backups check that
+  the extended certificate is the highest among them.
+
+Including it lets the benchmarks quantify the trade-off the paper
+alludes to: Damysus gets 2 phases at 2f+1 with constant-size messages,
+Fast-HotStuff gets 2 phases at 3f+1 by shipping O(n) certificates after
+faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.block import Block, create_leaf
+from repro.core.certificate import QuorumCert, genesis_qc, vote_payload
+from repro.core.messages import MSG_HEADER_BYTES, NewViewAMsg, QCMsg, VoteMsg
+from repro.core.phases import Phase
+from repro.protocols.replica import BaseReplica, QuorumCollector
+from repro.tee.accumulator import new_view_a_payload
+
+
+@dataclass(frozen=True)
+class FastProposal:
+    """Fast-HotStuff proposal: block + high QC + optional aggregate proof.
+
+    ``proof`` is present exactly when ``justify`` is not from view-1: the
+    2f+1 signed new-view reports demonstrating that ``justify`` was the
+    highest certificate the leader received.
+    """
+
+    view: int
+    block: Block
+    justify: QuorumCert
+    proof: tuple[NewViewAMsg, ...] | None = None
+
+    msg_type = "fast-proposal"
+
+    def wire_size(self) -> int:
+        size = MSG_HEADER_BYTES + 4 + self.block.wire_size() + self.justify.wire_size()
+        if self.proof is not None:
+            size += sum(report.wire_size() for report in self.proof)
+        return size
+
+
+class FastHotStuffReplica(BaseReplica):
+    """One Fast-HotStuff replica."""
+
+    protocol_name = "fast-hotstuff"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.prepare_qc = genesis_qc(self.store.genesis.hash)
+        self._new_views = QuorumCollector(self.quorum)
+        self._votes = QuorumCollector(self.quorum)
+        self._proposed: set[int] = set()
+        self._voted: set[tuple[int, Phase]] = set()
+        self._decided: set[int] = set()
+        self.view = 1
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        self.pacemaker.start_view(self.view)
+        self._send_new_view()
+
+    def _send_new_view(self) -> None:
+        self.charge_sign()
+        sig = self.scheme.sign(self.pid, new_view_a_payload(self.view, self.prepare_qc))
+        self.send_charged(
+            self.leader_of(self.view), NewViewAMsg(self.view, self.prepare_qc, sig)
+        )
+
+    def on_view_entered(self, view: int) -> None:
+        self._send_new_view()
+        if self.is_leader(view) and self.prepare_qc.view == view - 1:
+            self._propose_happy(view)
+
+    def on_view_timeout(self, view: int) -> None:
+        self.advance_view(view + 1)
+
+    def prune_state(self, view: int) -> None:
+        horizon = view - 1
+        self._new_views.discard_before_view(horizon)
+        self._votes.discard_before_view(horizon)
+        self._prune_view_sets(horizon, self._proposed, self._voted, self._decided)
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def dispatch(self, sender: int, payload: Any) -> None:
+        if isinstance(payload, NewViewAMsg):
+            self._handle_new_view(sender, payload)
+        elif isinstance(payload, FastProposal):
+            self._handle_proposal(sender, payload)
+        elif isinstance(payload, VoteMsg):
+            self._handle_vote(sender, payload)
+        elif isinstance(payload, QCMsg):
+            self._handle_qc(sender, payload)
+
+    def on_stale(self, sender: int, payload: Any) -> None:
+        if isinstance(payload, FastProposal):
+            self.store.add(payload.block)
+
+    # -- leader --------------------------------------------------------------------------
+
+    def _propose_happy(self, view: int) -> None:
+        """Happy path: extend the certificate from the previous view."""
+        if view in self._proposed:
+            return
+        self._proposed.add(view)
+        block = create_leaf(
+            self.prepare_qc.block_hash,
+            view,
+            self.mempool.take_block(self.sim.now),
+            created_at=self.sim.now,
+        )
+        self.store.add(block)
+        self.broadcast_charged(
+            FastProposal(view, block, self.prepare_qc, proof=None), include_self=True
+        )
+
+    def _handle_new_view(self, sender: int, msg: NewViewAMsg) -> None:
+        if not self.is_leader(msg.view):
+            return
+        self.charge_verify(1)
+        if not self.scheme.verify(
+            new_view_a_payload(msg.view, msg.justify), msg.sender_sig
+        ):
+            return
+        reports = self._new_views.add(msg.view, msg, msg.sender_sig.signer)
+        if reports is None or msg.view in self._proposed:
+            return
+        best = max(reports, key=lambda report: report.justify.view)
+        self.charge_verify(len(best.justify.sigs))
+        if not best.justify.verify(self.scheme, self.quorum):
+            return
+        if best.justify.view > self.prepare_qc.view:
+            self.prepare_qc = best.justify
+        if self.prepare_qc.view == msg.view - 1:
+            self._propose_happy(msg.view)
+            return
+        # Unhappy path: ship the aggregate proof with the proposal.
+        self._proposed.add(msg.view)
+        block = create_leaf(
+            self.prepare_qc.block_hash,
+            msg.view,
+            self.mempool.take_block(self.sim.now),
+            created_at=self.sim.now,
+        )
+        self.store.add(block)
+        self.broadcast_charged(
+            FastProposal(msg.view, block, self.prepare_qc, proof=tuple(reports)),
+            include_self=True,
+        )
+
+    # -- backups -----------------------------------------------------------------------------
+
+    def _proof_valid(self, msg: FastProposal) -> bool:
+        """Check the aggregate proof of an unhappy-path proposal."""
+        proof = msg.proof or ()
+        if len(proof) != self.quorum:
+            return False
+        signers: set[int] = set()
+        self.charge_verify(len(proof))
+        justify_seen = False
+        for report in proof:
+            if report.view != msg.view:
+                return False
+            if not self.scheme.verify(
+                new_view_a_payload(report.view, report.justify), report.sender_sig
+            ):
+                return False
+            if report.sender_sig.signer in signers:
+                return False
+            signers.add(report.sender_sig.signer)
+            if report.justify.view > msg.justify.view:
+                return False  # the leader did not extend the highest
+            if (
+                report.justify.view == msg.justify.view
+                and report.justify.block_hash == msg.justify.block_hash
+            ):
+                justify_seen = True
+        return justify_seen
+
+    def _handle_proposal(self, sender: int, msg: FastProposal) -> None:
+        if sender != self.leader_of(msg.view):
+            return
+        if (msg.view, Phase.PREPARE) in self._voted:
+            return
+        self.charge_verify(len(msg.justify.sigs))
+        if not msg.justify.verify(self.scheme, self.quorum):
+            return
+        if not msg.block.extends(msg.justify.block_hash):
+            return
+        if msg.justify.view != msg.view - 1 and not self._proof_valid(msg):
+            return
+        self.store.add(msg.block)
+        self._vote(msg.view, Phase.PREPARE, msg.block.hash)
+
+    def _vote(self, view: int, phase: Phase, block_hash: bytes) -> None:
+        self._voted.add((view, phase))
+        self.charge_sign()
+        sig = self.scheme.sign(self.pid, vote_payload(view, phase, block_hash))
+        self.send_charged(self.leader_of(view), VoteMsg(view, phase, block_hash, sig))
+
+    # -- vote aggregation and decide ----------------------------------------------------------------
+
+    def _handle_vote(self, sender: int, msg: VoteMsg) -> None:
+        if not self.is_leader(msg.view):
+            return
+        self.charge_verify(1)
+        if not self.scheme.verify(
+            vote_payload(msg.view, msg.phase, msg.block_hash), msg.sig
+        ):
+            return
+        sigs = self._votes.add((msg.view, msg.phase, msg.block_hash), msg.sig, msg.sig.signer)
+        if sigs is None:
+            return
+        qc = QuorumCert(msg.view, msg.block_hash, msg.phase, tuple(sigs))
+        self.broadcast_charged(QCMsg(msg.view, msg.phase, qc), include_self=True)
+
+    def _handle_qc(self, sender: int, msg: QCMsg) -> None:
+        if sender != self.leader_of(msg.view):
+            return
+        qc = msg.qc
+        if qc.view != msg.view or qc.phase != msg.phase:
+            return
+        self.charge_verify(len(qc.sigs))
+        if not qc.verify(self.scheme, self.quorum):
+            return
+        if qc.phase == Phase.PREPARE:
+            if qc.view > self.prepare_qc.view:
+                self.prepare_qc = qc
+            if (msg.view, Phase.PRECOMMIT) not in self._voted:
+                self._vote(msg.view, Phase.PRECOMMIT, qc.block_hash)
+        elif qc.phase == Phase.PRECOMMIT:
+            self._decide(msg.view, qc)
+
+    def _decide(self, view: int, qc: QuorumCert) -> None:
+        if view in self._decided:
+            return
+        self._decided.add(view)
+        block = self.store.get(qc.block_hash)
+        if block is not None:
+            self.execute_block(block, view)
+        self.pacemaker.view_succeeded()
+        self.advance_view(view + 1)

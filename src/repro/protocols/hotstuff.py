@@ -1,0 +1,237 @@
+"""Basic HotStuff (paper Section 3): 3f+1 replicas, 3 core phases.
+
+The baseline the paper compares against.  Eight communication steps per
+view: new-view, proposal, prepare votes, prepare-QC broadcast, pre-commit
+votes, pre-commit-QC broadcast, commit votes, decide broadcast - which is
+Table 1's ``24f + 8`` messages (self-messages included).
+
+Safety comes from the locking scheme: replicas lock on a pre-commit QC
+and the SafeNode predicate only accepts proposals that extend the locked
+block or are justified at a higher view than the lock.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.threshold import ThresholdScheme, is_group_signature
+from repro.errors import VerificationError
+from repro.core.block import create_leaf
+from repro.core.certificate import QuorumCert, genesis_qc, vote_payload
+from repro.core.messages import NewViewMsg, ProposalMsg, QCMsg, VoteMsg
+from repro.core.phases import Phase
+from repro.protocols.replica import BaseReplica, QuorumCollector
+
+#: The vote phase that follows each QC phase.
+_NEXT_VOTE = {
+    Phase.PREPARE: Phase.PRECOMMIT,
+    Phase.PRECOMMIT: Phase.COMMIT,
+}
+
+
+class HotStuffReplica(BaseReplica):
+    """One replica of basic HotStuff."""
+
+    protocol_name = "hotstuff"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        bottom = genesis_qc(self.store.genesis.hash)
+        self.prepare_qc = bottom  # latest prepared block's certificate
+        self.locked_qc = bottom  # the lock (pre-commit QC)
+        # Optional original-HotStuff-style compact certificates: leaders
+        # combine vote shares into one constant-size threshold signature.
+        self.threshold: ThresholdScheme | None = None
+        if self.config.compact_qcs:
+            self.threshold = ThresholdScheme(
+                self.scheme,
+                group_name="hotstuff-replicas",
+                members=list(self.replica_pids),
+                threshold=self.quorum,
+            )
+        self._new_views = QuorumCollector(self.quorum)
+        self._votes = QuorumCollector(self.quorum)
+        self._proposed: set[int] = set()
+        self._voted: set[tuple[int, Phase]] = set()
+        self._decided: set[int] = set()
+        # Consensus views start at 1; view 0 belongs to the genesis block,
+        # so any genuinely prepared block outranks the genesis certificate.
+        self.view = 1
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        self.pacemaker.start_view(self.view)
+        self._send_new_view()
+
+    def _send_new_view(self) -> None:
+        """Report the latest prepared block to the current view's leader."""
+        self.send_charged(
+            self.leader_of(self.view), NewViewMsg(self.view, self.prepare_qc)
+        )
+
+    def on_view_entered(self, view: int) -> None:
+        self._send_new_view()
+
+    def prune_state(self, view: int) -> None:
+        # Keep one view of slack: stale messages cannot resurrect pruned
+        # state because the dispatcher drops below-view traffic anyway.
+        horizon = view - 1
+        self._new_views.discard_before_view(horizon)
+        self._votes.discard_before_view(horizon)
+        self._prune_view_sets(horizon, self._proposed, self._voted, self._decided)
+
+    def on_view_timeout(self, view: int) -> None:
+        self.advance_view(view + 1)
+
+    # -- certificate verification ---------------------------------------------------
+
+    def _verify_qc(self, qc: QuorumCert) -> bool:
+        """Verify a quorum certificate in either representation.
+
+        Compact (threshold) certificates verify in constant time -
+        modelled as two signature-verification units, BLS-pairing style -
+        while list certificates cost one verification per signer.
+        """
+        if qc.is_genesis:
+            return True
+        if len(qc.sigs) == 1 and is_group_signature(qc.sigs[0]):
+            if self.threshold is None:
+                return False
+            self.charge_verify(2)
+            return self.threshold.verify_group(qc.signed_payload(), qc.sigs[0])
+        self.charge_verify(len(qc.sigs))
+        return qc.verify(self.scheme, self.quorum)
+
+    def _make_qc(self, view: int, phase: Phase, block_hash: bytes, sigs) -> QuorumCert:
+        if self.threshold is not None:
+            payload = vote_payload(view, phase, block_hash)
+            # Shares were verified on arrival; the TEE-free combine
+            # re-checks them, which we charge as quorum verifications.
+            self.charge_verify(len(sigs))
+            group = self.threshold.combine(payload, list(sigs))
+            return QuorumCert(view, block_hash, phase, (group,))
+        return QuorumCert(view, block_hash, phase, tuple(sigs))
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def dispatch(self, sender: int, payload: Any) -> None:
+        if isinstance(payload, NewViewMsg):
+            self._handle_new_view(sender, payload)
+        elif isinstance(payload, ProposalMsg):
+            self._handle_proposal(sender, payload)
+        elif isinstance(payload, VoteMsg):
+            self._handle_vote(sender, payload)
+        elif isinstance(payload, QCMsg):
+            self._handle_qc(sender, payload)
+
+    def on_stale(self, sender: int, payload: Any) -> None:
+        # Keep blocks from proposals that arrive after the view moved on:
+        # execution follows certified hashes, so a replica that skipped a
+        # decide still needs the block to execute descendants later.
+        if isinstance(payload, ProposalMsg):
+            self.store.add(payload.block)
+
+    # -- leader: new-view and proposal ----------------------------------------------
+
+    def _handle_new_view(self, sender: int, msg: NewViewMsg) -> None:
+        if not self.is_leader(msg.view):
+            return
+        quorum = self._new_views.add(msg.view, msg, sender)
+        if quorum is not None and msg.view not in self._proposed:
+            self._propose(msg.view, quorum)
+
+    def _propose(self, view: int, new_views: list[NewViewMsg]) -> None:
+        """Extend the highest prepared block among 2f+1 reports (Section 3)."""
+        high_qc = max((m.justify for m in new_views), key=lambda qc: qc.view)
+        if not self._verify_qc(high_qc):
+            return
+        self._proposed.add(view)
+        block = create_leaf(
+            high_qc.block_hash,
+            view,
+            self.mempool.take_block(self.sim.now),
+            created_at=self.sim.now,
+        )
+        self.store.add(block)
+        self.broadcast_charged(ProposalMsg(view, block, high_qc), include_self=True)
+
+    # -- backup: SafeNode and voting ---------------------------------------------------
+
+    def _safe_node(self, block, justify: QuorumCert) -> bool:
+        """Paper Section 3: extends the lock, or justified above the lock."""
+        extends_locked = self.store.is_ancestor(self.locked_qc.block_hash, block.hash)
+        return extends_locked or justify.view > self.locked_qc.view
+
+    def _handle_proposal(self, sender: int, msg: ProposalMsg) -> None:
+        if sender != self.leader_of(msg.view):
+            return
+        if (msg.view, Phase.PREPARE) in self._voted:
+            return
+        if not self._verify_qc(msg.justify):
+            return
+        if not msg.block.extends(msg.justify.block_hash):
+            return
+        self.store.add(msg.block)
+        if not self._safe_node(msg.block, msg.justify):
+            return
+        self._vote(msg.view, Phase.PREPARE, msg.block.hash)
+
+    def _vote(self, view: int, phase: Phase, block_hash: bytes) -> None:
+        self._voted.add((view, phase))
+        self.charge_sign()
+        sig = self.scheme.sign(self.pid, vote_payload(view, phase, block_hash))
+        self.send_charged(self.leader_of(view), VoteMsg(view, phase, block_hash, sig))
+
+    # -- leader: vote aggregation ---------------------------------------------------------
+
+    def _handle_vote(self, sender: int, msg: VoteMsg) -> None:
+        if not self.is_leader(msg.view):
+            return
+        self.charge_verify(1)
+        if not self.scheme.verify(
+            vote_payload(msg.view, msg.phase, msg.block_hash), msg.sig
+        ):
+            return
+        key = (msg.view, msg.phase, msg.block_hash)
+        sigs = self._votes.add(key, msg.sig, msg.sig.signer)
+        if sigs is None:
+            return
+        try:
+            qc = self._make_qc(msg.view, msg.phase, msg.block_hash, sigs)
+        except VerificationError:
+            return
+        self.broadcast_charged(QCMsg(msg.view, msg.phase, qc), include_self=True)
+
+    # -- all replicas: QC handling ------------------------------------------------------------
+
+    def _handle_qc(self, sender: int, msg: QCMsg) -> None:
+        if sender != self.leader_of(msg.view):
+            return
+        qc = msg.qc
+        if qc.view != msg.view or qc.phase != msg.phase:
+            return
+        if not self._verify_qc(qc):
+            return
+        if qc.phase == Phase.PREPARE:
+            if qc.view > self.prepare_qc.view:
+                self.prepare_qc = qc  # the block is now prepared
+        elif qc.phase == Phase.PRECOMMIT:
+            if qc.view > self.locked_qc.view:
+                self.locked_qc = qc  # the block is now locked
+        elif qc.phase == Phase.COMMIT:
+            self._decide(msg.view, qc)
+            return
+        next_phase = _NEXT_VOTE.get(qc.phase)
+        if next_phase is not None and (msg.view, next_phase) not in self._voted:
+            self._vote(msg.view, next_phase, qc.block_hash)
+
+    def _decide(self, view: int, qc: QuorumCert) -> None:
+        if view in self._decided:
+            return
+        self._decided.add(view)
+        block = self.store.get(qc.block_hash)
+        if block is not None:
+            self.execute_block(block, view)
+        self.pacemaker.view_succeeded()
+        self.advance_view(view + 1)  # on_view_entered sends the new-view

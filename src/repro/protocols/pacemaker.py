@@ -1,0 +1,84 @@
+"""View synchronization: timers, backoff, rotating leader election.
+
+HotStuff's liveness mechanism (Section 3): nodes start a timer per view,
+double the timeout when a view fails, and shrink it again when views
+succeed, so that after GST all correct nodes eventually share a view with
+a correct leader for long enough to decide.  Leader election is the
+deterministic round-robin the paper assumes ("each view has a unique
+leader, chosen deterministically and known to all nodes", Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.process import Process, Timer
+
+
+def round_robin_leader(view: int, num_replicas: int) -> int:
+    """The unique, deterministic leader of ``view``."""
+    return view % num_replicas
+
+
+class Pacemaker:
+    """Per-replica view timer with exponential backoff."""
+
+    def __init__(
+        self,
+        process: Process,
+        base_timeout_ms: float,
+        backoff: float = 2.0,
+        on_timeout: Callable[[int], None] | None = None,
+        linear_decrease_ms: float | None = None,
+        max_timeout_ms: float | None = None,
+    ) -> None:
+        self.process = process
+        self.base_timeout_ms = base_timeout_ms
+        self.backoff = backoff
+        self.on_timeout = on_timeout
+        # When views succeed, the timeout shrinks linearly back toward the
+        # base (the exponential-backoff-with-linear-decrease scheme of
+        # Section 3).  The cap keeps a permanently faulty leader in a
+        # rotating schedule from inflating the timeout unboundedly.
+        self.linear_decrease_ms = (
+            linear_decrease_ms if linear_decrease_ms is not None else base_timeout_ms / 2
+        )
+        self.max_timeout_ms = (
+            max_timeout_ms if max_timeout_ms is not None else base_timeout_ms * 4
+        )
+        self.current_timeout_ms = base_timeout_ms
+        self.timeouts_fired = 0
+        self._timer: Timer | None = None
+        self._view = -1
+
+    @property
+    def view(self) -> int:
+        """The view the pacemaker is currently timing."""
+        return self._view
+
+    def start_view(self, view: int) -> None:
+        """Arm the timer for ``view``, cancelling any previous timer."""
+        self.cancel()
+        self._view = view
+        self._timer = self.process.set_timer(self.current_timeout_ms, self._fire)
+
+    def view_succeeded(self) -> None:
+        """Cancel the timer and linearly decrease the timeout."""
+        self.cancel()
+        self.current_timeout_ms = max(
+            self.base_timeout_ms, self.current_timeout_ms - self.linear_decrease_ms
+        )
+
+    def cancel(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _fire(self) -> None:
+        self._timer = None
+        self.timeouts_fired += 1
+        self.current_timeout_ms = min(
+            self.current_timeout_ms * self.backoff, self.max_timeout_ms
+        )
+        if self.on_timeout is not None:
+            self.on_timeout(self._view)

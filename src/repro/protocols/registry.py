@@ -1,0 +1,163 @@
+"""Protocol registry: names, replica factories and analytic properties.
+
+One row per evaluated protocol (the table in Section 8, "Implemented
+protocols"), carrying the replica class plus the closed-form quantities
+Table 1 reports: replica count, quorum size, core phases, communication
+steps and normal-case message count per decided block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Type
+
+from repro.errors import ConfigError
+from repro.protocols.chained_damysus import ChainedDamysusReplica
+from repro.protocols.chained_hotstuff import ChainedHotStuffReplica
+from repro.protocols.damysus import DamysusReplica
+from repro.protocols.damysus_a import DamysusAReplica
+from repro.protocols.damysus_c import DamysusCReplica
+from repro.protocols.fast_hotstuff import FastHotStuffReplica
+from repro.protocols.hotstuff import HotStuffReplica
+from repro.protocols.replica import BaseReplica
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Static properties of one protocol."""
+
+    name: str
+    replica_class: Type[BaseReplica]
+    num_replicas: Callable[[int], int]  # N as a function of f
+    quorum: Callable[[int], int]  # quorum size as a function of f
+    core_phases: int
+    comm_steps: int  # communication steps per decided block
+    messages_normal_case: Callable[[int], int]  # per decided block, incl self
+    chained: bool
+    trusted_components: tuple[str, ...]
+    max_faults: Callable[[int], int]  # tolerated faults for N replicas
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: N={self.num_replicas.__doc__}, "
+            f"{self.core_phases} core phases, {self.comm_steps} steps"
+        )
+
+
+def _n_3f1(f: int) -> int:
+    """3f+1"""
+    return 3 * f + 1
+
+
+def _n_2f1(f: int) -> int:
+    """2f+1"""
+    return 2 * f + 1
+
+
+SPECS: dict[str, ProtocolSpec] = {
+    "hotstuff": ProtocolSpec(
+        name="hotstuff",
+        replica_class=HotStuffReplica,
+        num_replicas=_n_3f1,
+        quorum=lambda f: 2 * f + 1,
+        core_phases=3,
+        comm_steps=8,
+        messages_normal_case=lambda f: 24 * f + 8,
+        chained=False,
+        trusted_components=(),
+        max_faults=lambda n: (n - 1) // 3,
+    ),
+    "damysus-c": ProtocolSpec(
+        name="damysus-c",
+        replica_class=DamysusCReplica,
+        num_replicas=_n_2f1,
+        quorum=lambda f: f + 1,
+        core_phases=3,
+        comm_steps=8,
+        messages_normal_case=lambda f: 16 * f + 8,
+        chained=False,
+        trusted_components=("checker",),
+        max_faults=lambda n: (n - 1) // 2,
+    ),
+    "damysus-a": ProtocolSpec(
+        name="damysus-a",
+        replica_class=DamysusAReplica,
+        num_replicas=_n_3f1,
+        quorum=lambda f: 2 * f + 1,
+        core_phases=2,
+        comm_steps=6,
+        messages_normal_case=lambda f: 18 * f + 6,
+        chained=False,
+        trusted_components=("accumulator",),
+        max_faults=lambda n: (n - 1) // 3,
+    ),
+    "damysus": ProtocolSpec(
+        name="damysus",
+        replica_class=DamysusReplica,
+        num_replicas=_n_2f1,
+        quorum=lambda f: f + 1,
+        core_phases=2,
+        comm_steps=6,
+        messages_normal_case=lambda f: 12 * f + 6,
+        chained=False,
+        trusted_components=("checker", "accumulator"),
+        max_faults=lambda n: (n - 1) // 2,
+    ),
+    "chained-hotstuff": ProtocolSpec(
+        name="chained-hotstuff",
+        replica_class=ChainedHotStuffReplica,
+        num_replicas=_n_3f1,
+        quorum=lambda f: 2 * f + 1,
+        core_phases=3,
+        comm_steps=8,
+        messages_normal_case=lambda f: 24 * f + 8,
+        chained=True,
+        trusted_components=(),
+        max_faults=lambda n: (n - 1) // 3,
+    ),
+    "chained-damysus": ProtocolSpec(
+        name="chained-damysus",
+        replica_class=ChainedDamysusReplica,
+        num_replicas=_n_2f1,
+        quorum=lambda f: f + 1,
+        core_phases=2,
+        comm_steps=6,
+        messages_normal_case=lambda f: 12 * f + 6,
+        chained=True,
+        trusted_components=("checker", "accumulator"),
+        max_faults=lambda n: (n - 1) // 2,
+    ),
+    # Not one of the paper's six evaluated protocols: the TEE-free 2-phase
+    # baseline discussed in Section 2, used by the ablation benchmarks.
+    "fast-hotstuff": ProtocolSpec(
+        name="fast-hotstuff",
+        replica_class=FastHotStuffReplica,
+        num_replicas=_n_3f1,
+        quorum=lambda f: 2 * f + 1,
+        core_phases=2,
+        comm_steps=6,
+        messages_normal_case=lambda f: 18 * f + 6,
+        chained=False,
+        trusted_components=(),
+        max_faults=lambda n: (n - 1) // 3,
+    ),
+}
+
+#: Evaluation order used in the paper's Section 8 table.
+PROTOCOL_ORDER = [
+    "hotstuff",
+    "damysus-c",
+    "damysus-a",
+    "damysus",
+    "chained-hotstuff",
+    "chained-damysus",
+]
+
+
+def get_spec(name: str) -> ProtocolSpec:
+    """Look up a protocol by name, raising a helpful error if unknown."""
+    try:
+        return SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(SPECS))
+        raise ConfigError(f"unknown protocol {name!r}; known: {known}") from None

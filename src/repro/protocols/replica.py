@@ -1,0 +1,336 @@
+"""Replica base class: plumbing shared by all six protocols.
+
+Responsibilities handled here so protocol modules stay close to the
+paper's pseudocode: message dispatch with future-view buffering, view
+advancement, leader schedule, CPU cost charging, quorum collection, block
+execution with client replies, and pacemaker integration.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config import SystemConfig
+from repro.crypto.keys import KeyDirectory
+from repro.crypto.scheme import SignatureScheme
+from repro.core.chain import BlockStore
+from repro.core.block import Block
+from repro.core.executor import Ledger, SafetyOracle
+from repro.core.mempool import Mempool
+from repro.core.messages import BlockRequest, BlockResponse, ClientReply, ClientRequest
+from repro.errors import MissingBlockError
+from repro.protocols.pacemaker import Pacemaker, round_robin_leader
+from repro.sim.events import Simulator
+from repro.sim.monitor import Monitor
+from repro.sim.network import wire_size_of
+from repro.sim.process import Process
+
+#: Cap on buffered future-view messages per replica (Byzantine flood guard).
+MAX_BUFFERED_MESSAGES = 10_000
+
+
+class QuorumCollector:
+    """Collects deduplicated items per key until a threshold is reached.
+
+    ``add`` returns the full item list exactly once - on the call that
+    reaches the threshold - and ``None`` before and after, which is how
+    leaders act exactly once per (view, phase) quorum.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self._items: dict[Any, list] = {}
+        self._dedup: dict[Any, set] = {}
+        self._done: set = set()
+
+    def add(self, key: Any, item: Any, dedup_id: Any) -> list | None:
+        if key in self._done:
+            return None
+        seen = self._dedup.setdefault(key, set())
+        if dedup_id in seen:
+            return None
+        seen.add(dedup_id)
+        items = self._items.setdefault(key, [])
+        items.append(item)
+        if len(items) == self.threshold:
+            self._done.add(key)
+            return list(items)
+        return None
+
+    def count(self, key: Any) -> int:
+        return len(self._items.get(key, ()))
+
+    def pending_keys(self) -> int:
+        """Number of keys currently holding state (for GC assertions)."""
+        return len(self._items) + len(self._done)
+
+    @staticmethod
+    def _view_of(key: Any) -> int | None:
+        if isinstance(key, int):
+            return key
+        if isinstance(key, tuple) and key and isinstance(key[0], int):
+            return key[0]
+        return None
+
+    def discard_before_view(self, view: int) -> None:
+        """Garbage-collect state for views below ``view``.
+
+        Keys are either a view number or a tuple whose first element is
+        one; anything else is left alone.
+        """
+        for mapping in (self._items, self._dedup):
+            for key in [k for k in mapping if (v := self._view_of(k)) is not None and v < view]:
+                del mapping[key]
+        self._done = {
+            k for k in self._done
+            if (v := self._view_of(k)) is None or v >= view
+        }
+
+
+class BaseReplica(Process):
+    """Common replica machinery; protocol subclasses implement handlers."""
+
+    def __init__(  # noqa: PLR0913 - wiring point for the whole stack
+        self,
+        pid: int,
+        sim: Simulator,
+        config: SystemConfig,
+        scheme: SignatureScheme,
+        directory: KeyDirectory,
+        num_replicas: int,
+        quorum: int,
+        oracle: SafetyOracle | None = None,
+        monitor: Monitor | None = None,
+        client_pids: dict[int, int] | None = None,
+    ) -> None:
+        super().__init__(pid, sim)
+        self.config = config
+        self.costs = config.costs
+        self.scheme = scheme
+        self.directory = directory
+        self.num_replicas = num_replicas
+        self.quorum = quorum
+        self.store = BlockStore()
+        self.ledger = Ledger(pid, self.store, oracle, monitor)
+        self.mempool = Mempool(
+            config.payload_bytes, config.block_size, open_loop=config.open_loop
+        )
+        self.view = 0
+        self.client_pids = client_pids or {}
+        self.replica_pids: list[int] = list(range(num_replicas))
+        self.pacemaker = Pacemaker(
+            self,
+            config.timeout_ms,
+            config.timeout_backoff,
+            on_timeout=self._on_pacemaker_timeout,
+        )
+        self._buffered: dict[int, list[tuple[int, Any]]] = {}
+        self._buffered_count = 0
+        # Block synchronization: executions waiting on missing block
+        # bodies, and the hashes already requested from peers.
+        self._pending_exec: dict[bytes, int] = {}
+        self._requested_blocks: set[bytes] = set()
+
+    # -- leader schedule -------------------------------------------------------
+
+    def leader_of(self, view: int) -> int:
+        """Pid of the deterministic leader of ``view``."""
+        return self.replica_pids[round_robin_leader(view, self.num_replicas)]
+
+    def is_leader(self, view: int) -> bool:
+        return self.leader_of(view) == self.pid
+
+    # -- CPU cost charging -------------------------------------------------------
+
+    def charge_sign(self, count: int = 1) -> None:
+        self.charge(count * self.costs.sign_ms)
+
+    def charge_verify(self, count: int = 1) -> None:
+        self.charge(self.costs.verify_many_ms(count))
+
+    def charge_tee(self, signs: int = 1, verifies: int = 0) -> None:
+        self.charge(self.costs.tee_op_ms(signs=signs, verifies=verifies))
+
+    def charge_receive(self, payload: Any) -> None:
+        self.charge(self.costs.receive_ms(wire_size_of(payload)))
+
+    def send_charged(self, dest: int, payload: Any) -> None:
+        """Charge serialization cost, then send."""
+        self.charge(self.costs.send_ms(wire_size_of(payload)))
+        self.send(dest, payload)
+
+    def broadcast_charged(self, payload: Any, include_self: bool = True) -> None:
+        """Send to every replica; egress cost scales with the copy count."""
+        copies = len(self.replica_pids) if include_self else len(self.replica_pids) - 1
+        self.charge(copies * self.costs.send_ms(wire_size_of(payload)))
+        self.broadcast(self.replica_pids, payload, include_self=include_self)
+
+    # -- dispatch with future-view buffering ---------------------------------------
+
+    def message_view(self, payload: Any) -> int | None:
+        """The view a message belongs to; ``None`` for view-less messages.
+
+        Subclasses override when a message's relevant view differs from its
+        stamped view (the chained protocols' new-view commitments).
+        """
+        return getattr(payload, "view", None)
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if isinstance(payload, ClientRequest):
+            self.mempool.add(payload.tx)
+            return
+        if isinstance(payload, BlockRequest):
+            self._handle_block_request(sender, payload)
+            return
+        if isinstance(payload, BlockResponse):
+            self._handle_block_response(sender, payload)
+            return
+        view = self.message_view(payload)
+        if view is not None:
+            if view > self.view:
+                self._buffer(view, sender, payload)
+                return
+            if view < self.view:
+                self.on_stale(sender, payload)
+                return
+        self.charge_receive(payload)
+        self.dispatch(sender, payload)
+
+    def on_stale(self, sender: int, payload: Any) -> None:
+        """Hook for messages from views the replica already left."""
+
+    def dispatch(self, sender: int, payload: Any) -> None:
+        """Protocol-specific handling; subclasses implement."""
+        raise NotImplementedError
+
+    def _buffer(self, view: int, sender: int, payload: Any) -> None:
+        if self._buffered_count >= MAX_BUFFERED_MESSAGES:
+            return
+        self._buffered.setdefault(view, []).append((sender, payload))
+        self._buffered_count += 1
+
+    # -- view advancement -----------------------------------------------------------
+
+    def advance_view(self, new_view: int) -> None:
+        """Enter ``new_view``: restart the pacemaker, flush buffered traffic."""
+        if new_view <= self.view:
+            return
+        for stale in [v for v in self._buffered if v < new_view]:
+            self._buffered_count -= len(self._buffered[stale])
+            del self._buffered[stale]
+        self.view = new_view
+        self.pacemaker.start_view(new_view)
+        self.prune_state(new_view)
+        self.on_view_entered(new_view)
+        pending = self._buffered.pop(new_view, [])
+        self._buffered_count -= len(pending)
+        for sender, payload in pending:
+            self.charge_receive(payload)
+            self.dispatch(sender, payload)
+
+    def on_view_entered(self, view: int) -> None:
+        """Hook run when a view starts, before buffered messages replay."""
+
+    def prune_state(self, view: int) -> None:
+        """Garbage-collect per-view state older than ``view``.
+
+        Called on every view change; protocol subclasses drop their stale
+        vote/new-view collections here so long runs stay bounded.
+        """
+
+    @staticmethod
+    def _prune_view_sets(min_view: int, *sets: set) -> None:
+        """Drop integer view entries below ``min_view`` from each set."""
+        for entries in sets:
+            stale = {
+                entry
+                for entry in entries
+                if isinstance(entry, int) and entry < min_view
+                or isinstance(entry, tuple)
+                and entry
+                and isinstance(entry[0], int)
+                and entry[0] < min_view
+            }
+            entries -= stale
+
+    def _on_pacemaker_timeout(self, view: int) -> None:
+        if self.crashed or view != self.view:
+            return
+        self.on_view_timeout(view)
+
+    def on_view_timeout(self, view: int) -> None:
+        """Protocol-specific timeout action; subclasses implement."""
+        raise NotImplementedError
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute_block(self, block: Block, view: int) -> list[Block]:
+        """Execute ``block`` (and pending ancestors); reply to clients.
+
+        If an ancestor's body is missing (a Byzantine leader can commit a
+        block without delivering it everywhere), the execution is parked
+        and the missing blocks are fetched from peers.
+        """
+        try:
+            newly = self.ledger.execute(block, self.sim.now, view)
+        except MissingBlockError:
+            self._pending_exec[block.hash] = view
+            self._request_missing_ancestors(block)
+            return []
+        for executed in newly:
+            for tx in executed.transactions:
+                pid = self.client_pids.get(tx.client_id)
+                if pid is not None:
+                    self.send_charged(
+                        pid,
+                        ClientReply(
+                            replica=self.pid,
+                            client_id=tx.client_id,
+                            tx_id=tx.tx_id,
+                            executed_at=self.sim.now,
+                        ),
+                    )
+        return newly
+
+    # -- block synchronization -------------------------------------------------
+
+    def _request_missing_ancestors(self, block: Block) -> None:
+        """Fetch the nearest missing ancestor of ``block`` from the peers.
+
+        One hop at a time: each response either completes the path or
+        reveals the next missing ancestor, which triggers another fetch.
+        """
+        cursor = block.parent_hash
+        while True:
+            existing = self.store.get(cursor)
+            if existing is None:
+                if cursor not in self._requested_blocks:
+                    self._requested_blocks.add(cursor)
+                    request = BlockRequest(cursor)
+                    for pid in self.replica_pids:
+                        if pid != self.pid:
+                            self.send_charged(pid, request)
+                return
+            if existing.is_genesis or cursor == self.ledger.last_executed_hash:
+                return
+            cursor = existing.parent_hash
+
+    def _handle_block_request(self, sender: int, msg: BlockRequest) -> None:
+        block = self.store.get(msg.block_hash)
+        if block is not None:
+            self.send_charged(sender, BlockResponse(block))
+
+    def _handle_block_response(self, sender: int, msg: BlockResponse) -> None:
+        self.store.add(msg.block)
+        self._requested_blocks.discard(msg.block.hash)
+        self._retry_pending_executions()
+
+    def _retry_pending_executions(self) -> None:
+        for block_hash, view in list(self._pending_exec.items()):
+            block = self.store.get(block_hash)
+            if block is None:
+                continue
+            del self._pending_exec[block_hash]
+            # Re-enters execute_block: on another miss the execution is
+            # parked again and the next missing ancestor gets fetched.
+            self.execute_block(block, view)

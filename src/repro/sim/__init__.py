@@ -1,0 +1,47 @@
+"""Discrete-event simulation substrate.
+
+This package is the stand-in for the paper's AWS deployment: a
+deterministic discrete-event simulator with a virtual clock, actors that
+exchange messages over simulated wide-area links, and latency models that
+implement the partial-synchrony assumption (arbitrary delays before GST,
+bounded by delta after GST).
+
+Public entry points:
+
+* :class:`~repro.sim.events.Simulator` - the event loop and virtual clock.
+* :class:`~repro.sim.process.Process` - base class for simulated actors.
+* :class:`~repro.sim.network.Network` - message delivery between processes.
+* :mod:`~repro.sim.latency` - latency models (constant, matrix, GST).
+* :mod:`~repro.sim.regions` - AWS-like inter-region RTT data sets.
+* :class:`~repro.sim.monitor.Monitor` - message/byte/latency accounting.
+"""
+
+from repro.sim.events import Event, Simulator
+from repro.sim.latency import (
+    ConstantLatency,
+    LatencyModel,
+    MatrixLatency,
+    PartialSynchronyLatency,
+)
+from repro.sim.monitor import Monitor
+from repro.sim.network import Network
+from repro.sim.process import Process, Timer
+from repro.sim.regions import EU_REGIONS, WORLD_REGIONS, RegionMap
+from repro.sim.rng import RngStream
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Process",
+    "Timer",
+    "Network",
+    "Monitor",
+    "LatencyModel",
+    "ConstantLatency",
+    "MatrixLatency",
+    "PartialSynchronyLatency",
+    "RegionMap",
+    "EU_REGIONS",
+    "WORLD_REGIONS",
+    "RngStream",
+]

@@ -1,0 +1,114 @@
+"""Inter-region latency data modelled on AWS.
+
+The paper deploys nodes on EC2 across 4 EU regions (Fig 6) and 11 world
+regions (Fig 7).  We reproduce those topologies with one-way latency
+matrices derived from published AWS inter-region RTT measurements (RTT/2,
+rounded).  Values are milliseconds of one-way delay; the diagonal is the
+intra-region latency.
+
+The exact numbers do not need to match AWS on a given day - what matters
+for reproducing the paper's *shape* is the realistic spread between nearby
+regions (~5 ms in the EU) and antipodal ones (~100+ ms one-way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: 4 EU regions used in Fig 6: Ireland, London, Paris, Frankfurt.
+EU_REGION_NAMES = ["eu-west-1", "eu-west-2", "eu-west-3", "eu-central-1"]
+
+#: One-way latency (ms) between the EU regions, symmetric.
+EU_LATENCY_MS = [
+    #  IRL   LDN   PAR   FRA
+    [0.4, 5.0, 9.0, 12.0],  # Ireland
+    [5.0, 0.4, 4.0, 7.0],  # London
+    [9.0, 4.0, 0.4, 4.5],  # Paris
+    [12.0, 7.0, 4.5, 0.4],  # Frankfurt
+]
+
+#: 11 world regions used in Fig 7: 4 US + 4 EU + Singapore, Sydney, Canada.
+WORLD_REGION_NAMES = [
+    "us-east-1",  # N. Virginia
+    "us-east-2",  # Ohio
+    "us-west-1",  # N. California
+    "us-west-2",  # Oregon
+    "eu-west-1",  # Ireland
+    "eu-west-2",  # London
+    "eu-west-3",  # Paris
+    "eu-central-1",  # Frankfurt
+    "ap-southeast-1",  # Singapore
+    "ap-southeast-2",  # Sydney
+    "ca-central-1",  # Canada Central
+]
+
+#: One-way latency (ms) between world regions, symmetric (RTT/2 of typical
+#: published AWS inter-region pings).
+WORLD_LATENCY_MS = [
+    # use1  use2  usw1  usw2  euw1  euw2  euw3  euc1  apse1 apse2 cac1
+    [0.4, 6.0, 31.0, 33.0, 34.0, 38.0, 40.0, 44.0, 108.0, 100.0, 7.0],  # us-east-1
+    [6.0, 0.4, 25.0, 29.0, 39.0, 43.0, 45.0, 49.0, 103.0, 97.0, 13.0],  # us-east-2
+    [31.0, 25.0, 0.4, 11.0, 64.0, 68.0, 70.0, 73.0, 88.0, 74.0, 39.0],  # us-west-1
+    [33.0, 29.0, 11.0, 0.4, 62.0, 66.0, 68.0, 71.0, 83.0, 70.0, 30.0],  # us-west-2
+    [34.0, 39.0, 64.0, 62.0, 0.4, 5.0, 9.0, 12.0, 120.0, 128.0, 35.0],  # eu-west-1
+    [38.0, 43.0, 68.0, 66.0, 5.0, 0.4, 4.0, 7.0, 115.0, 131.0, 39.0],  # eu-west-2
+    [40.0, 45.0, 70.0, 68.0, 9.0, 4.0, 0.4, 4.5, 115.0, 135.0, 42.0],  # eu-west-3
+    [44.0, 49.0, 73.0, 71.0, 12.0, 7.0, 4.5, 0.4, 110.0, 140.0, 46.0],  # eu-central-1
+    [108.0, 103.0, 88.0, 83.0, 120.0, 115.0, 115.0, 110.0, 0.4, 46.0, 105.0],  # ap-se-1
+    [100.0, 97.0, 74.0, 70.0, 128.0, 131.0, 135.0, 140.0, 46.0, 0.4, 99.0],  # ap-se-2
+    [7.0, 13.0, 39.0, 30.0, 35.0, 39.0, 42.0, 46.0, 105.0, 99.0, 0.4],  # ca-central-1
+]
+
+
+@dataclass(frozen=True)
+class RegionMap:
+    """A named set of regions with a symmetric one-way latency matrix."""
+
+    name: str
+    region_names: tuple[str, ...]
+    latency_ms: tuple[tuple[float, ...], ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.region_names)
+        if len(self.latency_ms) != n or any(len(row) != n for row in self.latency_ms):
+            raise ConfigError(f"latency matrix of {self.name} is not {n}x{n}")
+        for i in range(n):
+            for j in range(n):
+                if self.latency_ms[i][j] != self.latency_ms[j][i]:
+                    raise ConfigError(
+                        f"latency matrix of {self.name} is asymmetric at ({i},{j})"
+                    )
+                if self.latency_ms[i][j] < 0:
+                    raise ConfigError("negative latency")
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.region_names)
+
+    def latency(self, region_a: int, region_b: int) -> float:
+        """One-way latency in ms between two region indices."""
+        return self.latency_ms[region_a][region_b]
+
+    def assign_round_robin(self, num_nodes: int) -> list[int]:
+        """Spread ``num_nodes`` over the regions round-robin (paper style).
+
+        The paper places one t2.micro per node across the listed regions;
+        with more nodes than regions the assignment simply wraps around.
+        """
+        return [i % self.num_regions for i in range(num_nodes)]
+
+
+def _freeze(matrix: list[list[float]]) -> tuple[tuple[float, ...], ...]:
+    return tuple(tuple(row) for row in matrix)
+
+
+#: Fig 6 deployment: 4 EU regions.
+EU_REGIONS = RegionMap("eu-4", tuple(EU_REGION_NAMES), _freeze(EU_LATENCY_MS))
+
+#: Fig 7 deployment: 11 world regions.
+WORLD_REGIONS = RegionMap("world-11", tuple(WORLD_REGION_NAMES), _freeze(WORLD_LATENCY_MS))
+
+#: Single-site deployment (useful for unit tests and micro-benchmarks).
+LOCAL_REGION = RegionMap("local-1", ("local",), ((0.2,),))

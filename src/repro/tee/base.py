@@ -1,0 +1,59 @@
+"""Trusted-component base class.
+
+A trusted component is identified by a unique identifier (Section 4.1,
+"each component is identified by a unique identifier stored with the
+component") and signs its certificates with a private key held inside the
+component.  The component counts its invocations so that experiments can
+charge enclave-call overhead (SGX ECALL cost) to the hosting replica's
+simulated CPU.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import KeyDirectory, tee_signer_id
+from repro.crypto.scheme import Signature, SignatureScheme
+
+
+class TrustedComponent:
+    """Common machinery: identity, private signing, public verification."""
+
+    def __init__(self, replica: int, scheme: SignatureScheme, directory: KeyDirectory) -> None:
+        self.replica = replica
+        self._signer = tee_signer_id(replica)
+        self._scheme = scheme
+        self._directory = directory
+        directory.register_tee(replica)
+        self.calls = 0  # total TEE invocations, for ECALL cost accounting
+
+    @property
+    def component_id(self) -> int:
+        """The component's unique (signer) identifier."""
+        return self._signer
+
+    def _sign(self, payload: bytes) -> Signature:
+        """Sign with the component's confidential private key."""
+        return self._scheme.sign(self._signer, payload)
+
+    def _verify(self, payload: bytes, signature: Signature) -> bool:
+        """Verify against the shared public-key directory.
+
+        Certificates exchanged between trusted services must originate
+        from *trusted* signers; a replica's untrusted key never validates
+        a TEE certificate.
+        """
+        if self._directory.kind_of(signature.signer) != "tee":
+            return False
+        return self._scheme.verify(payload, signature)
+
+    def _count_call(self) -> None:
+        self.calls += 1
+
+    def storage_bytes(self) -> int:
+        """Bytes of protected state the component must keep (Table 1).
+
+        The base component stores only its identity and keys; subclasses
+        add their protocol state.  Damysus's point is that this stays
+        *constant* - independent of history length - unlike HotStuff-M's
+        per-message logs.
+        """
+        return 8 + 32 + 32  # component id + private key + public-key root

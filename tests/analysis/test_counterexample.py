@@ -1,0 +1,44 @@
+"""Tests for the Section 4 counter-example demonstrations."""
+
+from repro.analysis.counterexample import run_checker_scenario, run_counter_scenario
+
+
+def test_plain_counter_scenario_breaks_safety():
+    """The paper's i/j/k scenario: counters alone are insufficient."""
+    result = run_counter_scenario()
+    assert not result.safe
+    assert len(result.oracle.violations) == 1
+    violation = result.oracle.violations[0]
+    assert violation.index == 0  # conflicting blocks at the same height
+
+
+def test_counter_scenario_uses_only_genuine_certificates():
+    """Every certificate k accepts verifies - the attack needs no forgery."""
+    result = run_counter_scenario()
+    assert all("ACCEPTED" in line for line in result.log if "verifies" in line)
+
+
+def test_counter_scenario_log_is_explanatory():
+    result = run_counter_scenario()
+    text = result.describe()
+    assert "VIOLATED" in text
+    assert "b'" in text
+
+
+def test_checker_scenario_preserves_safety():
+    result = run_checker_scenario()
+    assert result.safe
+    assert result.oracle.violations == []
+
+
+def test_checker_scenario_refuses_both_attacks():
+    result = run_checker_scenario()
+    assert result.refusals == 2
+    text = result.describe()
+    assert "PRESERVED" in text
+    assert text.count("REFUSED") == 2
+
+
+def test_scenarios_are_deterministic():
+    assert run_counter_scenario().describe() == run_counter_scenario().describe()
+    assert run_checker_scenario().describe() == run_checker_scenario().describe()

@@ -1,0 +1,80 @@
+"""Analytic latency model vs simulation: they must roughly agree."""
+
+import pytest
+
+from repro.analysis.formulas import mean_one_way_ms, predict_latency
+from repro.bench.runner import ExperimentRunner
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.sim.regions import EU_REGIONS
+
+BASIC = ["hotstuff", "damysus-c", "damysus-a", "damysus"]
+
+
+def simulated_latency(protocol, f, payload=0):
+    runner = ExperimentRunner(
+        payload_bytes=payload, views_per_run=6, repetitions=2
+    )
+    return runner.run_cell(protocol, f).latency_ms
+
+
+@pytest.mark.parametrize("protocol", BASIC)
+@pytest.mark.parametrize("f", [1, 4])
+def test_prediction_within_tolerance(protocol, f):
+    config = SystemConfig(protocol=protocol, f=f, payload_bytes=0)
+    predicted = predict_latency(config).total_ms
+    measured = simulated_latency(protocol, f)
+    assert predicted == pytest.approx(measured, rel=0.45), (predicted, measured)
+
+
+def test_prediction_orders_protocols():
+    """The closed form reproduces the latency ordering at every f."""
+    for f in (1, 4, 10):
+        predictions = {
+            p: predict_latency(SystemConfig(protocol=p, f=f, payload_bytes=0)).total_ms
+            for p in BASIC
+        }
+        assert predictions["damysus"] < predictions["damysus-c"]
+        assert predictions["damysus"] < predictions["damysus-a"]
+        assert predictions["damysus"] < predictions["hotstuff"]
+        assert predictions["damysus-c"] < predictions["hotstuff"]
+
+
+def test_prediction_grows_with_f():
+    latencies = [
+        predict_latency(SystemConfig(protocol="damysus", f=f, payload_bytes=0)).total_ms
+        for f in (1, 4, 10, 20)
+    ]
+    assert latencies == sorted(latencies)
+
+
+def test_payload_raises_predicted_latency():
+    small = predict_latency(SystemConfig(protocol="damysus", f=4, payload_bytes=0))
+    large = predict_latency(SystemConfig(protocol="damysus", f=4, payload_bytes=256))
+    assert large.total_ms > small.total_ms
+    assert large.leader_cpu_ms > small.leader_cpu_ms
+
+
+def test_mean_one_way_reasonable():
+    config = SystemConfig(protocol="damysus", f=1, regions=EU_REGIONS)
+    mean = mean_one_way_ms(config, 4)  # one node per EU region
+    flat = [
+        EU_REGIONS.latency(i, j)
+        for i in range(4)
+        for j in range(4)
+        if i != j
+    ]
+    assert mean == pytest.approx(sum(flat) / len(flat))
+
+
+def test_chained_protocols_rejected():
+    with pytest.raises(ConfigError):
+        predict_latency(SystemConfig(protocol="chained-damysus", f=1))
+
+
+def test_prediction_components_positive():
+    pred = predict_latency(SystemConfig(protocol="hotstuff", f=2, payload_bytes=256))
+    assert pred.network_ms > 0
+    assert pred.leader_cpu_ms > 0
+    assert pred.backup_cpu_ms > 0
+    assert pred.legs == 7

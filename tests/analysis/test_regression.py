@@ -1,0 +1,71 @@
+"""Tests for the result regression comparator."""
+
+import json
+
+import pytest
+
+from repro.analysis.regression import compare_files, compare_results
+
+
+def blob(damysus_tput=10.0, hotstuff_tput=5.0, lat=50.0):
+    cells = {
+        "damysus|1": {"N": 3, "tput_kops": damysus_tput, "lat_ms": lat},
+        "hotstuff|1": {"N": 4, "tput_kops": hotstuff_tput, "lat_ms": lat * 2},
+    }
+    return {key: {"cells": dict(cells), "notes": []} for key in ("fig6a", "fig6b", "fig7a", "fig7b")}
+
+
+def test_identical_blobs_have_zero_drift():
+    report = compare_results(blob(), blob())
+    assert report.shape_ok
+    assert all(d.relative == 0.0 for d in report.drifts)
+    assert report.worst_drift().relative == 0.0
+
+
+def test_drift_is_relative():
+    report = compare_results(blob(damysus_tput=10.0), blob(damysus_tput=12.0))
+    worst = report.worst_drift()
+    assert worst.metric == "tput_kops"
+    assert worst.relative == pytest.approx(0.2)
+
+
+def test_ordering_break_detected():
+    report = compare_results(blob(), blob(damysus_tput=3.0, hotstuff_tput=5.0))
+    assert not report.shape_ok
+    assert any("damysus" in msg for msg in report.ordering_breaks)
+
+
+def test_summary_readable():
+    report = compare_results(blob(), blob(damysus_tput=20.0))
+    text = report.summary(drift_threshold=0.25)
+    assert "drifted" in text
+    assert "+100%" in text
+
+
+def test_compare_files_roundtrip(tmp_path):
+    base = tmp_path / "base.json"
+    cand = tmp_path / "cand.json"
+    base.write_text(json.dumps(blob()))
+    cand.write_text(json.dumps(blob(damysus_tput=11.0)))
+    report = compare_files(base, cand)
+    assert report.shape_ok
+    assert report.worst_drift().relative == pytest.approx(0.1)
+
+
+def test_missing_cells_are_skipped():
+    candidate = blob()
+    for figure in candidate.values():
+        figure["cells"].pop("hotstuff|1")
+    report = compare_results(blob(), candidate)
+    assert all(d.cell == "damysus|1" for d in report.drifts)
+
+
+def test_real_results_file_shape_holds():
+    """The committed full_results.json passes its own regression check."""
+    import pathlib
+
+    path = pathlib.Path(__file__).resolve().parents[2] / "results" / "full_results.json"
+    if not path.exists():
+        pytest.skip("full_results.json not generated")
+    report = compare_files(path, path)
+    assert report.shape_ok

@@ -1,0 +1,47 @@
+"""Schedule fuzzing: safety must survive every sampled hostile timing."""
+
+import pytest
+
+from repro.analysis.schedule_fuzz import draw_case, fuzz, run_case
+from repro.protocols.registry import PROTOCOL_ORDER
+
+
+@pytest.mark.parametrize("protocol", PROTOCOL_ORDER)
+def test_safety_under_fuzzed_schedules(protocol):
+    outcomes = fuzz(protocol, f=1, cases=12, base_seed=100)
+    unsafe = [o for o in outcomes if not o.safe]
+    assert unsafe == [], f"unsafe schedules: {[o.case for o in unsafe]}"
+
+
+@pytest.mark.parametrize("protocol", ["damysus", "hotstuff"])
+def test_fuzzed_runs_make_progress_after_gst(protocol):
+    """Every fuzzed run (crashes included, all <= max faults) commits."""
+    outcomes = fuzz(protocol, f=1, cases=10, base_seed=300)
+    assert all(o.committed >= 3 for o in outcomes), [
+        (o.case, o.committed) for o in outcomes
+    ]
+
+
+def test_cases_are_deterministic():
+    assert draw_case("damysus", 1, 7) == draw_case("damysus", 1, 7)
+    assert draw_case("damysus", 1, 7) != draw_case("damysus", 1, 8)
+
+
+def test_cases_respect_fault_budget():
+    for seed in range(40):
+        case = draw_case("damysus", 2, seed)
+        assert len(case.crashed) <= 2  # f = 2 at N = 5
+        case_hs = draw_case("hotstuff", 2, seed)
+        assert len(case_hs.crashed) <= 2
+
+
+def test_outcomes_reproducible():
+    case = draw_case("damysus", 1, 11)
+    first = run_case("damysus", 1, case)
+    second = run_case("damysus", 1, case)
+    assert first == second
+
+
+def test_fuzz_at_larger_f():
+    outcomes = fuzz("damysus", f=2, cases=6, base_seed=500)
+    assert all(o.safe for o in outcomes)

@@ -1,0 +1,82 @@
+"""Tests for the key-value state machine."""
+
+import pytest
+
+from repro.app.kvstore import (
+    OP_DELETE,
+    OP_GET,
+    OP_INCREMENT,
+    OP_PUT,
+    KVCommand,
+    KVStateMachine,
+)
+from repro.errors import ProtocolError
+
+
+def test_put_and_get():
+    machine = KVStateMachine()
+    assert machine.apply(KVCommand(OP_PUT, "a", "1")).ok
+    result = machine.apply(KVCommand(OP_GET, "a"))
+    assert result.ok and result.value == "1"
+    assert machine.get("a") == "1"
+
+
+def test_get_missing_key():
+    machine = KVStateMachine()
+    result = machine.apply(KVCommand(OP_GET, "nope"))
+    assert not result.ok and result.value is None
+
+
+def test_delete():
+    machine = KVStateMachine()
+    machine.apply(KVCommand(OP_PUT, "a", "1"))
+    assert machine.apply(KVCommand(OP_DELETE, "a")).ok
+    assert not machine.apply(KVCommand(OP_DELETE, "a")).ok
+    assert len(machine) == 0
+
+
+def test_increment():
+    machine = KVStateMachine()
+    assert machine.apply(KVCommand(OP_INCREMENT, "c")).value == "1"
+    assert machine.apply(KVCommand(OP_INCREMENT, "c")).value == "2"
+    machine.apply(KVCommand(OP_PUT, "c", "10"))
+    assert machine.apply(KVCommand(OP_INCREMENT, "c")).value == "11"
+
+
+def test_invalid_commands_rejected():
+    with pytest.raises(ProtocolError):
+        KVCommand("swap", "a")
+    with pytest.raises(ProtocolError):
+        KVCommand(OP_PUT, "a")  # missing value
+
+
+def test_digest_reflects_state_and_history():
+    m1, m2 = KVStateMachine(), KVStateMachine()
+    for m in (m1, m2):
+        m.apply(KVCommand(OP_PUT, "a", "1"))
+    assert m1.digest() == m2.digest()
+    m1.apply(KVCommand(OP_PUT, "b", "2"))
+    assert m1.digest() != m2.digest()
+
+
+def test_digest_depends_on_applied_count():
+    """Two stores with equal contents but different histories differ."""
+    m1, m2 = KVStateMachine(), KVStateMachine()
+    m1.apply(KVCommand(OP_PUT, "a", "1"))
+    m2.apply(KVCommand(OP_PUT, "a", "0"))
+    m2.apply(KVCommand(OP_PUT, "a", "1"))
+    assert m1.get("a") == m2.get("a")
+    assert m1.digest() != m2.digest()
+
+
+def test_command_encoding_stable_and_distinct():
+    c1 = KVCommand(OP_PUT, "a", "1")
+    c2 = KVCommand(OP_PUT, "a", "2")
+    assert c1.encode() == KVCommand(OP_PUT, "a", "1").encode()
+    assert c1.encode() != c2.encode()
+    assert 0 <= c1.encode() < 2**63
+
+
+def test_payload_size_counts_fields():
+    assert KVCommand(OP_PUT, "key", "value").payload_size() == 3 + 3 + 5
+    assert KVCommand(OP_GET, "key").payload_size() == 3 + 3

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.costs import CostModel
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import KeyDirectory
+from repro.core.block import genesis_block
+from repro.protocols.system import ConsensusSystem
+
+
+@pytest.fixture
+def scheme():
+    """A fresh fast signature scheme."""
+    return HmacScheme(secret=b"test-suite")
+
+
+@pytest.fixture
+def directory(scheme):
+    """A key directory with 8 replicas and their TEEs registered."""
+    directory = KeyDirectory(scheme)
+    for pid in range(8):
+        directory.register_replica(pid)
+        directory.register_tee(pid)
+    return directory
+
+
+@pytest.fixture
+def genesis():
+    return genesis_block()
+
+
+def small_config(protocol: str, f: int = 1, **overrides) -> SystemConfig:
+    """A fast configuration for logic-level protocol tests."""
+    params = dict(
+        protocol=protocol,
+        f=f,
+        payload_bytes=0,
+        block_size=5,
+        seed=42,
+        timeout_ms=500.0,
+        costs=CostModel.zero(),
+    )
+    params.update(overrides)
+    return SystemConfig(**params)
+
+
+def run_protocol(protocol: str, views: int = 5, f: int = 1, **overrides):
+    """Build, run and return (system, result) for quick assertions."""
+    system = ConsensusSystem(small_config(protocol, f=f, **overrides))
+    result = system.run_until_views(views, max_time_ms=120_000)
+    return system, result

@@ -1,0 +1,134 @@
+"""Tests for the execution ledger and the global safety oracle."""
+
+import pytest
+
+from repro.errors import ProtocolError, SafetyViolation
+from repro.core.block import create_leaf
+from repro.core.chain import BlockStore
+from repro.core.executor import Ledger, SafetyOracle
+from repro.core.mempool import Transaction
+from repro.sim.monitor import Monitor
+
+
+def tx(i):
+    return Transaction(client_id=0, tx_id=i, payload_bytes=0)
+
+
+def build_chain(store, length, tag=0, parent=None):
+    parent = parent or store.genesis.hash
+    blocks = []
+    for i in range(length):
+        block = create_leaf(parent, i + 1, (tx(tag * 100 + i),), created_at=float(i))
+        store.add(block)
+        blocks.append(block)
+        parent = block.hash
+    return blocks
+
+
+def test_execute_in_order():
+    store = BlockStore()
+    ledger = Ledger(0, store)
+    blocks = build_chain(store, 3)
+    for b in blocks:
+        newly = ledger.execute(b, now=10.0)
+        assert [x.hash for x in newly] == [b.hash]
+    assert ledger.height() == 3
+    assert ledger.last_executed_hash == blocks[-1].hash
+
+
+def test_execute_catches_up_ancestors():
+    """Executing a descendant executes skipped ancestors first (Fig 5a)."""
+    store = BlockStore()
+    ledger = Ledger(0, store)
+    blocks = build_chain(store, 4)
+    newly = ledger.execute(blocks[3], now=5.0)
+    assert [b.hash for b in newly] == [b.hash for b in blocks]
+
+
+def test_execute_idempotent():
+    store = BlockStore()
+    ledger = Ledger(0, store)
+    [b] = build_chain(store, 1)
+    assert len(ledger.execute(b, 1.0)) == 1
+    assert ledger.execute(b, 2.0) == []
+    assert ledger.height() == 1
+
+
+def test_execute_rejects_fork():
+    store = BlockStore()
+    ledger = Ledger(0, store)
+    main = build_chain(store, 2, tag=1)
+    fork = build_chain(store, 2, tag=2)
+    ledger.execute(main[1], 1.0)
+    with pytest.raises(ProtocolError):
+        ledger.execute(fork[1], 2.0)
+
+
+def test_ledger_reports_to_monitor():
+    store = BlockStore()
+    monitor = Monitor()
+    ledger = Ledger(3, store, monitor=monitor)
+    [b] = build_chain(store, 1)
+    ledger.execute(b, now=42.0, view=9)
+    [rec] = monitor.executions
+    assert rec.replica == 3
+    assert rec.view == b.view  # recorded under the block's own view
+    assert rec.executed_at == 42.0
+    assert rec.block_hash == b.hash
+
+
+def test_oracle_accepts_agreement():
+    oracle = SafetyOracle()
+    for replica in range(3):
+        oracle.record(replica, b"a")
+        oracle.record(replica, b"b")
+    assert oracle.safe
+    assert oracle.canonical_chain() == [b"a", b"b"]
+
+
+def test_oracle_accepts_prefixes():
+    oracle = SafetyOracle()
+    oracle.record(0, b"a")
+    oracle.record(0, b"b")
+    oracle.record(1, b"a")  # replica 1 is simply behind
+    assert oracle.safe
+
+
+def test_oracle_detects_divergence_strict():
+    oracle = SafetyOracle(strict=True)
+    oracle.record(0, b"a")
+    with pytest.raises(SafetyViolation):
+        oracle.record(1, b"x")
+
+
+def test_oracle_records_divergence_non_strict():
+    oracle = SafetyOracle(strict=False)
+    oracle.record(0, b"a")
+    oracle.record(1, b"x")
+    assert not oracle.safe
+    [violation] = oracle.violations
+    assert violation.index == 0
+    assert violation.replica == 1
+    assert "executed" in violation.describe()
+
+
+def test_oracle_detects_later_divergence():
+    oracle = SafetyOracle(strict=False)
+    oracle.record(0, b"a")
+    oracle.record(0, b"b")
+    oracle.record(1, b"a")
+    oracle.record(1, b"c")  # diverges at index 1
+    assert not oracle.safe
+    assert oracle.violations[0].index == 1
+
+
+def test_ledger_reports_to_oracle():
+    store = BlockStore()
+    oracle = SafetyOracle()
+    ledger_a = Ledger(0, store, oracle=oracle)
+    ledger_b = Ledger(1, store, oracle=oracle)
+    blocks = build_chain(store, 2)
+    ledger_a.execute(blocks[1], 1.0)
+    ledger_b.execute(blocks[1], 1.0)
+    assert oracle.safe
+    assert len(oracle.sequences) == 2

@@ -1,0 +1,54 @@
+"""Tests for transactions and the mempool."""
+
+from repro.core.mempool import TX_METADATA_BYTES, Mempool, Transaction, payload_digest
+
+
+def test_tx_wire_size_includes_metadata():
+    assert Transaction(0, 1, payload_bytes=256).wire_size() == 256 + TX_METADATA_BYTES
+    assert Transaction(0, 1, payload_bytes=0).wire_size() == 40  # paper Section 8
+
+
+def test_payload_digest_depends_on_contents():
+    txs1 = (Transaction(0, 1, 0), Transaction(0, 2, 0))
+    txs2 = (Transaction(0, 1, 0), Transaction(0, 3, 0))
+    assert payload_digest(txs1) != payload_digest(txs2)
+    assert payload_digest(txs1) == payload_digest(txs1)
+
+
+def test_open_loop_blocks_are_full():
+    pool = Mempool(payload_bytes=16, block_size=7, open_loop=True)
+    block = pool.take_block(now=0.0)
+    assert len(block) == 7
+    assert all(tx.payload_bytes == 16 for tx in block)
+
+
+def test_open_loop_synthetic_ids_unique():
+    pool = Mempool(payload_bytes=0, block_size=5, open_loop=True)
+    ids = [tx.tx_id for tx in pool.take_block(0.0) + pool.take_block(0.0)]
+    assert len(set(ids)) == 10
+
+
+def test_closed_loop_blocks_limited_to_queue():
+    pool = Mempool(payload_bytes=0, block_size=5, open_loop=False)
+    pool.add(Transaction(1, 1, 0))
+    pool.add(Transaction(1, 2, 0))
+    block = pool.take_block(0.0)
+    assert len(block) == 2
+    assert pool.pending() == 0
+    assert pool.take_block(0.0) == ()
+
+
+def test_closed_loop_respects_block_size():
+    pool = Mempool(payload_bytes=0, block_size=3, open_loop=False)
+    for i in range(10):
+        pool.add(Transaction(1, i, 0))
+    assert len(pool.take_block(0.0)) == 3
+    assert pool.pending() == 7
+
+
+def test_open_loop_prefers_queued_client_txs():
+    pool = Mempool(payload_bytes=0, block_size=3, open_loop=True)
+    pool.add(Transaction(7, 99, 0))
+    block = pool.take_block(0.0)
+    assert block[0].client_id == 7
+    assert len(block) == 3

@@ -1,0 +1,82 @@
+"""Tests for phases and the step counter arithmetic (Sections 6.2, 7.1)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.phases import Phase, Step, StepRule, initial_step
+
+
+def test_basic_cycle():
+    """Fig 2: (v,nv)++ = (v,prep); (v,prep)++ = (v,pcom); (v,pcom)++ = (v+1,nv)."""
+    s = Step(3, Phase.NEW_VIEW)
+    s = s.increment(StepRule.BASIC)
+    assert s == Step(3, Phase.PREPARE)
+    s = s.increment(StepRule.BASIC)
+    assert s == Step(3, Phase.PRECOMMIT)
+    s = s.increment(StepRule.BASIC)
+    assert s == Step(4, Phase.NEW_VIEW)
+
+
+def test_chained_cycle():
+    """Fig 5: (v,prep)++ = (v,nv); (v,nv)++ = (v+1,prep)."""
+    s = Step(3, Phase.PREPARE)
+    s = s.increment(StepRule.CHAINED)
+    assert s == Step(3, Phase.NEW_VIEW)
+    s = s.increment(StepRule.CHAINED)
+    assert s == Step(4, Phase.PREPARE)
+
+
+def test_three_phase_cycle():
+    """Damysus-C adds a commit step before wrapping to the next view."""
+    s = Step(0, Phase.NEW_VIEW)
+    phases = []
+    for _ in range(5):
+        phases.append((s.view, s.phase))
+        s = s.increment(StepRule.THREE_PHASE)
+    assert phases == [
+        (0, Phase.NEW_VIEW),
+        (0, Phase.PREPARE),
+        (0, Phase.PRECOMMIT),
+        (0, Phase.COMMIT),
+        (1, Phase.NEW_VIEW),
+    ]
+
+
+def test_initial_step():
+    assert initial_step(StepRule.BASIC) == Step(0, Phase.NEW_VIEW)
+    assert initial_step(StepRule.CHAINED) == Step(0, Phase.NEW_VIEW)
+
+
+def test_chained_initial_increment_lands_on_view_1():
+    """Section 7.1: 'nodes now start at view 1'."""
+    s = initial_step(StepRule.CHAINED).increment(StepRule.CHAINED)
+    assert s == Step(1, Phase.PREPARE)
+
+
+def test_index_strictly_increases_along_cycles():
+    for rule in StepRule:
+        s = initial_step(rule)
+        indices = []
+        for _ in range(10):
+            indices.append(s.index(rule))
+            s = s.increment(rule)
+        assert indices == sorted(set(indices))
+
+
+def test_index_rejects_foreign_phase():
+    with pytest.raises(ConfigError):
+        Step(0, Phase.COMMIT).index(StepRule.BASIC)
+    with pytest.raises(ConfigError):
+        Step(0, Phase.PRECOMMIT).increment(StepRule.CHAINED)
+
+
+def test_steps_are_value_objects():
+    assert Step(1, Phase.PREPARE) == Step(1, Phase.PREPARE)
+    assert Step(1, Phase.PREPARE) != Step(2, Phase.PREPARE)
+    assert hash(Step(1, Phase.PREPARE)) == hash(Step(1, Phase.PREPARE))
+
+
+def test_phase_values_match_paper_tags():
+    assert Phase.NEW_VIEW.value == "nv_p"
+    assert Phase.PREPARE.value == "prep_p"
+    assert Phase.PRECOMMIT.value == "pcom_p"

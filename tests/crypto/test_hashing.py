@@ -1,0 +1,71 @@
+"""Tests for hashing and canonical field encoding."""
+
+import pytest
+
+from repro.crypto.hashing import (
+    HASH_SIZE,
+    encode_fields,
+    hash_block_fields,
+    hash_fields,
+    sha256,
+)
+
+
+def test_sha256_size_and_stability():
+    digest = sha256(b"hello")
+    assert len(digest) == HASH_SIZE
+    assert digest == sha256(b"hello")
+    assert digest != sha256(b"hello!")
+
+
+def test_encode_distinguishes_types():
+    # The same surface value under different types must encode differently.
+    assert encode_fields((1,)) != encode_fields(("1",))
+    assert encode_fields((b"1",)) != encode_fields(("1",))
+    assert encode_fields((True,)) != encode_fields((1,))
+    assert encode_fields((None,)) != encode_fields((0,))
+    assert encode_fields((None,)) != encode_fields((b"",))
+
+
+def test_encode_distinguishes_boundaries():
+    # Concatenation attacks: ("ab","c") must differ from ("a","bc").
+    assert encode_fields(("ab", "c")) != encode_fields(("a", "bc"))
+    assert encode_fields((b"ab", b"c")) != encode_fields((b"a", b"bc"))
+
+
+def test_encode_distinguishes_arity():
+    assert encode_fields(()) != encode_fields((None,))
+    assert encode_fields((1, 2)) != encode_fields((1, 2, None))
+
+
+def test_encode_negative_ints():
+    assert encode_fields((-1,)) != encode_fields((1,))
+    assert encode_fields((-1,)) != encode_fields((255,))
+
+
+def test_encode_nested_sequences():
+    assert encode_fields(((1, 2), 3)) != encode_fields((1, (2, 3)))
+    assert encode_fields(([1, 2],)) == encode_fields(((1, 2),))
+
+
+def test_encode_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        encode_fields((object(),))
+
+
+def test_hash_fields_stable():
+    fields = ("commit", b"\x01" * 32, 5, None, "prep_p")
+    assert hash_fields(fields) == hash_fields(fields)
+
+
+def test_hash_block_fields_depends_on_parent():
+    payload = sha256(b"payload")
+    h1 = hash_block_fields(b"\x00" * 32, 1, payload)
+    h2 = hash_block_fields(b"\x01" * 32, 1, payload)
+    assert h1 != h2
+
+
+def test_hash_block_fields_depends_on_view():
+    payload = sha256(b"payload")
+    parent = b"\x00" * 32
+    assert hash_block_fields(parent, 1, payload) != hash_block_fields(parent, 2, payload)

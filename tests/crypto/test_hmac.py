@@ -1,0 +1,57 @@
+"""Tests for the fast HMAC simulation scheme."""
+
+import pytest
+
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.scheme import SIGNATURE_WIRE_SIZE, Signature
+from repro.errors import CryptoError
+
+
+@pytest.fixture
+def scheme():
+    s = HmacScheme(secret=b"unit")
+    s.keygen(1)
+    s.keygen(2)
+    return s
+
+
+def test_roundtrip(scheme):
+    sig = scheme.sign(1, b"m")
+    assert scheme.verify(b"m", sig)
+    assert not scheme.verify(b"n", sig)
+
+
+def test_signer_binding(scheme):
+    sig = scheme.sign(1, b"m")
+    assert not scheme.verify(b"m", Signature(2, sig.data, sig.scheme))
+
+
+def test_unknown_signer(scheme):
+    with pytest.raises(CryptoError):
+        scheme.sign(9, b"m")
+    sig = scheme.sign(1, b"m")
+    assert not scheme.verify(b"m", Signature(9, sig.data, sig.scheme))
+
+
+def test_scheme_tag_checked(scheme):
+    sig = scheme.sign(1, b"m")
+    assert not scheme.verify(b"m", Signature(1, sig.data, "schnorr"))
+
+
+def test_distinct_instances_do_not_cross_verify():
+    a = HmacScheme(secret=b"a")
+    b = HmacScheme(secret=b"b")
+    a.keygen(1)
+    b.keygen(1)
+    sig = a.sign(1, b"m")
+    assert not b.verify(b"m", sig)
+
+
+def test_declared_wire_size_matches_ecdsa(scheme):
+    assert scheme.sign(1, b"m").wire_size() == SIGNATURE_WIRE_SIZE == 64
+
+
+def test_verify_all(scheme):
+    sigs = [scheme.sign(1, b"m"), scheme.sign(2, b"m")]
+    assert scheme.verify_all(b"m", sigs)
+    assert not scheme.verify_all(b"m", sigs + [scheme.sign(1, b"m")])

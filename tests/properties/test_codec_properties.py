@@ -1,0 +1,108 @@
+"""Property-based round-trips for the wire codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.scheme import Signature
+from repro.core.certificate import Accumulator, QuorumCert
+from repro.core.codec import decode_message, encode_message
+from repro.core.commitment import Commitment
+from repro.core.mempool import Transaction
+from repro.core.messages import CommitmentMsg, NewViewMsg, QCMsg, VoteMsg
+from repro.core.phases import Phase
+
+hashes = st.binary(min_size=32, max_size=32)
+views = st.integers(min_value=0, max_value=2**40)
+phases = st.sampled_from(list(Phase))
+
+signatures = st.builds(
+    Signature,
+    signer=st.integers(min_value=-(2**40), max_value=2**40),
+    data=st.binary(max_size=96),
+    scheme=st.sampled_from(["hmac", "schnorr"]),
+)
+
+sig_tuples = st.lists(signatures, max_size=5).map(tuple)
+
+commitments = st.builds(
+    Commitment,
+    h_prep=st.one_of(st.none(), hashes),
+    v_prep=views,
+    h_just=st.one_of(st.none(), hashes),
+    v_just=st.one_of(st.none(), views),
+    phase=phases,
+    sigs=sig_tuples,
+)
+
+qcs = st.builds(
+    QuorumCert,
+    view=views,
+    block_hash=hashes,
+    phase=phases,
+    sigs=sig_tuples,
+    is_genesis=st.booleans(),
+)
+
+
+@given(commitments, st.text(max_size=24))
+@settings(max_examples=150)
+def test_commitment_msg_roundtrip(phi, kind):
+    msg = CommitmentMsg(phi, kind)
+    assert decode_message(encode_message(msg)) == msg
+
+
+@given(qcs, views, phases)
+@settings(max_examples=150)
+def test_qc_msg_roundtrip(qc, view, phase):
+    msg = QCMsg(view, phase, qc)
+    assert decode_message(encode_message(msg)) == msg
+
+
+@given(qcs, views)
+@settings(max_examples=100)
+def test_new_view_roundtrip(qc, view):
+    msg = NewViewMsg(view, qc)
+    assert decode_message(encode_message(msg)) == msg
+
+
+@given(views, phases, hashes, signatures)
+@settings(max_examples=100)
+def test_vote_roundtrip(view, phase, block_hash, sig):
+    msg = VoteMsg(view, phase, block_hash, sig)
+    assert decode_message(encode_message(msg)) == msg
+
+
+@given(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.integers(min_value=0, max_value=2**40),
+    st.integers(min_value=0, max_value=512),
+)
+@settings(max_examples=100)
+def test_transaction_fields_roundtrip(client_id, tx_id, payload_bytes):
+    from repro.core.messages import ClientRequest
+
+    tx = Transaction(client_id, tx_id, payload_bytes, submitted_at=0.5)
+    msg = ClientRequest(client_id, tx)
+    assert decode_message(encode_message(msg)) == msg
+
+
+@given(
+    views, views, hashes, signatures,
+    st.one_of(
+        st.tuples(st.just("ids"), st.lists(st.integers(min_value=0, max_value=2**40), max_size=6)),
+        st.tuples(st.just("count"), st.integers(min_value=0, max_value=200)),
+    ),
+)
+@settings(max_examples=100)
+def test_accumulator_roundtrip(made_in, prep_view, prep_hash, sig, form):
+    from repro.core.messages import ProposalAMsg
+    from repro.core.block import create_leaf, genesis_block
+
+    kind, value = form
+    if kind == "ids":
+        acc = Accumulator(made_in, prep_view, prep_hash, sig, ids=tuple(value))
+    else:
+        acc = Accumulator(made_in, prep_view, prep_hash, sig, count=value)
+    block = create_leaf(genesis_block().hash, 1, ())
+    msg = ProposalAMsg(1, block, acc, sig)
+    assert decode_message(encode_message(msg)) == msg

@@ -1,0 +1,46 @@
+"""Property-based tests for the canonical field encoding.
+
+The encoding underpins every signature in the system: if two distinct
+field tuples could encode to the same bytes, a signature over one would
+validate the other.  Hypothesis searches for collisions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import encode_fields
+
+scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**64), max_value=2**64),
+    st.binary(max_size=40),
+    st.text(max_size=20),
+)
+field_value = st.one_of(scalar, st.lists(scalar, max_size=4).map(tuple))
+field_tuples = st.lists(field_value, max_size=6).map(tuple)
+
+
+@given(field_tuples, field_tuples)
+@settings(max_examples=300)
+def test_encoding_is_injective(a, b):
+    if a != b:
+        assert encode_fields(a) != encode_fields(b)
+
+
+@given(field_tuples)
+@settings(max_examples=100)
+def test_encoding_is_deterministic(fields):
+    assert encode_fields(fields) == encode_fields(fields)
+
+
+@given(field_tuples)
+@settings(max_examples=100)
+def test_encoding_never_empty(fields):
+    assert len(encode_fields(fields)) >= 5  # tag + length prefix
+
+
+@given(st.lists(scalar, min_size=1, max_size=5))
+@settings(max_examples=100)
+def test_list_and_tuple_encode_identically(values):
+    assert encode_fields(values) == encode_fields(tuple(values))

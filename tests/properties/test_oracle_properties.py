@@ -1,0 +1,77 @@
+"""Property-based tests for the safety oracle.
+
+The oracle must flag a violation exactly when two replicas' executed
+sequences are not prefix-compatible - no false positives on prefixes,
+no misses on forks, regardless of interleaving.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.executor import SafetyOracle
+
+
+@st.composite
+def interleavings(draw):
+    """Random canonical chain + per-replica prefix lengths + interleaving."""
+    chain_len = draw(st.integers(min_value=1, max_value=10))
+    chain = [bytes([i]) * 4 for i in range(chain_len)]
+    replicas = draw(st.integers(min_value=1, max_value=4))
+    prefixes = [
+        draw(st.integers(min_value=0, max_value=chain_len)) for _ in range(replicas)
+    ]
+    # Events: (replica, index) in per-replica order, globally shuffled.
+    events = [(r, i) for r, p in enumerate(prefixes) for i in range(p)]
+    events = draw(st.permutations(events))
+    # Stable-sort per replica so each replica's records stay in order.
+    ordered: list[tuple[int, int]] = []
+    progress = [0] * replicas
+    for replica, _ in events:
+        ordered.append((replica, progress[replica]))
+        progress[replica] += 1
+    return chain, ordered
+
+
+@given(interleavings())
+@settings(max_examples=200)
+def test_prefix_compatible_interleavings_are_safe(case):
+    chain, events = case
+    oracle = SafetyOracle(strict=False)
+    for replica, index in events:
+        oracle.record(replica, chain[index])
+    assert oracle.safe
+    canonical = oracle.canonical_chain()
+    assert canonical == chain[: len(canonical)]
+
+
+@given(
+    interleavings(),
+    st.integers(min_value=0, max_value=9),
+)
+@settings(max_examples=200)
+def test_any_fork_is_detected(case, fork_at):
+    chain, events = case
+    oracle = SafetyOracle(strict=False)
+    for replica, index in events:
+        oracle.record(replica, chain[index])
+    # A fresh replica re-executes the prefix then diverges.
+    depth = min(fork_at, len(oracle.canonical_chain()))
+    for i in range(depth):
+        oracle.record(99, chain[i])
+    if depth < len(oracle.canonical_chain()):
+        oracle.record(99, b"\xff\xff\xff\xff")  # conflicting block
+        assert not oracle.safe
+        assert oracle.violations[-1].index == depth
+    else:
+        oracle.record(99, b"\xff\xff\xff\xff")  # extends the canonical head
+        assert oracle.safe
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=30)
+def test_single_replica_never_violates(n):
+    oracle = SafetyOracle(strict=False)
+    for i in range(n):
+        oracle.record(0, bytes([i]))
+    assert oracle.safe
+    assert len(oracle.sequences[0]) == n

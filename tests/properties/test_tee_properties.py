@@ -1,0 +1,87 @@
+"""Property-based tests on the trusted components' core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import KeyDirectory
+from repro.errors import TEERefusal
+from repro.core.block import genesis_block
+from repro.core.commitment import c_combine
+from repro.core.phases import Phase
+from repro.tee.accumulator import AccumulatorService
+from repro.tee.checker import Checker
+
+
+def build_env(n=4, quorum=2):
+    scheme = HmacScheme(secret=b"props")
+    directory = KeyDirectory(scheme)
+    genesis = genesis_block()
+    checkers = [Checker(p, scheme, directory, genesis.hash, quorum) for p in range(n)]
+    service = AccumulatorService(0, scheme, directory, quorum)
+    return scheme, checkers, service, genesis
+
+
+@given(st.integers(min_value=1, max_value=60))
+@settings(max_examples=30)
+def test_checker_never_repeats_a_stamp(n_calls):
+    _, checkers, _, _ = build_env()
+    checker = checkers[0]
+    stamps = set()
+    for _ in range(n_calls):
+        phi = checker.tee_sign()
+        stamp = (phi.v_prep, phi.phase)
+        assert stamp not in stamps
+        stamps.add(stamp)
+
+
+@given(st.lists(st.sampled_from(["sign", "prepare", "store"]), min_size=1, max_size=25))
+@settings(max_examples=60)
+def test_checker_step_monotone_under_arbitrary_call_sequences(calls):
+    """Whatever a (Byzantine) host calls, the step only moves forward."""
+    scheme, checkers, service, genesis = build_env()
+    checker = checkers[0]
+    rule = checker.step_rule
+    # Pre-build one valid accumulator and one valid prepare quorum so the
+    # prepare/store calls sometimes succeed.
+    nv0 = _nv(checkers[1], 1)
+    nv1 = _nv(checkers[2], 1)
+    acc = service.accumulate([nv0, nv1])
+    phi1 = checkers[1].tee_prepare(b"\x0a" * 32, acc)
+    phi2 = checkers[2].tee_prepare(b"\x0a" * 32, acc)
+    quorum_phi = c_combine([phi1, phi2])
+
+    last = checker.step.index(rule)
+    for call in calls:
+        try:
+            if call == "sign":
+                checker.tee_sign()
+            elif call == "prepare":
+                checker.tee_prepare(b"\x0a" * 32, acc)
+            else:
+                checker.tee_store(quorum_phi)
+        except TEERefusal:
+            pass
+        current = checker.step.index(rule)
+        assert current >= last
+        last = current
+
+
+def _nv(checker, view):
+    while True:
+        phi = checker.tee_sign()
+        if phi.v_prep == view and phi.phase == Phase.NEW_VIEW:
+            return phi
+
+
+@given(st.permutations([0, 1, 2]))
+@settings(max_examples=20)
+def test_accumulator_result_independent_of_report_order(order):
+    """accumList certifies the same (view, hash) whatever the input order."""
+    scheme, checkers, service, genesis = build_env(quorum=3)
+    nvs = [_nv(checkers[p], 1) for p in range(3)]
+    acc = service.accumulate([nvs[i] for i in order])
+    assert acc.prep_hash == genesis.hash
+    assert acc.prep_view == 0
+    assert acc.made_in_view == 1
+    assert acc.count == 3

@@ -1,0 +1,66 @@
+"""Tests for the quorum collector."""
+
+from repro.protocols.replica import QuorumCollector
+
+
+def test_fires_exactly_once_at_threshold():
+    collector = QuorumCollector(3)
+    assert collector.add("k", "a", 0) is None
+    assert collector.add("k", "b", 1) is None
+    assert collector.add("k", "c", 2) == ["a", "b", "c"]
+    assert collector.add("k", "d", 3) is None  # already done
+
+
+def test_deduplicates_by_id():
+    collector = QuorumCollector(2)
+    assert collector.add("k", "a", 0) is None
+    assert collector.add("k", "a2", 0) is None  # same contributor
+    assert collector.count("k") == 1
+    assert collector.add("k", "b", 1) == ["a", "b"]
+
+
+def test_keys_are_independent():
+    collector = QuorumCollector(2)
+    collector.add("k1", "a", 0)
+    assert collector.add("k2", "x", 0) is None
+    assert collector.add("k1", "b", 1) == ["a", "b"]
+    assert collector.add("k2", "y", 1) == ["x", "y"]
+
+
+def test_threshold_one():
+    collector = QuorumCollector(1)
+    assert collector.add("k", "only", 0) == ["only"]
+
+
+def test_discard_before_view_clears_stale_state():
+    collector = QuorumCollector(2)
+    collector.add((1, "x"), "a", 0)
+    collector.add((5, "y"), "b", 0)
+    collector.add(2, "c", 0)  # bare-int view keys are pruned too
+    collector.discard_before_view(3)
+    assert collector.count((1, "x")) == 0
+    assert collector.count(2) == 0
+    assert collector.count((5, "y")) == 1
+
+
+def test_done_keys_survive_discard_filter():
+    collector = QuorumCollector(1)
+    collector.add((5, "y"), "b", 0)
+    collector.discard_before_view(3)
+    assert collector.add((5, "y"), "c", 1) is None  # still marked done
+
+
+def test_discard_ignores_unviewed_keys():
+    collector = QuorumCollector(2)
+    collector.add("opaque", "a", 0)
+    collector.discard_before_view(100)
+    assert collector.count("opaque") == 1
+
+
+def test_pending_keys_counts_state():
+    collector = QuorumCollector(1)
+    assert collector.pending_keys() == 0
+    collector.add((1, "x"), "a", 0)
+    assert collector.pending_keys() >= 1
+    collector.discard_before_view(5)
+    assert collector.pending_keys() == 0

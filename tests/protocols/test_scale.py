@@ -1,0 +1,38 @@
+"""Scale smoke tests at the paper's largest fault thresholds."""
+
+import pytest
+
+from tests.conftest import run_protocol
+
+
+@pytest.mark.parametrize(
+    "protocol,f,n",
+    [
+        ("damysus", 40, 81),
+        ("hotstuff", 40, 121),
+        ("chained-damysus", 30, 61),
+    ],
+)
+def test_commits_at_paper_max_scale(protocol, f, n):
+    system, result = run_protocol(protocol, views=3, f=f)
+    assert result.num_replicas == n
+    assert result.safe
+    assert result.committed_blocks >= 3
+
+
+def test_message_volume_scales_linearly_not_quadratically():
+    """Streamlined protocols: per-view messages are O(n), not O(n^2)."""
+    _, small = run_protocol("damysus", views=4, f=4)  # N = 9
+    _, large = run_protocol("damysus", views=4, f=40)  # N = 81
+    per_view_small = small.messages_sent / small.committed_views
+    per_view_large = large.messages_sent / large.committed_views
+    ratio = per_view_large / per_view_small
+    n_ratio = 81 / 9
+    assert ratio < n_ratio * 1.5  # linear-ish, nowhere near (n_ratio)^2
+
+
+def test_quorums_scale_with_f():
+    system, _ = run_protocol("damysus", views=3, f=40)
+    assert system.quorum == 41  # f + 1
+    hs, _ = run_protocol("hotstuff", views=3, f=40)
+    assert hs.quorum == 81  # 2f + 1

@@ -1,0 +1,49 @@
+"""Long-run state garbage collection: per-view state must stay bounded."""
+
+import pytest
+
+from repro.protocols.registry import PROTOCOL_ORDER
+from tests.conftest import run_protocol
+
+#: Upper bound on retained per-view keys after a long run; small and
+#: independent of the number of views executed.
+MAX_RETAINED_KEYS = 24
+
+
+def collector_sizes(replica) -> list[int]:
+    from repro.protocols.replica import QuorumCollector
+
+    return [
+        value.pending_keys()
+        for value in vars(replica).values()
+        if isinstance(value, QuorumCollector)
+    ]
+
+
+def view_set_sizes(replica) -> list[int]:
+    sizes = []
+    for name in ("_proposed", "_voted", "_decided", "_stored", "_locked"):
+        value = getattr(replica, name, None)
+        if isinstance(value, set):
+            sizes.append(len(value))
+    return sizes
+
+
+@pytest.mark.parametrize("protocol", PROTOCOL_ORDER)
+def test_collectors_stay_bounded_over_long_runs(protocol):
+    system, result = run_protocol(protocol, views=30)
+    assert result.committed_blocks >= 30
+    for replica in system.replicas:
+        for size in collector_sizes(replica):
+            assert size <= MAX_RETAINED_KEYS
+        for size in view_set_sizes(replica):
+            assert size <= MAX_RETAINED_KEYS
+
+
+@pytest.mark.parametrize("protocol", ["damysus", "chained-damysus"])
+def test_gc_does_not_break_progress(protocol):
+    """Pruning must never remove state a later step still needs."""
+    _, short = run_protocol(protocol, views=5, seed=3)
+    _, long = run_protocol(protocol, views=25, seed=3)
+    assert short.safe and long.safe
+    assert long.committed_blocks >= 25

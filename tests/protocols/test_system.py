@@ -1,0 +1,95 @@
+"""Tests for configuration, registry and the system builder."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.protocols.registry import PROTOCOL_ORDER, SPECS, get_spec
+from repro.protocols.system import ConsensusSystem
+from tests.conftest import small_config
+
+
+def test_registry_covers_evaluated_protocols():
+    assert set(PROTOCOL_ORDER) <= set(SPECS)
+    assert len(PROTOCOL_ORDER) == 6  # the paper's six evaluated protocols
+    # Plus the TEE-free ablation baseline from Section 2.
+    assert "fast-hotstuff" in SPECS
+
+
+def test_spec_table_matches_paper_section8():
+    """The protocol table of Section 8 ('Implemented protocols')."""
+    expect = {
+        "hotstuff": (lambda f: 3 * f + 1, 3, ()),
+        "damysus-c": (lambda f: 2 * f + 1, 3, ("checker",)),
+        "damysus-a": (lambda f: 3 * f + 1, 2, ("accumulator",)),
+        "damysus": (lambda f: 2 * f + 1, 2, ("checker", "accumulator")),
+        "chained-hotstuff": (lambda f: 3 * f + 1, 3, ()),
+        "chained-damysus": (lambda f: 2 * f + 1, 2, ("checker", "accumulator")),
+    }
+    for name, (n_fn, phases, tees) in expect.items():
+        spec = get_spec(name)
+        for f in (1, 10, 40):
+            assert spec.num_replicas(f) == n_fn(f)
+        assert spec.core_phases == phases
+        assert spec.trusted_components == tees
+
+
+def test_max_faults_follow_replication():
+    assert get_spec("hotstuff").max_faults(61) == 20
+    assert get_spec("damysus").max_faults(61) == 30
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ConfigError):
+        get_spec("pbft-ng")
+    with pytest.raises(ConfigError):
+        ConsensusSystem(small_config("nope"))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        SystemConfig(f=0)
+    with pytest.raises(ConfigError):
+        SystemConfig(block_size=0)
+    with pytest.raises(ConfigError):
+        SystemConfig(payload_bytes=-1)
+
+
+def test_system_builds_right_process_count():
+    system = ConsensusSystem(small_config("hotstuff", f=2))
+    assert len(system.replicas) == 7
+    assert len(system.network.processes) == 7
+
+
+def test_system_with_clients():
+    config = small_config(
+        "damysus", open_loop=False, num_clients=2, client_interval_ms=5.0
+    )
+    system = ConsensusSystem(config)
+    assert len(system.clients) == 2
+    assert len(system.network.processes) == 3 + 2
+
+
+def test_run_for_fixed_duration():
+    system = ConsensusSystem(small_config("damysus"))
+    result = system.run(150.0)
+    assert result.duration_ms == pytest.approx(150.0)
+
+
+def test_start_is_idempotent():
+    system = ConsensusSystem(small_config("damysus"))
+    system.start()
+    system.start()
+    result = system.run_until_views(2, max_time_ms=60_000)
+    assert result.safe
+
+
+def test_result_fields_consistent():
+    system = ConsensusSystem(small_config("damysus"))
+    result = system.run_until_views(3, max_time_ms=60_000)
+    assert result.protocol == "damysus"
+    assert result.f == 1
+    assert result.num_replicas == 3
+    assert result.committed_views == result.committed_blocks  # one block per view
+    assert result.bytes_sent > 0
+    assert result.messages_sent > 0

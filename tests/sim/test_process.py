@@ -1,0 +1,130 @@
+"""Tests for processes, timers and CPU-time accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network
+from repro.sim.process import Process, Timer
+
+
+class Recorder(Process):
+    def __init__(self, pid, sim):
+        super().__init__(pid, sim)
+        self.received = []
+
+    def on_message(self, sender, payload):
+        self.received.append((self.sim.now, sender, payload))
+
+
+def make_pair(latency_ms=1.0):
+    sim = Simulator()
+    net = Network(sim, ConstantLatency(latency_ms))
+    a, b = Recorder(0, sim), Recorder(1, sim)
+    net.add_process(a)
+    net.add_process(b)
+    return sim, net, a, b
+
+
+def test_send_delivers_with_latency():
+    sim, _, a, b = make_pair(latency_ms=3.0)
+    a.send(1, "hello")
+    sim.run()
+    assert b.received == [(3.0, 0, "hello")]
+
+
+def test_send_without_network_raises():
+    sim = Simulator()
+    orphan = Recorder(9, sim)
+    with pytest.raises(SimulationError):
+        orphan.send(0, "x")
+
+
+def test_crashed_process_does_not_send():
+    sim, _, a, b = make_pair()
+    a.crash()
+    a.send(1, "x")
+    sim.run()
+    assert b.received == []
+
+
+def test_crashed_process_ignores_deliveries():
+    sim, _, a, b = make_pair()
+    b.crash()
+    a.send(1, "x")
+    sim.run()
+    assert b.received == []
+
+
+def test_broadcast_excludes_self_by_default():
+    sim, net, a, b = make_pair()
+    c = Recorder(2, sim)
+    net.add_process(c)
+    a.broadcast([0, 1, 2], "m")
+    sim.run()
+    assert a.received == []
+    assert len(b.received) == 1
+    assert len(c.received) == 1
+
+
+def test_broadcast_include_self():
+    sim, _, a, b = make_pair()
+    a.broadcast([0, 1], "m", include_self=True)
+    sim.run()
+    assert len(a.received) == 1
+    assert len(b.received) == 1
+
+
+def test_timer_fires():
+    sim = Simulator()
+    fired = []
+    Timer(sim, 5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_timer_cancel():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, 5.0, lambda: fired.append(1))
+    assert timer.active
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert not timer.active
+
+
+def test_charge_delays_send():
+    sim, _, a, b = make_pair(latency_ms=1.0)
+    a.charge(10.0)
+    a.send(1, "after-busy")
+    sim.run()
+    # Handed to the network at t=10, arrives at t=11.
+    assert b.received[0][0] == pytest.approx(11.0)
+
+
+def test_charge_delays_message_handling():
+    sim, _, a, b = make_pair(latency_ms=1.0)
+    a.send(1, "m")
+    b.charge(20.0)
+    sim.run()
+    # Arrives at t=1 but the receiver's CPU is busy until t=20.
+    assert b.received[0][0] == pytest.approx(20.0)
+
+
+def test_charge_accumulates():
+    sim = Simulator()
+    p = Recorder(0, sim)
+    p.charge(3.0)
+    p.charge(4.0)
+    assert p.busy_until == pytest.approx(7.0)
+    assert p.cpu_time_charged == pytest.approx(7.0)
+
+
+def test_charge_nonpositive_is_noop():
+    sim = Simulator()
+    p = Recorder(0, sim)
+    p.charge(0.0)
+    p.charge(-5.0)
+    assert p.busy_until == 0.0

@@ -1,0 +1,65 @@
+"""Tests for the region data sets."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.regions import EU_REGIONS, LOCAL_REGION, WORLD_REGIONS, RegionMap
+
+
+def test_eu_has_four_regions():
+    assert EU_REGIONS.num_regions == 4
+    assert "eu-west-1" in EU_REGIONS.region_names
+
+
+def test_world_has_eleven_regions():
+    # 4 US + 4 EU + Singapore + Sydney + Canada (paper Section 8).
+    assert WORLD_REGIONS.num_regions == 11
+    us = [r for r in WORLD_REGIONS.region_names if r.startswith("us-")]
+    eu = [r for r in WORLD_REGIONS.region_names if r.startswith("eu-")]
+    assert len(us) == 4
+    assert len(eu) == 4
+    assert "ap-southeast-1" in WORLD_REGIONS.region_names
+    assert "ca-central-1" in WORLD_REGIONS.region_names
+
+
+def test_matrices_symmetric():
+    for regions in (EU_REGIONS, WORLD_REGIONS, LOCAL_REGION):
+        n = regions.num_regions
+        for i in range(n):
+            for j in range(n):
+                assert regions.latency(i, j) == regions.latency(j, i)
+
+
+def test_diagonal_smaller_than_off_diagonal():
+    for regions in (EU_REGIONS, WORLD_REGIONS):
+        n = regions.num_regions
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    assert regions.latency(i, i) < regions.latency(i, j)
+
+
+def test_round_robin_assignment():
+    placement = EU_REGIONS.assign_round_robin(10)
+    assert placement == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+
+def test_round_robin_balances_regions():
+    placement = WORLD_REGIONS.assign_round_robin(33)
+    counts = [placement.count(r) for r in range(11)]
+    assert all(c == 3 for c in counts)
+
+
+def test_asymmetric_matrix_rejected():
+    with pytest.raises(ConfigError):
+        RegionMap("bad", ("a", "b"), ((0.0, 1.0), (2.0, 0.0)))
+
+
+def test_wrong_shape_rejected():
+    with pytest.raises(ConfigError):
+        RegionMap("bad", ("a", "b"), ((0.0, 1.0),))
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ConfigError):
+        RegionMap("bad", ("a", "b"), ((0.0, -1.0), (-1.0, 0.0)))

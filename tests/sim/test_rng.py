@@ -1,0 +1,79 @@
+"""Tests for seeded named RNG streams."""
+
+from repro.sim.rng import RngFactory, RngStream, derive_seed
+
+
+def test_same_seed_same_name_same_draws():
+    a = RngStream(1, "x")
+    b = RngStream(1, "x")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_independent():
+    a = RngStream(1, "x")
+    b = RngStream(1, "y")
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = RngStream(1, "x")
+    b = RngStream(2, "x")
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_derive_seed_is_stable():
+    assert derive_seed(7, "latency") == derive_seed(7, "latency")
+    assert derive_seed(7, "latency") != derive_seed(7, "latency2")
+
+
+def test_uniform_bounds():
+    stream = RngStream(3, "u")
+    for _ in range(100):
+        value = stream.uniform(2.0, 5.0)
+        assert 2.0 <= value <= 5.0
+
+
+def test_jitter_bounds():
+    stream = RngStream(3, "j")
+    for _ in range(100):
+        value = stream.jitter(100.0, 0.1)
+        assert 90.0 <= value <= 110.0
+
+
+def test_jitter_zero_fraction_identity():
+    stream = RngStream(3, "j0")
+    assert stream.jitter(42.0, 0.0) == 42.0
+
+
+def test_jitter_never_negative():
+    stream = RngStream(3, "jneg")
+    for _ in range(100):
+        assert stream.jitter(0.001, 5.0) >= 0.0
+
+
+def test_randint_bounds():
+    stream = RngStream(4, "i")
+    values = {stream.randint(1, 3) for _ in range(100)}
+    assert values <= {1, 2, 3}
+    assert len(values) == 3
+
+
+def test_factory_streams_reproducible():
+    f1 = RngFactory(9)
+    f2 = RngFactory(9)
+    assert f1.stream("a").random() == f2.stream("a").random()
+
+
+def test_shuffle_and_choice():
+    stream = RngStream(5, "s")
+    items = list(range(20))
+    shuffled = list(items)
+    stream.shuffle(shuffled)
+    assert sorted(shuffled) == items
+    assert stream.choice(items) in items
+
+
+def test_expovariate_positive():
+    stream = RngStream(6, "e")
+    for _ in range(50):
+        assert stream.expovariate(2.0) >= 0.0

@@ -1,0 +1,160 @@
+"""Tests for the Accumulator trusted service (Fig 2b)."""
+
+import pytest
+
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import KeyDirectory, tee_signer_id
+from repro.errors import TEERefusal
+from repro.core.block import genesis_block
+from repro.core.phases import Phase
+from repro.tee.accumulator import AccumulatorService
+from repro.tee.checker import Checker
+
+QUORUM = 3  # f = 2 over 2f+1 = 5 replicas
+
+
+@pytest.fixture
+def env():
+    scheme = HmacScheme(secret=b"acc-tests")
+    directory = KeyDirectory(scheme)
+    genesis = genesis_block()
+    checkers = [Checker(p, scheme, directory, genesis.hash, QUORUM) for p in range(5)]
+    service = AccumulatorService(0, scheme, directory, QUORUM)
+    return scheme, directory, genesis, checkers, service
+
+
+def nv(checker, view=1):
+    while True:
+        phi = checker.tee_sign()
+        if phi.v_prep == view and phi.phase == Phase.NEW_VIEW:
+            return phi
+
+
+def test_tee_start_registers_reporter(env):
+    _, _, genesis, checkers, service = env
+    phi = nv(checkers[0])
+    acc = service.tee_start(phi)
+    assert acc.ids == (tee_signer_id(0),)
+    assert acc.made_in_view == 1
+    assert acc.prep_view == 0
+    assert acc.prep_hash == genesis.hash
+    assert not acc.finalized
+
+
+def test_tee_start_rejects_non_new_view(env):
+    _, _, _, checkers, service = env
+    phi = checkers[0].tee_sign()  # (0, nv_p)
+    prepare_stamped = checkers[0].tee_sign()  # (0, prep_p)
+    assert prepare_stamped.phase == Phase.PREPARE
+    with pytest.raises(TEERefusal):
+        service.tee_start(prepare_stamped)
+
+
+def test_tee_accum_extends_and_tracks_ids(env):
+    _, _, _, checkers, service = env
+    acc = service.tee_start(nv(checkers[0]))
+    acc = service.tee_accum(acc, nv(checkers[1]))
+    acc = service.tee_accum(acc, nv(checkers[2]))
+    assert set(acc.ids) == {tee_signer_id(p) for p in range(3)}
+    assert len(acc) == 3
+
+
+def test_tee_accum_rejects_duplicate_node(env):
+    _, _, _, checkers, service = env
+    acc = service.tee_start(nv(checkers[0]))
+    acc = service.tee_accum(acc, nv(checkers[1], view=1))
+    # checker 1 can produce another commitment, but only for a later view.
+    later = nv(checkers[1], view=2)
+    with pytest.raises(TEERefusal):
+        service.tee_accum(acc, later)  # wrong view AND duplicate node
+
+
+def test_tee_accum_rejects_higher_prepared_block(env):
+    """The definitional guard: accumulated block must stay the highest."""
+    scheme, directory, genesis, checkers, service = env
+    from repro.core.commitment import c_combine
+
+    # Drive checkers 3 and 4 (and 2) to prepare a block in view 1.
+    nvs = [nv(checkers[p], 1) for p in range(5)]
+    acc1 = service.accumulate(nvs[:QUORUM])
+    phis = [checkers[p].tee_prepare(b"\x0d" * 32, acc1) for p in (2, 3, 4)]
+    combined = c_combine(phis)
+    for p in (2, 3, 4):
+        checkers[p].tee_store(combined)
+    # View 2: checker 0 reports genesis, checker 2 reports the new block.
+    stale = nv(checkers[0], 2)
+    fresh = nv(checkers[2], 2)
+    acc = service.tee_start(stale)
+    with pytest.raises(TEERefusal):
+        service.tee_accum(acc, fresh)
+    # Starting from the fresh one and accumulating the stale one is fine.
+    acc = service.tee_accum(service.tee_start(fresh), stale)
+    assert acc.prep_hash == b"\x0d" * 32
+
+
+def test_tee_accum_rejects_cross_view_mix(env):
+    _, _, _, checkers, service = env
+    acc = service.tee_start(nv(checkers[0], 1))
+    with pytest.raises(TEERefusal):
+        service.tee_accum(acc, nv(checkers[1], 2))
+
+
+def test_tee_finalize_replaces_ids_with_count(env):
+    _, _, _, checkers, service = env
+    acc = service.tee_start(nv(checkers[0]))
+    acc = service.tee_accum(acc, nv(checkers[1]))
+    final = service.tee_finalize(acc)
+    assert final.finalized
+    assert final.count == 2
+    assert final.ids is None
+    assert final.verify(service._scheme)  # noqa: SLF001 - test introspection
+
+
+def test_tee_finalize_rejects_double_finalize(env):
+    _, _, _, checkers, service = env
+    acc = service.tee_start(nv(checkers[0]))
+    final = service.tee_finalize(acc)
+    with pytest.raises(TEERefusal):
+        service.tee_finalize(final)
+
+
+def test_tee_accum_rejects_tampered_accumulator(env):
+    from dataclasses import replace
+
+    _, _, _, checkers, service = env
+    acc = service.tee_start(nv(checkers[0]))
+    tampered = replace(acc, prep_view=99)
+    with pytest.raises(TEERefusal):
+        service.tee_accum(tampered, nv(checkers[1]))
+
+
+def test_accumulate_selects_highest(env):
+    """The accumList loop picks the max; the result certifies exactly it."""
+    scheme, directory, genesis, checkers, service = env
+    from repro.core.commitment import c_combine
+
+    nvs1 = [nv(checkers[p], 1) for p in range(5)]
+    acc1 = service.accumulate(nvs1[:QUORUM])
+    phis = [checkers[p].tee_prepare(b"\x0e" * 32, acc1) for p in (0, 1, 2)]
+    combined = c_combine(phis)
+    for p in (0, 1, 2):
+        checkers[p].tee_store(combined)
+    reports = [nv(checkers[p], 2) for p in (0, 3, 4)]  # one fresh, two stale
+    acc2 = service.accumulate(reports)
+    assert acc2.prep_hash == b"\x0e" * 32
+    assert acc2.prep_view == 1
+    assert acc2.count == QUORUM
+
+
+def test_accumulate_rejects_wrong_cardinality(env):
+    _, _, _, checkers, service = env
+    with pytest.raises(TEERefusal):
+        service.accumulate([nv(checkers[0])])
+
+
+def test_accumulator_size_definition(env):
+    """|acc| is the number of contributing nodes (Section 6.2)."""
+    _, _, _, checkers, service = env
+    nvs = [nv(checkers[p]) for p in range(3)]
+    final = service.accumulate(nvs)
+    assert len(final) == 3

@@ -1,0 +1,208 @@
+"""Tests for the Damysus Checker trusted service (Fig 2b)."""
+
+import pytest
+
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import KeyDirectory
+from repro.errors import TEERefusal
+from repro.core.block import genesis_block
+from repro.core.commitment import c_combine
+from repro.core.phases import Phase, Step
+from repro.tee.accumulator import AccumulatorService
+from repro.tee.checker import Checker
+
+QUORUM = 2  # f = 1 over 2f+1 = 3 replicas
+
+
+@pytest.fixture
+def env():
+    scheme = HmacScheme(secret=b"checker-tests")
+    directory = KeyDirectory(scheme)
+    genesis = genesis_block()
+    checkers = [
+        Checker(pid, scheme, directory, genesis.hash, QUORUM) for pid in range(3)
+    ]
+    accs = [
+        AccumulatorService(pid, scheme, directory, QUORUM) for pid in range(3)
+    ]
+    return scheme, directory, genesis, checkers, accs
+
+
+def catch_up(checker, view):
+    """TEEsign until a (view, nv_p) commitment comes out."""
+    while True:
+        phi = checker.tee_sign()
+        if phi.v_prep == view and phi.phase == Phase.NEW_VIEW:
+            return phi
+
+
+def prepare_view_1(env, block_hash=b"\x0b" * 32):
+    """Drive checkers 0 and 1 through view 1's prepare + store."""
+    scheme, directory, genesis, checkers, accs = env
+    nv0 = catch_up(checkers[0], 1)
+    nv1 = catch_up(checkers[1], 1)
+    acc = accs[0].accumulate([nv0, nv1])
+    phi0 = checkers[0].tee_prepare(block_hash, acc)
+    phi1 = checkers[1].tee_prepare(block_hash, acc)
+    combined = c_combine([phi0, phi1])
+    pcom0 = checkers[0].tee_store(combined)
+    pcom1 = checkers[1].tee_store(combined)
+    return acc, combined, pcom0, pcom1
+
+
+def test_initial_state(env):
+    _, _, genesis, checkers, _ = env
+    checker = checkers[0]
+    assert checker.step == Step(0, Phase.NEW_VIEW)
+    assert checker.prepared_view == 0
+    assert checker.prepared_hash == genesis.hash
+
+
+def test_tee_sign_reports_stored_prepared_block(env):
+    _, _, genesis, checkers, _ = env
+    phi = checkers[0].tee_sign()
+    assert phi.h_prep is None  # only usable as a new-view commitment
+    assert phi.h_just == genesis.hash
+    assert phi.v_just == 0
+    assert phi.phase == Phase.NEW_VIEW
+
+
+def test_steps_advance_monotonically(env):
+    _, _, _, checkers, _ = env
+    checker = checkers[0]
+    stamps = []
+    for _ in range(6):
+        phi = checker.tee_sign()
+        stamps.append((phi.v_prep, phi.phase))
+    assert stamps == [
+        (0, Phase.NEW_VIEW),
+        (0, Phase.PREPARE),
+        (0, Phase.PRECOMMIT),
+        (1, Phase.NEW_VIEW),
+        (1, Phase.PREPARE),
+        (1, Phase.PRECOMMIT),
+    ]
+
+
+def test_no_two_commitments_share_a_step(env):
+    """The no-equivocation core: every signature is for a unique step."""
+    _, _, _, checkers, _ = env
+    checker = checkers[0]
+    seen = set()
+    for _ in range(20):
+        phi = checker.tee_sign()
+        stamp = (phi.v_prep, phi.phase)
+        assert stamp not in seen
+        seen.add(stamp)
+
+
+def test_full_view_flow_updates_prepared(env):
+    _, _, _, checkers, _ = env
+    block_hash = b"\x0b" * 32
+    prepare_view_1(env, block_hash)
+    assert checkers[0].prepared_hash == block_hash
+    assert checkers[0].prepared_view == 1
+    # New-view commitments now relay the stored block.
+    nv = catch_up(checkers[0], 2)
+    assert nv.h_just == block_hash
+    assert nv.v_just == 1
+
+
+def test_tee_prepare_rejects_wrong_view_accumulator(env):
+    scheme, directory, genesis, checkers, accs = env
+    acc, _, _, _ = prepare_view_1(env)
+    # checkers[2] never advanced: its view is 0, the accumulator's is 1...
+    with pytest.raises(TEERefusal):
+        checkers[2].tee_prepare(b"\x0c" * 32, acc)
+    # ...and a checker already past view 1 also refuses it.
+    catch_up(checkers[0], 2)
+    with pytest.raises(TEERefusal):
+        checkers[0].tee_prepare(b"\x0c" * 32, acc)
+
+
+def test_tee_prepare_rejects_bottom_hash(env):
+    scheme, directory, genesis, checkers, accs = env
+    nv0 = catch_up(checkers[0], 1)
+    nv1 = catch_up(checkers[1], 1)
+    acc = accs[0].accumulate([nv0, nv1])
+    with pytest.raises(TEERefusal):
+        checkers[0].tee_prepare(None, acc)
+
+
+def test_tee_prepare_rejects_unfinalized_accumulator(env):
+    scheme, directory, genesis, checkers, accs = env
+    nv0 = catch_up(checkers[0], 1)
+    nv1 = catch_up(checkers[1], 1)
+    working = accs[0].tee_accum(accs[0].tee_start(nv0), nv1)
+    with pytest.raises(TEERefusal):
+        checkers[0].tee_prepare(b"\x0c" * 32, working)
+
+
+def test_tee_prepare_rejects_forged_accumulator(env):
+    """An accumulator signed by a replica key (not a TEE) is refused."""
+    scheme, directory, genesis, checkers, accs = env
+    directory.register_replica(0)
+    nv0 = catch_up(checkers[0], 1)
+    nv1 = catch_up(checkers[1], 1)
+    acc = accs[0].accumulate([nv0, nv1])
+    from dataclasses import replace
+
+    forged_sig = scheme.sign(0, acc.signed_payload())  # replica 0's key
+    forged = replace(acc, signature=forged_sig)
+    with pytest.raises(TEERefusal):
+        checkers[1].tee_prepare(b"\x0c" * 32, forged)
+
+
+def test_tee_store_rejects_undersized_quorum(env):
+    scheme, directory, genesis, checkers, accs = env
+    nv0 = catch_up(checkers[0], 1)
+    nv1 = catch_up(checkers[1], 1)
+    acc = accs[0].accumulate([nv0, nv1])
+    phi0 = checkers[0].tee_prepare(b"\x0b" * 32, acc)
+    with pytest.raises(TEERefusal):
+        checkers[1].tee_store(phi0)  # single signature, need QUORUM
+
+
+def test_tee_store_rejects_wrong_phase(env):
+    _, _, _, checkers, _ = env
+    _, _, pcom0, pcom1 = prepare_view_1(env)
+    combined_pcom = c_combine([pcom0, pcom1])
+    # A pre-commit quorum cannot be stored as if it were a prepare quorum:
+    # the checkers are already past view 1 anyway, but also phase-wrong.
+    with pytest.raises(TEERefusal):
+        checkers[2].tee_store(combined_pcom)
+
+
+def test_tee_store_emits_precommit_vote(env):
+    _, _, _, checkers, _ = env
+    _, combined, pcom0, _ = prepare_view_1(env)
+    assert pcom0.phase == Phase.PRECOMMIT
+    assert pcom0.h_prep == combined.h_prep
+    assert pcom0.v_prep == 1
+    assert pcom0.h_just is None and pcom0.v_just is None
+
+
+def test_checker_cannot_be_made_to_lie(env):
+    """After storing a block, every future TEEsign names it (or a newer one)."""
+    _, _, genesis, checkers, _ = env
+    block_hash = b"\x0b" * 32
+    prepare_view_1(env, block_hash)
+    for _ in range(9):
+        phi = checkers[0].tee_sign()
+        if phi.phase == Phase.NEW_VIEW:
+            assert phi.h_just == block_hash
+            assert phi.v_just == 1
+
+
+def test_second_prepare_same_view_burns_phase(env):
+    """Equivocation attempt: the second prepare is stamped pcom_p."""
+    scheme, directory, genesis, checkers, accs = env
+    nv0 = catch_up(checkers[0], 1)
+    nv1 = catch_up(checkers[1], 1)
+    acc = accs[0].accumulate([nv0, nv1])
+    first = checkers[0].tee_prepare(b"\x0b" * 32, acc)
+    second = checkers[0].tee_prepare(b"\x0c" * 32, acc)
+    assert first.phase == Phase.PREPARE
+    assert second.phase == Phase.PRECOMMIT  # unusable as a prepare vote
+    # And the two commitments sign different payloads.
+    assert first.signed_payload() != second.signed_payload()

@@ -1,0 +1,139 @@
+"""Tests for the Damysus-C LockingChecker (prepared + locked storage)."""
+
+import pytest
+
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import KeyDirectory
+from repro.errors import TEERefusal
+from repro.core.block import genesis_block
+from repro.core.commitment import c_combine
+from repro.core.phases import Phase, Step, StepRule
+from repro.tee.checker_lock import LockingChecker
+
+QUORUM = 2
+
+
+@pytest.fixture
+def env():
+    scheme = HmacScheme(secret=b"lock-tests")
+    directory = KeyDirectory(scheme)
+    genesis = genesis_block()
+    checkers = [
+        LockingChecker(p, scheme, directory, genesis.hash, QUORUM) for p in range(3)
+    ]
+    return scheme, directory, genesis, checkers
+
+
+def nv(checker, view=1):
+    while True:
+        phi = checker.tee_sign()
+        if phi.v_prep == view and phi.phase == Phase.NEW_VIEW:
+            return phi
+
+
+def run_view(checkers, view, block_hash, participants=(0, 1)):
+    """Drive the given checkers through one full Damysus-C view.
+
+    Quorum certificates always carry exactly QUORUM signatures even when
+    more participants take part (extra votes are simply unused).
+    """
+    nvs = {p: nv(checkers[p], view) for p in participants}
+    justify = max(nvs.values(), key=lambda phi: phi.v_just)
+    prep = [
+        checkers[p].tee_prepare_locked(block_hash, justify) for p in participants
+    ]
+    prep_qc = c_combine(prep[:QUORUM])
+    pcom = [checkers[p].tee_store(prep_qc) for p in participants]
+    pcom_qc = c_combine(pcom[:QUORUM])
+    com = [checkers[p].tee_store(pcom_qc) for p in participants]
+    return justify, prep_qc, pcom_qc, c_combine(com[:QUORUM])
+
+
+def test_four_steps_per_view(env):
+    _, _, _, checkers = env
+    checker = checkers[0]
+    assert checker.step_rule == StepRule.THREE_PHASE
+    stamps = []
+    for _ in range(5):
+        phi = checker.tee_sign()
+        stamps.append((phi.v_prep, phi.phase))
+    assert stamps == [
+        (0, Phase.NEW_VIEW),
+        (0, Phase.PREPARE),
+        (0, Phase.PRECOMMIT),
+        (0, Phase.COMMIT),
+        (1, Phase.NEW_VIEW),
+    ]
+
+
+def test_full_view_updates_prepared_and_locked(env):
+    _, _, _, checkers = env
+    block_hash = b"\x0f" * 32
+    run_view(checkers, 1, block_hash)
+    for p in (0, 1):
+        assert checkers[p].prepared_hash == block_hash
+        assert checkers[p].prepared_view == 1
+        assert checkers[p].locked_hash == block_hash
+        assert checkers[p].locked_view == 1
+
+
+def test_commit_vote_phase(env):
+    _, _, _, checkers = env
+    *_, com_qc = run_view(checkers, 1, b"\x0f" * 32)
+    assert com_qc.phase == Phase.COMMIT
+    assert com_qc.v_prep == 1
+
+
+def test_safenode_rejects_stale_justification(env):
+    """Once locked, a proposal justified below the lock is refused in-TEE."""
+    _, _, genesis, checkers = env
+    run_view(checkers, 1, b"\x0f" * 32, participants=(0, 1))
+    # Checker 2 lagged; its new-view still names genesis (view 0).
+    stale_justify = nv(checkers[2], 2)
+    assert stale_justify.v_just == 0
+    for p in (0, 1):
+        nv(checkers[p], 2)  # advance to view 2's prepare step
+        with pytest.raises(TEERefusal):
+            checkers[p].tee_prepare_locked(b"\x1f" * 32, stale_justify)
+
+
+def test_safenode_accepts_matching_lock(env):
+    """A proposal extending the locked block itself is accepted."""
+    _, _, _, checkers = env
+    block_hash = b"\x0f" * 32
+    run_view(checkers, 1, block_hash, participants=(0, 1))
+    justify = nv(checkers[0], 2)  # names the locked block
+    nv(checkers[1], 2)
+    phi = checkers[1].tee_prepare_locked(b"\x1f" * 32, justify)
+    assert phi.phase == Phase.PREPARE
+
+
+def test_safenode_accepts_higher_view_justification(env):
+    """Liveness rule: a justification above the lock unlocks the node."""
+    _, _, _, checkers = env
+    # Views 1 and 2 run with {0, 1}; checker 2 only locked view 1.
+    run_view(checkers, 1, b"\x0f" * 32, participants=(0, 1, 2))
+    run_view(checkers, 2, b"\x2f" * 32, participants=(0, 1))
+    # Checker 2 is locked at view 1; checker 0's report names view 2 > 1.
+    fresh_justify = nv(checkers[0], 3)
+    assert fresh_justify.v_just == 2
+    nv(checkers[2], 3)
+    phi = checkers[2].tee_prepare_locked(b"\x3f" * 32, fresh_justify)
+    assert phi.phase == Phase.PREPARE
+    assert checkers[2].locked_view == 1  # lock unchanged until pre-commit
+
+
+def test_prepare_rejects_justification_for_other_view(env):
+    _, _, _, checkers = env
+    justify = nv(checkers[0], 1)
+    nv(checkers[1], 1)
+    nv(checkers[1], 2)  # checker 1 is now at view 2
+    with pytest.raises(TEERefusal):
+        checkers[1].tee_prepare_locked(b"\x1f" * 32, justify)
+
+
+def test_store_rejects_commit_quorum(env):
+    _, _, _, checkers = env
+    *_, com_qc = run_view(checkers, 1, b"\x0f" * 32)
+    with pytest.raises(TEERefusal):
+        checkers[2].tee_store(com_qc)  # COMMIT phase is not storable

@@ -1,0 +1,75 @@
+"""Tests for the TrInc-style trusted counter."""
+
+import pytest
+
+from repro.crypto.hashing import sha256
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import KeyDirectory, tee_signer_id
+from repro.tee.counter import TrustedCounter, verify_counter_certificate
+
+
+@pytest.fixture
+def env():
+    scheme = HmacScheme(secret=b"counter-tests")
+    directory = KeyDirectory(scheme)
+    counters = [TrustedCounter(p, scheme, directory) for p in range(2)]
+    return scheme, directory, counters
+
+
+def test_values_strictly_increase(env):
+    _, _, counters = env
+    values = [counters[0].attest(sha256(bytes([i]))).value for i in range(10)]
+    assert values == list(range(1, 11))
+
+
+def test_certificate_verifies(env):
+    scheme, directory, counters = env
+    cert = counters[0].attest(sha256(b"m"))
+    assert verify_counter_certificate(scheme, directory, cert)
+    assert counters[1].verify_certificate(cert)
+
+
+def test_certificate_binds_message(env):
+    from dataclasses import replace
+
+    scheme, directory, counters = env
+    cert = counters[0].attest(sha256(b"m"))
+    forged = replace(cert, message_digest=sha256(b"other"))
+    assert not verify_counter_certificate(scheme, directory, forged)
+
+
+def test_certificate_binds_value(env):
+    from dataclasses import replace
+
+    scheme, directory, counters = env
+    cert = counters[0].attest(sha256(b"m"))
+    forged = replace(cert, value=cert.value + 5)
+    assert not verify_counter_certificate(scheme, directory, forged)
+
+
+def test_component_id_must_match_signer(env):
+    from dataclasses import replace
+
+    scheme, directory, counters = env
+    cert = counters[0].attest(sha256(b"m"))
+    forged = replace(cert, component_id=tee_signer_id(1))
+    assert not verify_counter_certificate(scheme, directory, forged)
+
+
+def test_replica_signature_rejected(env):
+    """Only TEE identities can attest counter values."""
+    from dataclasses import replace
+
+    scheme, directory, counters = env
+    directory.register_replica(0)
+    cert = counters[0].attest(sha256(b"m"))
+    replica_sig = scheme.sign(0, cert.signed_payload())
+    forged = replace(cert, signature=replica_sig)
+    assert not verify_counter_certificate(scheme, directory, forged)
+
+
+def test_reading_value_does_not_consume(env):
+    _, _, counters = env
+    counters[0].attest(sha256(b"m"))
+    assert counters[0].value == 1
+    assert counters[0].value == 1

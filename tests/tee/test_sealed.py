@@ -1,0 +1,107 @@
+"""Tests for sealed storage and restart/rollback protection."""
+
+import pytest
+
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import KeyDirectory
+from repro.errors import TEERefusal
+from repro.core.block import genesis_block
+from repro.core.phases import Phase
+from repro.tee.checker import Checker
+from repro.tee.sealed import SealManager
+
+
+@pytest.fixture
+def env():
+    scheme = HmacScheme(secret=b"seal-tests")
+    directory = KeyDirectory(scheme)
+    genesis = genesis_block()
+
+    def new_checker(pid=0):
+        return Checker(pid, scheme, directory, genesis.hash, quorum=2)
+
+    return new_checker, SealManager()
+
+
+def advance(checker, signs):
+    for _ in range(signs):
+        checker.tee_sign()
+
+
+def test_seal_unseal_restores_state(env):
+    new_checker, manager = env
+    original = new_checker()
+    advance(original, 7)
+    sealed = manager.seal(original)
+    restarted = new_checker()
+    manager.unseal_into(restarted, sealed)
+    assert restarted.step == original.step
+    assert restarted.prepared_view == original.prepared_view
+    assert restarted.prepared_hash == original.prepared_hash
+
+
+def test_restored_checker_never_repeats_stamps(env):
+    """The critical property: a restart cannot rewind the step counter."""
+    new_checker, manager = env
+    original = new_checker()
+    stamps = set()
+    for _ in range(5):
+        phi = original.tee_sign()
+        stamps.add((phi.v_prep, phi.phase))
+    sealed = manager.seal(original)
+    restarted = new_checker()
+    manager.unseal_into(restarted, sealed)
+    for _ in range(5):
+        phi = restarted.tee_sign()
+        assert (phi.v_prep, phi.phase) not in stamps
+
+
+def test_rollback_to_older_seal_rejected(env):
+    new_checker, manager = env
+    checker = new_checker()
+    advance(checker, 2)
+    old_seal = manager.seal(checker)
+    advance(checker, 4)
+    manager.seal(checker)  # newer seal bumps the latest counter
+    restarted = new_checker()
+    with pytest.raises(TEERefusal):
+        manager.unseal_into(restarted, old_seal)
+
+
+def test_tampered_seal_rejected(env):
+    from dataclasses import replace
+
+    new_checker, manager = env
+    checker = new_checker()
+    advance(checker, 3)
+    sealed = manager.seal(checker)
+    # Try to rewind the sealed step by editing the payload.
+    forged_payload = sealed.payload.replace(b"|1|", b"|0|", 1)
+    forged = replace(sealed, payload=forged_payload)
+    restarted = new_checker()
+    with pytest.raises(TEERefusal):
+        manager.unseal_into(restarted, forged)
+
+
+def test_cross_component_seal_rejected(env):
+    new_checker, manager = env
+    checker_a = new_checker(0)
+    checker_b = new_checker(1)
+    sealed = manager.seal(checker_a)
+    with pytest.raises(TEERefusal):
+        manager.unseal_into(checker_b, sealed)
+
+
+def test_seal_preserves_prepared_block(env):
+    new_checker, manager = env
+    checker = new_checker()
+    # Simulate a stored prepared block by driving the real flow at view 1
+    # is heavyweight here; poke the state through a legitimate seal cycle
+    # instead: seal captures whatever the checker currently holds.
+    sealed = manager.seal(checker)
+    restarted = new_checker()
+    manager.unseal_into(restarted, sealed)
+    assert restarted.prepared_hash == checker.prepared_hash
+    nv = restarted.tee_sign()
+    assert nv.phase == Phase.NEW_VIEW
+    assert nv.h_just == checker.prepared_hash

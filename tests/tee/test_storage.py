@@ -1,0 +1,40 @@
+"""Table 1's storage column: trusted state stays constant over history."""
+
+import pytest
+
+from repro.protocols.system import ConsensusSystem
+from tests.conftest import run_protocol, small_config
+
+
+def test_checker_storage_constant_across_views():
+    """The checker's protected state must not grow with chain length."""
+    system_short, _ = run_protocol("damysus", views=3, seed=4)
+    system_long, _ = run_protocol("damysus", views=25, seed=4)
+    short_bytes = system_short.replicas[0].checker.storage_bytes()
+    long_bytes = system_long.replicas[0].checker.storage_bytes()
+    assert short_bytes == long_bytes
+
+
+def test_locking_checker_stores_more_than_plain_checker():
+    """Section 4.2.3: with the accumulator, locked blocks need not be stored."""
+    dam, _ = run_protocol("damysus", views=3)
+    dam_c, _ = run_protocol("damysus-c", views=3)
+    assert (
+        dam_c.replicas[0].checker.storage_bytes()
+        > dam.replicas[0].checker.storage_bytes()
+    )
+
+
+def test_storage_is_tens_of_bytes():
+    """'Minimal storage' means a counter and a couple of hashes."""
+    system, _ = run_protocol("damysus", views=3)
+    assert system.replicas[0].checker.storage_bytes() < 200
+
+
+def test_chained_checker_storage_matches_basic():
+    basic, _ = run_protocol("damysus", views=3)
+    chained, _ = run_protocol("chained-damysus", views=3)
+    assert (
+        basic.replicas[0].checker.storage_bytes()
+        == chained.replicas[0].checker.storage_bytes()
+    )

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_run_command(capsys):
+    code = main(
+        ["run", "--protocol", "damysus", "--f", "1", "--views", "3",
+         "--payload", "0", "--block-size", "10"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "damysus" in out
+    assert "safety             OK" in out
+
+
+def test_run_with_crash(capsys):
+    code = main(
+        ["run", "--protocol", "hotstuff", "--views", "3", "--payload", "0",
+         "--block-size", "10", "--crash", "3"]
+    )
+    assert code == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_compare_command(capsys):
+    code = main(
+        ["compare", "--protocols", "hotstuff", "damysus", "--views", "3",
+         "--payload", "0"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "hotstuff" in out and "damysus" in out
+
+
+def test_counterexample_command(capsys):
+    code = main(["counterexample"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "VIOLATED" in out  # the counter scenario breaks
+    assert "PRESERVED" in out  # the checker scenario holds
+
+
+def test_protocols_command(capsys):
+    code = main(["protocols"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for name in ("hotstuff", "damysus", "chained-damysus", "fast-hotstuff"):
+        assert name in out
+
+
+def test_experiment_table1(capsys):
+    code = main(["experiment", "table1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Table 1" in out
+    assert "pbft" in out
+
+
+def test_parser_rejects_unknown_protocol():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--protocol", "nope"])
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
