@@ -15,7 +15,6 @@ mechanism behind Damysus's advantage:
 
 import dataclasses
 
-import pytest
 
 from repro.bench.runner import ExperimentRunner
 from repro.costs import CostModel

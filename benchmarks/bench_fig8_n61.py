@@ -14,7 +14,6 @@ The transferable shape: at equal N, full Damysus still beats HotStuff on
 throughput in every deployment, despite tolerating 10 more faults.
 """
 
-import pytest
 
 from repro.bench.experiments import fig8
 

@@ -6,7 +6,6 @@ lower latency than its HotStuff baseline; Chained-Damysus reaches the
 highest maximum throughput of all; Damysus > Damysus-C > Damysus-A.
 """
 
-import pytest
 
 from repro.bench.experiments import fig9
 

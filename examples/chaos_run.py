@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Chaos run: Damysus under loss, a partition, and crash/recovery.
+
+The standard chaos plan drops 20% of all messages, cuts the first f
+replicas off behind a symmetric partition mid-run, and crash/recovers
+the trailing f replicas - sealing their Checker state through the
+trusted sealing service and unsealing it on recovery.  The harness
+asserts safety throughout and liveness after every fault heals.
+
+Everything is driven by seeded RNG streams, so the run below is fully
+replayable: the second invocation with the same seed must produce a
+bit-identical report.
+"""
+
+from repro.analysis import run_standard_chaos
+
+
+def main() -> None:
+    print("Damysus under the standard chaos plan (seed 7)")
+    print("=" * 64)
+    report = run_standard_chaos("damysus", f=1, seed=7)
+    print(report.describe())
+    assert report.ok, "chaos run must stay safe and regain liveness"
+
+    print()
+    print("Replaying with the same seed ...")
+    replay = run_standard_chaos("damysus", f=1, seed=7)
+    assert replay == report, "same seed must reproduce the identical report"
+    print("replay is bit-identical: chaos runs are deterministic per seed")
+
+
+if __name__ == "__main__":
+    main()

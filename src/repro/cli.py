@@ -5,6 +5,7 @@ Commands:
 * ``run`` - simulate one protocol deployment and print its metrics;
 * ``compare`` - run several protocols on the same deployment side by side;
 * ``experiment`` - regenerate one of the paper's tables/figures;
+* ``chaos`` - fault-injection run: lossy links, a partition, crash/recovery;
 * ``counterexample`` - print the Section 4 trusted-counter demonstration;
 * ``protocols`` - list the implemented protocols and their properties.
 """
@@ -14,6 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.chaos import run_standard_chaos
 from repro.analysis.counterexample import run_checker_scenario, run_counter_scenario
 from repro.bench.experiments import fig6, fig7, fig8, fig9, table1_experiment
 from repro.bench.reporting import format_table
@@ -66,6 +68,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="fault-injection run: lossy links, a partition, crash/recovery",
+    )
+    chaos_p.add_argument("--protocol", default="damysus", choices=sorted(SPECS))
+    chaos_p.add_argument("--f", type=int, default=1, help="fault threshold")
+    chaos_p.add_argument("--seed", type=int, default=1)
+    chaos_p.add_argument("--loss", type=float, default=0.2,
+                         help="per-message drop probability while faults last")
+    chaos_p.add_argument("--no-partition", action="store_true",
+                         help="skip the mid-run network partition")
+    chaos_p.add_argument("--no-crash", action="store_true",
+                         help="skip the f crash/recover cycles")
+    chaos_p.add_argument("--settle-views", type=int, default=3,
+                         help="fresh committed views required after healing")
 
     sub.add_parser("counterexample", help="Section 4: counters are not enough")
     sub.add_parser("protocols", help="list implemented protocols")
@@ -134,6 +152,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    report = run_standard_chaos(
+        args.protocol,
+        f=args.f,
+        seed=args.seed,
+        loss=args.loss,
+        crashes=not args.no_crash,
+        partition=not args.no_partition,
+        settle_views=args.settle_views,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def _cmd_counterexample(_: argparse.Namespace) -> int:
     print("Plain trusted counters (Section 4.1):")
     print(run_counter_scenario().describe())
@@ -173,6 +205,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
+        "chaos": _cmd_chaos,
         "counterexample": _cmd_counterexample,
         "protocols": _cmd_protocols,
     }[args.command]

@@ -34,6 +34,7 @@ class SystemConfig:
     compact_qcs: bool = False
     timeout_ms: float = 2_000.0  # pacemaker base view timeout
     timeout_backoff: float = 2.0  # exponential factor on timeout
+    timeout_jitter: float = 0.0  # +/- fraction of seeded pacemaker jitter (0 = off)
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
     use_real_crypto: bool = False  # Schnorr (True) vs fast HMAC (False)
     gst_ms: float = 0.0  # 0 disables the pre-GST chaos wrapper
@@ -52,3 +53,5 @@ class SystemConfig:
             raise ConfigError("block_size must be positive")
         if self.payload_bytes < 0:
             raise ConfigError("payload_bytes must be non-negative")
+        if not 0.0 <= self.timeout_jitter < 1.0:
+            raise ConfigError("timeout_jitter must be in [0, 1)")

@@ -58,13 +58,7 @@ class ChainedDamysusReplica(BaseReplica):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self.checker = ChainedChecker(
-            self.pid,
-            self.scheme,
-            self.directory,
-            self.store.genesis.hash,
-            self.quorum,
-        )
+        self.checker = self._make_checker()
         self.acc_service = AccumulatorService(
             self.pid, self.scheme, self.directory, self.quorum
         )
@@ -78,6 +72,24 @@ class ChainedDamysusReplica(BaseReplica):
         self._proposed: set[int] = set()
         self._voted: set[int] = set()
         self.view = 1  # nodes start at view 1 (Section 7.1)
+
+    def _make_checker(self) -> ChainedChecker:
+        return ChainedChecker(
+            self.pid,
+            self.scheme,
+            self.directory,
+            self.store.genesis.hash,
+            self.quorum,
+        )
+
+    def reset_protocol_state(self) -> None:
+        # qc_prep and the per-view block index survive on stable storage
+        # (certificates and block bodies); vote state is volatile and the
+        # sealed checker carries the trusted prepared/step state.
+        self._votes = QuorumCollector(self.quorum)
+        self._nv_commitments.clear()
+        self._proposed.clear()
+        self._voted.clear()
 
     # -- helpers --------------------------------------------------------------------
 

@@ -40,6 +40,13 @@ class ChainedHotStuffReplica(BaseReplica):
         self._voted: set[int] = set()
         self.view = 1  # chained protocols start at view 1
 
+    def reset_protocol_state(self) -> None:
+        # high_qc and locked_qc survive on stable storage.
+        self._votes = QuorumCollector(self.quorum)
+        self._new_views = QuorumCollector(self.quorum)
+        self._proposed.clear()
+        self._voted.clear()
+
     # -- helpers ------------------------------------------------------------------
 
     def _just_of(self, block: Block) -> QuorumCert:

@@ -103,6 +103,21 @@ class DamysusReplica(BaseReplica):
     def on_view_timeout(self, view: int) -> None:
         self.advance_view(view + 1)
 
+    def reset_protocol_state(self) -> None:
+        # A crash loses all in-memory vote aggregation; the checker's
+        # sealed step/prepared state is what keeps the restart safe.
+        self._new_views = QuorumCollector(self.quorum)
+        self._prep_votes = QuorumCollector(self.quorum)
+        self._pcom_votes = QuorumCollector(self.quorum)
+        self._proposed.clear()
+        self._stored.clear()
+        self._decided.clear()
+
+    def on_recovered(self) -> None:
+        # Announce the unsealed checker's latest prepared block so the
+        # current leader can count this replica again (Fig 2a lines 41-47).
+        self._send_new_view_commitment()
+
     def prune_state(self, view: int) -> None:
         horizon = view - 1
         self._new_views.discard_before_view(horizon)

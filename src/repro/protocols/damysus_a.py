@@ -72,6 +72,18 @@ class DamysusAReplica(BaseReplica):
     def on_view_entered(self, view: int) -> None:
         self._send_new_view()
 
+    def reset_protocol_state(self) -> None:
+        # prepare_qc survives on stable storage (Damysus-A has no checker
+        # to seal; its accumulator is stateless between calls).
+        self._new_views = QuorumCollector(self.quorum)
+        self._votes = QuorumCollector(self.quorum)
+        self._proposed.clear()
+        self._voted.clear()
+        self._decided.clear()
+
+    def on_recovered(self) -> None:
+        self._send_new_view()
+
     def prune_state(self, view: int) -> None:
         horizon = view - 1
         self._new_views.discard_before_view(horizon)

@@ -59,6 +59,11 @@ class DamysusCReplica(DamysusReplica):
         self._com_votes.discard_before_view(horizon)
         self._prune_view_sets(horizon, self._locked)
 
+    def reset_protocol_state(self) -> None:
+        super().reset_protocol_state()
+        self._com_votes = QuorumCollector(self.quorum)
+        self._locked.clear()
+
     # -- dispatch --------------------------------------------------------------------
 
     def dispatch(self, sender: int, payload: Any) -> None:

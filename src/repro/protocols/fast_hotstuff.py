@@ -78,6 +78,17 @@ class FastHotStuffReplica(BaseReplica):
         self.pacemaker.start_view(self.view)
         self._send_new_view()
 
+    def reset_protocol_state(self) -> None:
+        # prepare_qc is kept on stable storage across the crash.
+        self._new_views = QuorumCollector(self.quorum)
+        self._votes = QuorumCollector(self.quorum)
+        self._proposed.clear()
+        self._voted.clear()
+        self._decided.clear()
+
+    def on_recovered(self) -> None:
+        self._send_new_view()
+
     def _send_new_view(self) -> None:
         self.charge_sign()
         sig = self.scheme.sign(self.pid, new_view_a_payload(self.view, self.prepare_qc))

@@ -84,6 +84,19 @@ class HotStuffReplica(BaseReplica):
     def on_view_timeout(self, view: int) -> None:
         self.advance_view(view + 1)
 
+    def reset_protocol_state(self) -> None:
+        # Vote aggregation is volatile; prepare_qc and locked_qc survive
+        # the crash because HotStuff's crash-recovery model keeps
+        # safety-critical certificates on stable storage.
+        self._new_views = QuorumCollector(self.quorum)
+        self._votes = QuorumCollector(self.quorum)
+        self._proposed.clear()
+        self._voted.clear()
+        self._decided.clear()
+
+    def on_recovered(self) -> None:
+        self._send_new_view()
+
     # -- certificate verification ---------------------------------------------------
 
     def _verify_qc(self, qc: QuorumCert) -> bool:

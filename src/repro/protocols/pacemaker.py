@@ -10,9 +10,12 @@ leader, chosen deterministically and known to all nodes", Section 5).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.sim.process import Process, Timer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.rng import RngStream
 
 
 def round_robin_leader(view: int, num_replicas: int) -> int:
@@ -31,11 +34,19 @@ class Pacemaker:
         on_timeout: Callable[[int], None] | None = None,
         linear_decrease_ms: float | None = None,
         max_timeout_ms: float | None = None,
+        jitter_fraction: float = 0.0,
+        rng: "RngStream | None" = None,
     ) -> None:
         self.process = process
         self.base_timeout_ms = base_timeout_ms
         self.backoff = backoff
         self.on_timeout = on_timeout
+        # Optional seeded timeout jitter (default off): each armed timer
+        # is perturbed by up to +/- jitter_fraction of itself, so
+        # simulated replicas do not fire view-changes in lock-step - the
+        # desynchronization real clocks provide for free.
+        self.jitter_fraction = jitter_fraction
+        self.rng = rng
         # When views succeed, the timeout shrinks linearly back toward the
         # base (the exponential-backoff-with-linear-decrease scheme of
         # Section 3).  The cap keeps a permanently faulty leader in a
@@ -60,7 +71,10 @@ class Pacemaker:
         """Arm the timer for ``view``, cancelling any previous timer."""
         self.cancel()
         self._view = view
-        self._timer = self.process.set_timer(self.current_timeout_ms, self._fire)
+        timeout = self.current_timeout_ms
+        if self.rng is not None and self.jitter_fraction > 0.0:
+            timeout = self.rng.jitter(timeout, self.jitter_fraction)
+        self._timer = self.process.set_timer(timeout, self._fire)
 
     def view_succeeded(self) -> None:
         """Cancel the timer and linearly decrease the timeout."""

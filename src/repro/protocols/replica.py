@@ -18,15 +18,20 @@ from repro.core.block import Block
 from repro.core.executor import Ledger, SafetyOracle
 from repro.core.mempool import Mempool
 from repro.core.messages import BlockRequest, BlockResponse, ClientReply, ClientRequest
-from repro.errors import MissingBlockError
+from repro.errors import MissingBlockError, TEERefusal
 from repro.protocols.pacemaker import Pacemaker, round_robin_leader
 from repro.sim.events import Simulator
 from repro.sim.monitor import Monitor
 from repro.sim.network import wire_size_of
 from repro.sim.process import Process
+from repro.sim.rng import RngStream
+from repro.tee.sealed import SealedState, SealManager
 
 #: Cap on buffered future-view messages per replica (Byzantine flood guard).
 MAX_BUFFERED_MESSAGES = 10_000
+
+#: Sentinel: ``recover()`` restores the snapshot taken by ``crash()``.
+_OWN_SNAPSHOT = object()
 
 
 class QuorumCollector:
@@ -90,6 +95,10 @@ class QuorumCollector:
 class BaseReplica(Process):
     """Common replica machinery; protocol subclasses implement handlers."""
 
+    #: The replica's Checker trusted component, if the protocol has one.
+    #: Protocols that set it must implement ``_make_checker()``.
+    checker = None
+
     def __init__(  # noqa: PLR0913 - wiring point for the whole stack
         self,
         pid: int,
@@ -123,6 +132,12 @@ class BaseReplica(Process):
             config.timeout_ms,
             config.timeout_backoff,
             on_timeout=self._on_pacemaker_timeout,
+            jitter_fraction=config.timeout_jitter,
+            rng=(
+                RngStream(config.seed, f"pacemaker-jitter:{pid}")
+                if config.timeout_jitter > 0.0
+                else None
+            ),
         )
         self._buffered: dict[int, list[tuple[int, Any]]] = {}
         self._buffered_count = 0
@@ -130,6 +145,13 @@ class BaseReplica(Process):
         # bodies, and the hashes already requested from peers.
         self._pending_exec: dict[bytes, int] = {}
         self._requested_blocks: set[bytes] = set()
+        # Crash-recovery: the platform's rollback-protected seal service
+        # (the role SGX delegates to a trusted monotonic counter) plus the
+        # snapshot taken at the last crash.
+        self.seal_manager = SealManager()
+        self._sealed_snapshot: SealedState | None = None
+        self.crash_count = 0
+        self.recovery_count = 0
 
     # -- leader schedule -------------------------------------------------------
 
@@ -139,6 +161,84 @@ class BaseReplica(Process):
 
     def is_leader(self, view: int) -> bool:
         return self.leader_of(view) == self.pid
+
+    # -- crash / recovery ------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash-stop: seal TEE state, drop volatile state, go silent.
+
+        The sealed snapshot models what the host's disk retains across a
+        restart; everything else a replica holds in memory (buffered
+        messages, quorum collections, in-flight fetches) is lost.
+        """
+        if self.crashed:
+            return
+        self._sealed_snapshot = self.seal_tee_state()
+        super().crash()
+        self.crash_count += 1
+        self.pacemaker.cancel()
+        self.reset_volatile_state()
+
+    def recover(self, sealed: "SealedState | None | object" = _OWN_SNAPSHOT) -> None:
+        """Restart this replica from sealed TEE state and rejoin.
+
+        ``sealed`` defaults to the snapshot taken by :meth:`crash`; tests
+        and adversaries may present a different (e.g. rolled-back) seal,
+        which the TEE rejects with :class:`~repro.errors.TEERefusal` -
+        the replica then stays crashed.  On success the replica rejoins
+        at its pacemaker's view and catches up through the ordinary
+        timeout / new-view / block-synchronization paths.
+        """
+        if not self.crashed:
+            return
+        snapshot = self._sealed_snapshot if sealed is _OWN_SNAPSHOT else sealed
+        self.restore_tee_state(snapshot)  # raises TEERefusal on rollback
+        super().recover()
+        self.recovery_count += 1
+        self.pacemaker.start_view(self.view)
+        self.on_recovered()
+
+    def seal_tee_state(self) -> SealedState | None:
+        """Seal the checker's protected state (``None`` without a TEE)."""
+        if self.checker is None:
+            return None
+        return self.seal_manager.seal(self.checker)
+
+    def restore_tee_state(self, sealed: SealedState | None) -> None:
+        """Rebuild the checker from ``sealed``, refusing rollbacks.
+
+        Protocols without trusted components keep their safety-critical
+        certificates (high/locked QCs) on stable storage instead, so for
+        them recovery restores nothing here.
+        """
+        if self.checker is None:
+            return
+        if sealed is None:
+            raise TEERefusal("recover: host provided no sealed checker state")
+        fresh = self._make_checker()
+        self.seal_manager.unseal_into(fresh, sealed)
+        self.checker = fresh
+        # The checker's step is the trustworthy record of how far this
+        # node got; rejoin no earlier than that view.
+        self.view = max(self.view, self.checker.step.view)
+
+    def _make_checker(self):
+        """Build a fresh checker instance; TEE-bearing subclasses override."""
+        raise NotImplementedError
+
+    def reset_volatile_state(self) -> None:
+        """Drop everything a crash loses: buffers, fetches, vote state."""
+        self._buffered.clear()
+        self._buffered_count = 0
+        self._pending_exec.clear()
+        self._requested_blocks.clear()
+        self.reset_protocol_state()
+
+    def reset_protocol_state(self) -> None:
+        """Hook: drop protocol-specific volatile state (vote collections)."""
+
+    def on_recovered(self) -> None:
+        """Hook: protocol-specific rejoin action (e.g. resend new-view)."""
 
     # -- CPU cost charging -------------------------------------------------------
 

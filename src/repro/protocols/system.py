@@ -22,6 +22,7 @@ from repro.protocols.client import Client
 from repro.protocols.registry import ProtocolSpec, get_spec
 from repro.protocols.replica import BaseReplica
 from repro.sim.events import Simulator
+from repro.sim.faults import FaultPlan
 from repro.sim.latency import MatrixLatency, PartialSynchronyLatency
 from repro.sim.monitor import Monitor
 from repro.sim.network import Network
@@ -149,6 +150,19 @@ class ConsensusSystem:
         """Crash (silence) the given replicas before or during a run."""
         for pid in pids:
             self.replicas[pid].crash()
+
+    def recover_replicas(self, pids: list[int]) -> None:
+        """Recover previously crashed replicas (unseal TEE state, rejoin)."""
+        for pid in pids:
+            self.replicas[pid].recover()
+
+    def apply_fault_plan(self, plan: FaultPlan) -> None:
+        """Install a fault plan: link faults now, crash/recover on schedule.
+
+        The plan draws from the system's seeded ``"faults"`` RNG stream,
+        so a given (config, plan) pair replays identically.
+        """
+        plan.install(self.network, self.rng.stream("faults"), replicas=self.replicas)
 
     # -- running --------------------------------------------------------------------
 

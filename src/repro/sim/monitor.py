@@ -39,6 +39,13 @@ class Monitor:
     bytes_by_type: Counter = field(default_factory=Counter)
     executions: list[ExecutionRecord] = field(default_factory=list)
     view_message_counts: Counter = field(default_factory=Counter)
+    # Fault-injection accounting: messages suppressed or duplicated by the
+    # network's fault pipeline (repro.sim.faults).  Sends are still counted
+    # in messages_sent - a dropped message was sent, then lost.
+    messages_dropped: int = 0
+    dropped_by_type: Counter = field(default_factory=Counter)
+    messages_duplicated: int = 0
+    duplicated_by_type: Counter = field(default_factory=Counter)
 
     def record_send(self, msg_type: str, size_bytes: int, view: int | None = None) -> None:
         """Called by the network for every message handed to it."""
@@ -48,6 +55,16 @@ class Monitor:
         self.bytes_by_type[msg_type] += size_bytes
         if view is not None:
             self.view_message_counts[view] += 1
+
+    def record_drop(self, msg_type: str) -> None:
+        """Called by the network when the fault pipeline drops a message."""
+        self.messages_dropped += 1
+        self.dropped_by_type[msg_type] += 1
+
+    def record_duplicate(self, msg_type: str, copies: int = 1) -> None:
+        """Called by the network when ``copies`` extra copies are injected."""
+        self.messages_duplicated += copies
+        self.duplicated_by_type[msg_type] += copies
 
     def record_execution(self, record: ExecutionRecord) -> None:
         """Called by replicas when they execute (commit) a block."""

@@ -1,15 +1,23 @@
-"""Simulated reliable point-to-point network.
+"""Simulated point-to-point network with composable fault injection.
 
-Messages are never lost or corrupted (reliable links, paper Section 5) but
-each delivery is delayed according to the installed
+By default links are reliable (paper Section 5): messages are never lost
+or corrupted, but each delivery is delayed according to the installed
 :class:`~repro.sim.latency.LatencyModel`.  Self-sends loop back with a tiny
 local delay but are still counted by the monitor, because Table 1's message
 counts explicitly "include self-messages".
 
 The network also supports *taps* (observers used by tests and by scripted
-adversaries to watch traffic) and a *drop filter* used to model message
-suppression by a network-level adversary in liveness tests.  Dropping is
-never enabled in the paper-reproduction benchmarks.
+adversaries to watch traffic) and a pipeline of *fault filters* used by
+:mod:`repro.sim.faults` to model lossy links, duplication, extra delay
+and partitions.  A filter is called for every send and may return:
+
+* ``None`` or ``False`` - no opinion, the message passes;
+* ``True`` - drop (the legacy ``drop_filter`` contract);
+* a :class:`~repro.sim.faults.FaultAction` - drop, duplicate, or delay.
+
+Faults are never enabled in the paper-reproduction benchmarks; dropped
+and duplicated messages are counted by the monitor so chaos experiments
+can report exactly what they injected.
 """
 
 from __future__ import annotations
@@ -62,11 +70,45 @@ class Network:
         self.monitor = monitor if monitor is not None else Monitor()
         self.processes: dict[int, Process] = {}
         self.taps: list[Callable[[int, int, Any], None]] = []
-        self.drop_filter: Callable[[int, int, Any], bool] | None = None
+        # Composable fault pipeline; see the module docstring for the
+        # filter contract.  The legacy single-slot ``drop_filter`` is a
+        # view onto one entry of this list.
+        self.fault_filters: list[Callable[[int, int, Any], Any]] = []
+        self._legacy_drop_filter: Callable[[int, int, Any], bool] | None = None
         # TCP-like per-link ordering: with fifo=True a message never
         # overtakes an earlier one on the same (src, dst) link.
         self.fifo = fifo
         self._last_arrival: dict[tuple[int, int], float] = {}
+
+    # -- fault pipeline ----------------------------------------------------
+
+    @property
+    def drop_filter(self) -> Callable[[int, int, Any], bool] | None:
+        """Backward-compatible single-slot drop filter.
+
+        Assigning a callable installs it in the fault pipeline (replacing
+        any previously assigned one); assigning ``None`` removes it.
+        """
+        return self._legacy_drop_filter
+
+    @drop_filter.setter
+    def drop_filter(self, fn: Callable[[int, int, Any], bool] | None) -> None:
+        if self._legacy_drop_filter is not None:
+            self.fault_filters.remove(self._legacy_drop_filter)
+        self._legacy_drop_filter = fn
+        if fn is not None:
+            self.fault_filters.append(fn)
+
+    def add_fault_filter(self, fn: Callable[[int, int, Any], Any]) -> None:
+        """Append a filter to the fault pipeline."""
+        self.fault_filters.append(fn)
+
+    def remove_fault_filter(self, fn: Callable[[int, int, Any], Any]) -> None:
+        """Remove a previously installed filter (idempotent)."""
+        if fn in self.fault_filters:
+            self.fault_filters.remove(fn)
+        if fn is self._legacy_drop_filter:
+            self._legacy_drop_filter = None
 
     def add_process(self, process: Process) -> None:
         """Register a process; its pid must be unique on this network."""
@@ -95,16 +137,28 @@ class Network:
         )
         for tap in self.taps:
             tap(src, dst, payload)
-        if self.drop_filter is not None and self.drop_filter(src, dst, payload):
-            return
-        if src == dst:
-            delay = SELF_DELIVERY_MS
-        else:
-            delay = self.latency.delay(src, dst, size, self.sim.now)
-        if self.fifo:
-            link = (src, dst)
-            arrival = max(self.sim.now + delay, self._last_arrival.get(link, 0.0))
-            self._last_arrival[link] = arrival
-            delay = arrival - self.sim.now
+        copies = 1
+        extra_delay = 0.0
+        for fault in self.fault_filters:
+            decision = fault(src, dst, payload)
+            if decision is None or decision is False:
+                continue
+            if decision is True or decision.drop:
+                self.monitor.record_drop(msg_type_of(payload))
+                return
+            copies += decision.duplicates
+            extra_delay += decision.extra_delay_ms
+        if copies > 1:
+            self.monitor.record_duplicate(msg_type_of(payload), copies - 1)
         target = self.processes[dst]
-        self.sim.schedule(delay, lambda: target.deliver(src, payload))
+        for _ in range(copies):
+            if src == dst:
+                delay = SELF_DELIVERY_MS + extra_delay
+            else:
+                delay = self.latency.delay(src, dst, size, self.sim.now) + extra_delay
+            if self.fifo:
+                link = (src, dst)
+                arrival = max(self.sim.now + delay, self._last_arrival.get(link, 0.0))
+                self._last_arrival[link] = arrival
+                delay = arrival - self.sim.now
+            self.sim.schedule(delay, lambda: target.deliver(src, payload))

@@ -73,6 +73,17 @@ class Process:
         """Silence this process: it stops sending and ignores deliveries."""
         self.crashed = True
 
+    def recover(self) -> None:
+        """Clear the crashed flag; the process handles traffic again.
+
+        Messages that arrived while crashed are gone (deliveries to a
+        crashed process are discarded, modelling lost volatile state).
+        Subclasses restore whatever durable state their fault model
+        grants them - see ``BaseReplica.recover`` for sealed TEE state.
+        """
+        self.crashed = False
+        self._busy_until = self.sim.now
+
     # -- CPU accounting ------------------------------------------------------
 
     def charge(self, cost_ms: float) -> None:

@@ -65,6 +65,27 @@ class Checker(TrustedComponent):
         "arguably requires minimal storage")."""
         return super().storage_bytes() + 4 + 1 + 4 + 32  # view+phase+prepv+preph
 
+    # -- sealing (repro.tee.sealed) -------------------------------------------
+
+    def _seal_fields(self) -> list[bytes]:
+        """Protected state serialized into a sealed snapshot.
+
+        Subclasses with extra protected state (the Damysus-C lock) append
+        their fields; order must match :meth:`_restore_seal_fields`.
+        """
+        return [
+            str(self._prepv).encode(),
+            self._preph.hex().encode(),
+            str(self._step.view).encode(),
+            self._step.phase.value.encode(),
+        ]
+
+    def _restore_seal_fields(self, fields: list[bytes]) -> None:
+        """Restore protected state from an authenticated snapshot."""
+        self._prepv = int(fields[0])
+        self._preph = bytes.fromhex(fields[1].decode())
+        self._step = Step(int(fields[2]), Phase(fields[3].decode()))
+
     # -- internals ------------------------------------------------------------
 
     def _create_unique_sign(

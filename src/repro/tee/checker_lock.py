@@ -51,6 +51,19 @@ class LockingChecker(Checker):
         that the accumulator removes the need to store locked blocks."""
         return super().storage_bytes() + 4 + 32  # lockv + lockh
 
+    def _seal_fields(self) -> list[bytes]:
+        # The lock is protected state too: a restart must not forget it,
+        # or the host could vote for a conflicting branch after recovery.
+        return super()._seal_fields() + [
+            str(self._lockv).encode(),
+            self._lockh.hex().encode(),
+        ]
+
+    def _restore_seal_fields(self, fields: list[bytes]) -> None:
+        super()._restore_seal_fields(fields[:4])
+        self._lockv = int(fields[4])
+        self._lockh = bytes.fromhex(fields[5].decode())
+
     # -- TEE interface ----------------------------------------------------------
 
     def tee_prepare_locked(self, h: Hash, justify: Commitment) -> Commitment:

@@ -21,7 +21,6 @@ import hmac
 from dataclasses import dataclass
 
 from repro.errors import TEERefusal
-from repro.core.phases import Phase, Step
 from repro.tee.checker import Checker
 
 
@@ -45,14 +44,14 @@ def _seal_key(checker: Checker) -> bytes:
 
 
 def _encode_state(checker: Checker, seal_counter: int) -> bytes:
+    # The checker serializes its own protected fields (subclasses append
+    # theirs, e.g. the Damysus-C lock); the seal header binds identity
+    # and the rollback counter.
     return b"|".join(
         [
             str(checker._signer).encode(),
             str(seal_counter).encode(),
-            str(checker.prepared_view).encode(),
-            checker.prepared_hash.hex().encode(),
-            str(checker.step.view).encode(),
-            checker.step.phase.value.encode(),
+            *checker._seal_fields(),
         ]
     )
 
@@ -98,11 +97,5 @@ class SealManager:
                 f"unseal: rollback detected (snapshot {sealed.seal_counter} < "
                 f"latest {latest})"
             )
-        fields = sealed.payload.split(b"|")
-        prepared_view = int(fields[2])
-        prepared_hash = bytes.fromhex(fields[3].decode())
-        step_view = int(fields[4])
-        step_phase = Phase(fields[5].decode())
-        checker._prepv = prepared_view
-        checker._preph = prepared_hash
-        checker._step = Step(step_view, step_phase)
+        checker._restore_seal_fields(sealed.payload.split(b"|")[2:])
+        self._latest[checker.component_id] = max(latest, sealed.seal_counter)

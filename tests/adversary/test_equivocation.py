@@ -1,6 +1,5 @@
 """Safety under equivocating leaders."""
 
-import pytest
 
 from repro.adversary.equivocation import (
     EquivocatingDamysusLeader,

@@ -1,6 +1,5 @@
 """Tests for the per-view trace collector."""
 
-import pytest
 
 from repro.analysis.traces import TraceCollector
 from repro.protocols.system import ConsensusSystem

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.app.kvstore import OP_GET, OP_INCREMENT, OP_PUT, KVCommand
+from repro.app.kvstore import OP_INCREMENT, OP_PUT, KVCommand
 from repro.app.replicated import attach_state_machines
 from repro.protocols.system import ConsensusSystem
 from tests.conftest import small_config

@@ -1,6 +1,5 @@
 """Tests for the experiment runner and reporting."""
 
-import pytest
 
 from repro.bench.reporting import format_table
 from repro.bench.runner import ExperimentRunner

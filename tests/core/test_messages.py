@@ -72,7 +72,6 @@ def test_vote_is_small_and_constant():
 
 
 def test_qc_message_grows_with_quorum():
-    from repro.core.certificate import vote_payload
 
     h = b"\x03" * 32
     small = QuorumCert(1, h, Phase.PREPARE, (sig(0), sig(1)))

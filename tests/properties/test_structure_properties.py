@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.core.block import create_leaf
 from repro.core.chain import BlockStore
 from repro.core.mempool import Transaction
-from repro.core.phases import Phase, Step, StepRule, initial_step
+from repro.core.phases import StepRule, initial_step
 from repro.protocols.replica import QuorumCollector
 
 

@@ -1,6 +1,5 @@
 """Unit-level tests of the chained protocols' distinctive mechanics."""
 
-import pytest
 
 from repro.core.phases import Phase
 from repro.protocols.chained_damysus import ChainedVote

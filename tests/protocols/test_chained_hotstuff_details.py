@@ -1,9 +1,6 @@
 """Unit-level tests of chained HotStuff's certificates, locks and commits."""
 
-import pytest
-
 from repro.core.certificate import QuorumCert
-from repro.core.phases import Phase
 from repro.protocols.system import ConsensusSystem
 from tests.conftest import run_protocol, small_config
 
@@ -19,7 +16,6 @@ def test_blocks_carry_prepare_qcs():
             assert len(block.justify.sigs) == system.quorum
             assert block.justify.view == block.view - 1
 
-
 def test_four_chain_commit_lag():
     """A block executes when the proposal three views later arrives."""
     system, _ = run_protocol("chained-hotstuff", views=6)
@@ -34,19 +30,16 @@ def test_four_chain_commit_lag():
         if later is not None:
             assert executed_at >= later
 
-
 def test_lock_advances_with_chain():
     system, _ = run_protocol("chained-hotstuff", views=6)
     for replica in system.replicas:
         assert replica.locked_qc.view >= 3  # locks formed along the run
         assert replica.high_qc.view >= replica.locked_qc.view
 
-
 def test_executes_one_view_later_than_chained_damysus():
     _, hs = run_protocol("chained-hotstuff", views=5, seed=2)
     _, dam = run_protocol("chained-damysus", views=5, seed=2)
     assert dam.mean_latency_ms < hs.mean_latency_ms
-
 
 def test_timeout_recovery_reproposes_high_qc():
     system = ConsensusSystem(small_config("chained-hotstuff", timeout_ms=250))
@@ -59,7 +52,6 @@ def test_timeout_recovery_reproposes_high_qc():
     replica = system.replicas[0]
     views = [b.view for b in replica.ledger.executed]
     assert views == sorted(views)
-
 
 def test_scale_smoke_f20():
     """Chained HotStuff at N=61 commits promptly (logic-only run)."""

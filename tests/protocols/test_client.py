@@ -1,6 +1,5 @@
 """Tests for the closed-loop client path (Fig 9 machinery)."""
 
-import pytest
 
 from repro.protocols.system import ConsensusSystem
 from tests.conftest import small_config

@@ -1,6 +1,5 @@
 """HotStuff with compact (threshold) quorum certificates."""
 
-import pytest
 
 from repro.core.messages import QCMsg
 from repro.crypto.threshold import is_group_signature

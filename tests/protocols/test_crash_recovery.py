@@ -1,0 +1,136 @@
+"""Crash-recovery tests: sealed TEE state, rollback refusal, rejoin."""
+
+import pytest
+
+from repro.errors import TEERefusal
+from repro.protocols.registry import PROTOCOL_ORDER
+from repro.protocols.system import ConsensusSystem
+from tests.conftest import small_config
+
+
+def run_until_fresh_views(system, fresh, max_time_ms=300_000.0):
+    target = len(system.monitor.committed_views()) + fresh
+    return system.run_until_views(target, max_time_ms=max_time_ms)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOL_ORDER)
+def test_mid_run_crash_then_recovery_stays_safe_and_live(protocol):
+    system = ConsensusSystem(small_config(protocol, f=1, timeout_ms=250))
+    system.start()
+    system.sim.run(until=200.0)
+    system.crash_replicas([2])
+    system.sim.run(until=600.0)
+    system.recover_replicas([2])
+    result = run_until_fresh_views(system, 6)
+    assert result.safe
+    assert result.committed_blocks >= 6
+    replica = system.replicas[2]
+    assert replica.crash_count == 1 and replica.recovery_count == 1
+    assert not replica.crashed
+
+
+def test_repeated_crash_recover_cycles_damysus():
+    system = ConsensusSystem(small_config("damysus", f=1, timeout_ms=250))
+    system.start()
+    at = 200.0
+    for _ in range(3):
+        system.sim.run(until=at)
+        system.crash_replicas([2])
+        system.sim.run(until=at + 300.0)
+        system.recover_replicas([2])
+        at += 600.0
+    result = run_until_fresh_views(system, 4)
+    assert result.safe
+    assert result.committed_blocks >= 4
+    assert system.replicas[2].recovery_count == 3
+
+
+def test_recovered_replica_rejoins_at_checker_view():
+    """The unsealed step counter is the trustworthy floor for rejoining."""
+    system = ConsensusSystem(small_config("damysus", f=1, timeout_ms=250))
+    system.start()
+    system.sim.run(until=400.0)
+    replica = system.replicas[2]
+    view_at_crash = replica.checker.step.view
+    replica.crash()
+    system.sim.run(until=800.0)
+    replica.recover()
+    assert replica.checker.step.view >= view_at_crash
+    assert replica.view >= view_at_crash
+
+
+def test_rolled_back_seal_is_rejected_at_replica_level():
+    """Presenting an old snapshot must raise and leave the replica down."""
+    system = ConsensusSystem(small_config("damysus", f=1, timeout_ms=250))
+    system.start()
+    system.sim.run(until=300.0)
+    replica = system.replicas[2]
+    replica.crash()
+    stale = replica._sealed_snapshot  # seal counter N
+    system.sim.run(until=600.0)
+    replica.recover()  # consumes the snapshot, bumps latest to N
+    system.sim.run(until=900.0)
+    replica.crash()  # reseals at counter N+1
+    with pytest.raises(TEERefusal):
+        replica.recover(sealed=stale)
+    assert replica.crashed  # the rollback attempt did not revive it
+    assert replica.recovery_count == 1
+    replica.recover()  # the genuine latest snapshot still works
+    assert not replica.crashed
+    assert replica.recovery_count == 2
+
+
+def test_recovery_without_sealed_state_is_refused_for_tee_replicas():
+    system = ConsensusSystem(small_config("damysus", f=1, timeout_ms=250))
+    system.start()
+    system.sim.run(until=300.0)
+    replica = system.replicas[2]
+    replica.crash()
+    with pytest.raises(TEERefusal):
+        replica.recover(sealed=None)
+    assert replica.crashed
+
+
+def test_recovered_checker_refuses_resigning_passed_steps():
+    """After recovery the checker continues strictly past its sealed step."""
+    system = ConsensusSystem(small_config("damysus", f=1, timeout_ms=250))
+    system.start()
+    system.sim.run(until=400.0)
+    replica = system.replicas[2]
+    replica.crash()
+    sealed_step = (replica.checker.step.view, replica.checker.step.phase)
+    system.sim.run(until=700.0)
+    replica.recover()
+    phi = replica.checker.tee_sign()
+    assert (phi.v_prep, phi.phase) >= sealed_step
+
+
+def test_crash_and_recover_are_idempotent():
+    system = ConsensusSystem(small_config("damysus", f=1, timeout_ms=250))
+    system.start()
+    system.sim.run(until=200.0)
+    replica = system.replicas[2]
+    replica.recover()  # not crashed: no-op
+    assert replica.recovery_count == 0
+    replica.crash()
+    replica.crash()  # already crashed: no-op
+    assert replica.crash_count == 1
+    replica.recover()
+    assert replica.recovery_count == 1
+
+
+def test_hotstuff_recovery_without_tee_keeps_stable_certificates():
+    """Protocols without a checker recover from stable storage alone."""
+    system = ConsensusSystem(small_config("hotstuff", f=1, timeout_ms=250))
+    system.start()
+    system.sim.run(until=400.0)
+    replica = system.replicas[2]
+    locked_before = replica.locked_qc
+    replica.crash()
+    system.sim.run(until=800.0)
+    replica.recover()  # no sealed state needed
+    assert not replica.crashed
+    assert replica.locked_qc == locked_before
+    result = run_until_fresh_views(system, 4)
+    assert result.safe
+    assert result.committed_blocks >= 4

@@ -1,6 +1,5 @@
 """Negative-path tests specific to Damysus-C and Damysus-A handlers."""
 
-import pytest
 
 from repro.core.block import create_leaf
 from repro.core.certificate import Accumulator, genesis_qc

@@ -1,6 +1,5 @@
 """Tests for the Fast-HotStuff baseline (TEE-free, 2 phases, 3f+1)."""
 
-import pytest
 
 from repro.protocols.fast_hotstuff import FastProposal
 from repro.protocols.system import ConsensusSystem

@@ -5,7 +5,6 @@ asserts the replica neither votes, advances, executes nor crashes - the
 unhappy paths of Fig 2a's abort conditions.
 """
 
-import pytest
 
 from repro.core.block import create_leaf
 from repro.core.certificate import Accumulator, QuorumCert, vote_payload

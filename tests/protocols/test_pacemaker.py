@@ -3,6 +3,7 @@
 from repro.protocols.pacemaker import Pacemaker, round_robin_leader
 from repro.sim.events import Simulator
 from repro.sim.process import Process
+from repro.sim.rng import RngStream
 
 
 class Dummy(Process):
@@ -67,6 +68,51 @@ def test_backoff_capped_at_max_timeout():
         pacemaker.start_view(view)
         sim.run()
     assert pacemaker.current_timeout_ms == 400.0  # capped at 4x base
+
+
+def test_jitter_perturbs_the_armed_timeout_but_not_the_backoff():
+    sim = Simulator()
+    process = Dummy(0, sim)
+    fired = []
+    pacemaker = Pacemaker(
+        process,
+        100.0,
+        on_timeout=lambda view: fired.append(sim.now),
+        jitter_fraction=0.2,
+        rng=RngStream(1, "jitter-test"),
+    )
+    pacemaker.start_view(1)
+    sim.run()
+    assert fired[0] != 100.0  # perturbed...
+    assert 80.0 <= fired[0] <= 120.0  # ...within +/- 20%
+    assert pacemaker.current_timeout_ms == 200.0  # backoff uses the base
+
+
+def test_jitter_is_deterministic_per_seed():
+    def fire_times(seed):
+        sim = Simulator()
+        pacemaker = Pacemaker(
+            Dummy(0, sim),
+            100.0,
+            jitter_fraction=0.2,
+            rng=RngStream(seed, "jitter-test"),
+        )
+        times = []
+        for view in range(1, 4):
+            pacemaker.start_view(view)
+            sim.run()
+            times.append(sim.now)
+        return times
+
+    assert fire_times(7) == fire_times(7)
+    assert fire_times(7) != fire_times(8)
+
+
+def test_jitter_off_by_default():
+    sim, pacemaker, fired = make()
+    pacemaker.start_view(1)
+    sim.run()
+    assert fired == [(100.0, 1)]  # exact base timeout, no perturbation
 
 
 def test_new_view_replaces_timer():

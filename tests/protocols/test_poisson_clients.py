@@ -1,6 +1,5 @@
 """Tests for Poisson (exponential inter-arrival) client load."""
 
-import pytest
 
 from repro.protocols.system import ConsensusSystem
 from tests.conftest import small_config

@@ -1,6 +1,5 @@
 """Tests for the BaseReplica plumbing: buffering, staleness, charging."""
 
-import pytest
 
 from repro.core.mempool import Transaction
 from repro.core.messages import ClientRequest

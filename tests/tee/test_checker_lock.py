@@ -7,7 +7,7 @@ from repro.crypto.keys import KeyDirectory
 from repro.errors import TEERefusal
 from repro.core.block import genesis_block
 from repro.core.commitment import c_combine
-from repro.core.phases import Phase, Step, StepRule
+from repro.core.phases import Phase, StepRule
 from repro.tee.checker_lock import LockingChecker
 
 QUORUM = 2

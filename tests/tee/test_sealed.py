@@ -83,6 +83,64 @@ def test_tampered_seal_rejected(env):
         manager.unseal_into(restarted, forged)
 
 
+def test_repeated_crash_recover_cycles_stay_monotone(env):
+    """Each cycle seals, restarts and unseals; every older seal dies."""
+    new_checker, manager = env
+    checker = new_checker()
+    older_seals = []
+    for cycle in range(4):
+        advance(checker, 2)
+        sealed = manager.seal(checker)
+        restarted = new_checker()
+        manager.unseal_into(restarted, sealed)
+        assert restarted.step == checker.step
+        checker = restarted
+        older_seals.append(sealed)
+    # Every seal but the newest is now a rollback.
+    for stale in older_seals[:-1]:
+        with pytest.raises(TEERefusal):
+            manager.unseal_into(new_checker(), stale)
+    # The newest one still restores (unseal does not consume it).
+    manager.unseal_into(new_checker(), older_seals[-1])
+
+
+def test_recovered_checker_refuses_resigning_passed_steps(env):
+    """Across repeated cycles, no (view, phase) stamp ever repeats."""
+    new_checker, manager = env
+    checker = new_checker()
+    stamps = set()
+    for cycle in range(3):
+        for _ in range(4):
+            phi = checker.tee_sign()
+            stamp = (phi.v_prep, phi.phase)
+            assert stamp not in stamps
+            stamps.add(stamp)
+        restarted = new_checker()
+        manager.unseal_into(restarted, manager.seal(checker))
+        checker = restarted
+
+
+def test_locking_checker_lock_state_survives_sealing():
+    from repro.tee.checker_lock import LockingChecker
+
+    scheme = HmacScheme(secret=b"seal-lock-tests")
+    directory = KeyDirectory(scheme)
+    genesis = genesis_block()
+    manager = SealManager()
+
+    def new_locking():
+        return LockingChecker(5, scheme, directory, genesis.hash, quorum=2)
+
+    locking = new_locking()
+    advance(locking, 3)
+    sealed = manager.seal(locking)
+    restarted = new_locking()
+    manager.unseal_into(restarted, sealed)
+    assert restarted.step == locking.step
+    assert restarted.locked_view == locking.locked_view
+    assert restarted.locked_hash == locking.locked_hash
+
+
 def test_cross_component_seal_rejected(env):
     new_checker, manager = env
     checker_a = new_checker(0)

@@ -1,9 +1,7 @@
 """Table 1's storage column: trusted state stays constant over history."""
 
-import pytest
 
-from repro.protocols.system import ConsensusSystem
-from tests.conftest import run_protocol, small_config
+from tests.conftest import run_protocol
 
 
 def test_checker_storage_constant_across_views():

@@ -59,6 +59,25 @@ def test_experiment_table1(capsys):
     assert "pbft" in out
 
 
+def test_chaos_command(capsys):
+    code = main(["chaos", "--protocol", "damysus", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "safety               OK" in out
+    assert "liveness after heal  OK" in out
+    assert "crash/recover cycles 1" in out
+
+
+def test_chaos_command_loss_only(capsys):
+    code = main(
+        ["chaos", "--protocol", "hotstuff", "--loss", "0.1", "--seed", "2",
+         "--no-partition", "--no-crash"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "crash/recover cycles 0" in out
+
+
 def test_parser_rejects_unknown_protocol():
     parser = build_parser()
     with pytest.raises(SystemExit):

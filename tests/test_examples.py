@@ -10,7 +10,6 @@ scale).
 import importlib
 import sys
 
-import pytest
 
 sys.path.insert(0, "examples")
 
@@ -46,6 +45,13 @@ def test_replicated_kvstore(capsys):
     out = run_example("replicated_kvstore", capsys)
     assert "all replicas converged" in out
     assert "logins=3" in out
+
+
+def test_chaos_run(capsys):
+    out = run_example("chaos_run", capsys)
+    assert "safety               OK" in out
+    assert "liveness after heal  OK" in out
+    assert "replay is bit-identical" in out
 
 
 def test_regional_deployment_reduced(capsys):
