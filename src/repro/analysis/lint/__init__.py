@@ -1,0 +1,43 @@
+"""``repro lint``: AST-based invariant linter for this reproduction.
+
+The simulator's two load-bearing properties - trusted state lives only
+behind the TEE interface (paper Section 4.1) and every run is
+bit-identical under a seed - are invisible to ordinary linters.  This
+package enforces them mechanically:
+
+* ``TEE00x`` - trust-boundary rules: code outside :mod:`repro.tee` must
+  use the public ``TEEsign``/``TEEprepare``/``TEEstore``/``TEEstart``/
+  ``TEEaccum`` interface, never a component's private state;
+* ``DET00x`` - determinism rules: no ambient randomness or wall-clock
+  time in simulation code; randomness flows through
+  :class:`repro.sim.rng.RngStream`, time through the event loop;
+* ``MSG00x`` - exhaustiveness rules: declared message types are
+  dispatched by some protocol, sent messages have a receiver, and
+  ``Phase`` matches cover every phase.
+
+Findings can be suppressed per line with ``# repro-lint: ignore[RULE]``
+or waived wholesale via a committed baseline file.
+"""
+
+from repro.analysis.lint.engine import (
+    BASELINE_DEFAULT,
+    Finding,
+    all_rule_ids,
+    format_findings_json,
+    format_findings_text,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from repro.analysis.lint import rules_det, rules_msg, rules_tee  # noqa: F401  (register rules)
+
+__all__ = [
+    "BASELINE_DEFAULT",
+    "Finding",
+    "all_rule_ids",
+    "format_findings_json",
+    "format_findings_text",
+    "load_baseline",
+    "run_lint",
+    "write_baseline",
+]

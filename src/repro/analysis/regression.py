@@ -76,7 +76,7 @@ def _check_ordering(figure: str, cells: dict, report: RegressionReport) -> None:
             if cell is not None:
                 tputs[name] = cell["tput_kops"]
         names = [n for n in _ORDERING if n in tputs]
-        for first, second in zip(names, names[1:]):
+        for first, second in zip(names, names[1:], strict=False):
             # Damysus must not fall below HotStuff etc.; equality allowed
             # (coarse cells can tie).
             if first == "damysus" and second == "hotstuff" or second == "hotstuff":

@@ -7,6 +7,7 @@ Commands:
 * ``experiment`` - regenerate one of the paper's tables/figures;
 * ``chaos`` - fault-injection run: lossy links, a partition, crash/recovery;
 * ``counterexample`` - print the Section 4 trusted-counter demonstration;
+* ``lint`` - run the AST invariant linter (TEE boundaries, determinism);
 * ``protocols`` - list the implemented protocols and their properties.
 """
 
@@ -16,6 +17,15 @@ import argparse
 import sys
 
 from repro.analysis.chaos import run_standard_chaos
+from repro.analysis.lint import (
+    BASELINE_DEFAULT,
+    all_rule_ids,
+    format_findings_json,
+    format_findings_text,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
 from repro.analysis.counterexample import run_checker_scenario, run_counter_scenario
 from repro.bench.experiments import fig6, fig7, fig8, fig9, table1_experiment
 from repro.bench.reporting import format_table
@@ -86,6 +96,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fresh committed views required after healing")
 
     sub.add_parser("counterexample", help="Section 4: counters are not enough")
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="AST invariant linter: TEE boundaries, determinism, exhaustiveness",
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint_p.add_argument(
+        "--rule", action="append", dest="rules", metavar="ID",
+        help="restrict to the given rule id(s), e.g. --rule TEE001",
+    )
+    lint_p.add_argument("--format", choices=["text", "json"], default="text")
+    lint_p.add_argument(
+        "--baseline", default=BASELINE_DEFAULT,
+        help=f"baseline of waived findings (default: {BASELINE_DEFAULT})",
+    )
+    lint_p.add_argument(
+        "--no-baseline", action="store_true",
+        help="report findings even if the baseline waives them",
+    )
+    lint_p.add_argument(
+        "--write-baseline", action="store_true",
+        help="waive every current finding by rewriting the baseline",
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit",
+    )
+
     sub.add_parser("protocols", help="list implemented protocols")
     return parser
 
@@ -166,6 +206,28 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule_id in all_rule_ids():
+            print(rule_id)
+        return 0
+    baseline = None if args.no_baseline else load_baseline(args.baseline)
+    try:
+        findings = run_lint(args.paths, rules=args.rules, baseline=baseline)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"baseline: waived {len(findings)} finding(s) in {args.baseline}")
+        return 0
+    if args.format == "json":
+        print(format_findings_json(findings))
+    else:
+        print(format_findings_text(findings))
+    return 1 if findings else 0
+
+
 def _cmd_counterexample(_: argparse.Namespace) -> int:
     print("Plain trusted counters (Section 4.1):")
     print(run_counter_scenario().describe())
@@ -207,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "chaos": _cmd_chaos,
         "counterexample": _cmd_counterexample,
+        "lint": _cmd_lint,
         "protocols": _cmd_protocols,
     }[args.command]
     return handler(args)

@@ -459,13 +459,13 @@ def _dec_client_reply(dec: Decoder) -> ClientReply:
     return ClientReply(dec.i64(), dec.i64(), dec.i64(), dec.f64())
 
 
-def _enc_chained_vote(enc: Encoder, msg) -> None:
+def _enc_chained_vote(enc: Encoder, msg: Any) -> None:
     enc.i64(msg.view)
     enc.opt(msg.prep, lambda phi: _enc_commitment(enc, phi))
     _enc_commitment(enc, msg.nv)
 
 
-def _dec_chained_vote(dec: Decoder):
+def _dec_chained_vote(dec: Decoder) -> Any:
     from repro.protocols.chained_damysus import ChainedVote
 
     return ChainedVote(
@@ -475,7 +475,7 @@ def _dec_chained_vote(dec: Decoder):
     )
 
 
-def _enc_fast_proposal(enc: Encoder, msg) -> None:
+def _enc_fast_proposal(enc: Encoder, msg: Any) -> None:
     enc.i64(msg.view)
     _enc_block(enc, msg.block)
     _enc_qc(enc, msg.justify)
@@ -488,7 +488,7 @@ def _enc_fast_proposal(enc: Encoder, msg) -> None:
             _enc_new_view_a(enc, report)
 
 
-def _dec_fast_proposal(dec: Decoder):
+def _dec_fast_proposal(dec: Decoder) -> Any:
     from repro.protocols.fast_hotstuff import FastProposal
 
     view = dec.i64()
@@ -500,7 +500,7 @@ def _dec_fast_proposal(dec: Decoder):
     return FastProposal(view, block, justify, proof)
 
 
-def _registry():
+def _registry() -> list[tuple[type[Any], Callable[..., None], Callable[..., Any]]]:
     from repro.protocols.chained_damysus import ChainedVote
     from repro.protocols.fast_hotstuff import FastProposal
 
@@ -523,8 +523,8 @@ def _registry():
     ]
 
 
-_BY_TYPE: dict[type, tuple[int, Callable]] = {}
-_BY_TAG: dict[int, Callable] = {}
+_BY_TYPE: dict[type[Any], tuple[int, Callable[..., None]]] = {}
+_BY_TAG: dict[int, Callable[..., Any]] = {}
 
 
 def _ensure_tables() -> None:

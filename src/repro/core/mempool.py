@@ -40,7 +40,7 @@ class Transaction:
         """Bytes this transaction occupies inside a block."""
         return self.payload_bytes + TX_METADATA_BYTES
 
-    def digest_fields(self) -> tuple:
+    def digest_fields(self) -> tuple[int, int, int]:
         return (self.client_id, self.tx_id, self.payload_bytes)
 
 

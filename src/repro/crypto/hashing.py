@@ -33,7 +33,7 @@ _TAG_SEQ = b"\x04"
 _TAG_BOOL = b"\x05"
 
 
-def encode_fields(fields: tuple | list) -> bytes:
+def encode_fields(fields: tuple[Any, ...] | list[Any]) -> bytes:
     """Canonically encode a tuple of fields to bytes.
 
     Supported field types: ``None`` (the paper's bottom symbol), ``bool``,
@@ -65,12 +65,14 @@ def _encode_one(value: Any) -> bytes:
     raise TypeError(f"cannot canonically encode {type(value).__name__}")
 
 
-def hash_fields(fields: tuple | list) -> Hash:
+def hash_fields(fields: tuple[Any, ...] | list[Any]) -> Hash:
     """SHA-256 of the canonical encoding of ``fields``."""
     return sha256(encode_fields(fields))
 
 
-def hash_block_fields(parent_hash: Hash, view: int, payload_digest: Hash, extra: tuple = ()) -> Hash:
+def hash_block_fields(
+    parent_hash: Hash, view: int, payload_digest: Hash, extra: tuple[Any, ...] = ()
+) -> Hash:
     """Hash value of a block from its identifying fields.
 
     Blocks "store the hash values of the blocks they extend" (Section 5),

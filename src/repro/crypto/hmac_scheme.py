@@ -29,6 +29,7 @@ class HmacScheme(SignatureScheme):
     name = "hmac"
 
     def __init__(self, secret: bytes = b"repro-hmac-scheme") -> None:
+        super().__init__()
         self._secret = secret
         self._keys: dict[int, bytes] = {}
 

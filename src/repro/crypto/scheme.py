@@ -12,10 +12,18 @@ directly; TEEs hold private keys internally.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 #: Wire size we account for one signature, matching ECDSA/prime256v1 (64 B).
 SIGNATURE_WIRE_SIZE = 64
+
+#: Deterministic per-instance nonces, allocated in construction order.
+#: Key material derived from a scheme instance stays distinct between
+#: instances (adversaries cannot re-derive another system's keys) yet
+#: identical across identically-seeded runs - unlike ``id()``, which is a
+#: memory address and breaks bit-for-bit reproducibility.
+_SCHEME_NONCE = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -39,6 +47,9 @@ class SignatureScheme:
     """Common interface of the Schnorr and HMAC schemes."""
 
     name = "abstract"
+
+    def __init__(self) -> None:
+        self.instance_nonce = next(_SCHEME_NONCE)
 
     def keygen(self, signer: int) -> None:
         """Create and register a key pair for ``signer``."""

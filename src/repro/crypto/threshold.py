@@ -47,8 +47,13 @@ class ThresholdScheme:
         self.base = base
         self.members = frozenset(members)
         self.threshold = threshold
+        # Bound to the base scheme's deterministic instance nonce: every
+        # group over the same base derives the same secret (so replicas'
+        # independently-built groups agree on combined signatures), while
+        # distinct systems cannot cross-verify each other's certificates.
         self._group_secret = hashlib.sha256(
-            f"threshold:{group_name}:{sorted(members)}:{threshold}:{id(base)}".encode()
+            f"threshold:{group_name}:{sorted(members)}:{threshold}:"
+            f"{base.name}:{base.instance_nonce}".encode()
         ).digest()
 
     # -- shares ------------------------------------------------------------------

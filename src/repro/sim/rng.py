@@ -12,6 +12,9 @@ from __future__ import annotations
 
 import hashlib
 import random
+from typing import MutableSequence, Sequence, TypeVar
+
+T = TypeVar("T")
 
 
 def derive_seed(master_seed: int, name: str) -> int:
@@ -43,11 +46,11 @@ class RngStream:
         """Uniform integer in [lo, hi]."""
         return self._rng.randint(lo, hi)
 
-    def choice(self, seq):
+    def choice(self, seq: Sequence[T]) -> T:
         """Uniformly pick one element of a non-empty sequence."""
         return self._rng.choice(seq)
 
-    def shuffle(self, seq: list) -> None:
+    def shuffle(self, seq: MutableSequence[T]) -> None:
         """In-place Fisher-Yates shuffle."""
         self._rng.shuffle(seq)
 

@@ -54,7 +54,8 @@ class LockingChecker(Checker):
     def _seal_fields(self) -> list[bytes]:
         # The lock is protected state too: a restart must not forget it,
         # or the host could vote for a conflicting branch after recovery.
-        return super()._seal_fields() + [
+        return [
+            *super()._seal_fields(),
             str(self._lockv).encode(),
             self._lockh.hex().encode(),
         ]

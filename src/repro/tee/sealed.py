@@ -37,9 +37,13 @@ class SealedState:
 def _seal_key(checker: Checker) -> bytes:
     # Derived from the component's confidential signing identity: only
     # this component can produce or verify its seals.  Reaching into the
-    # private attribute mirrors "inside the enclave" code.
+    # private attribute mirrors "inside the enclave" code.  The scheme is
+    # bound by its stable name, never id(): seal keys must be identical
+    # across identically-seeded runs.
     return hashlib.sha256(
-        b"seal-key" + str(checker._signer).encode() + id(checker._scheme).to_bytes(8, "big")
+        b"seal-key"
+        + str(checker._signer).encode()
+        + checker._scheme.name.encode()
     ).digest()
 
 

@@ -54,4 +54,4 @@ def test_declared_wire_size_matches_ecdsa(scheme):
 def test_verify_all(scheme):
     sigs = [scheme.sign(1, b"m"), scheme.sign(2, b"m")]
     assert scheme.verify_all(b"m", sigs)
-    assert not scheme.verify_all(b"m", sigs + [scheme.sign(1, b"m")])
+    assert not scheme.verify_all(b"m", [*sigs, scheme.sign(1, b"m")])

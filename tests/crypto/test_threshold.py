@@ -42,21 +42,21 @@ def test_combine_requires_threshold(scheme):
 def test_combine_rejects_duplicates(scheme):
     two = shares(scheme, [0, 1])
     with pytest.raises(VerificationError):
-        scheme.combine(MSG, two + [two[0]])
+        scheme.combine(MSG, [*two, two[0]])
 
 
 def test_combine_rejects_non_members(scheme):
     base_shares = shares(scheme, [0, 1])
     outsider = scheme.base.sign(4, MSG)  # signer 4 is not a member
     with pytest.raises(VerificationError):
-        scheme.combine(MSG, base_shares + [outsider])
+        scheme.combine(MSG, [*base_shares, outsider])
 
 
 def test_combine_rejects_invalid_shares(scheme):
     good = shares(scheme, [0, 1])
     forged = Signature(2, b"\x00" * 32, "hmac")
     with pytest.raises(VerificationError):
-        scheme.combine(MSG, good + [forged])
+        scheme.combine(MSG, [*good, forged])
 
 
 def test_group_signature_constant_size(scheme):

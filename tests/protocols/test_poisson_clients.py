@@ -34,7 +34,7 @@ def test_poisson_arrivals_are_irregular():
         [c.submitted_at for c in system.clients[0].completed]
         + list(system.clients[0].submitted.values())
     )
-    gaps = {round(b - a, 6) for a, b in zip(times, times[1:])}
+    gaps = {round(b - a, 6) for a, b in zip(times, times[1:], strict=False)}
     assert len(gaps) > 3  # periodic arrivals would give a single gap
 
 
@@ -45,7 +45,7 @@ def test_periodic_arrivals_are_regular():
     times = sorted(
         [c.submitted_at for c in client.completed] + list(client.submitted.values())
     )
-    gaps = {round(b - a, 6) for a, b in zip(times, times[1:])}
+    gaps = {round(b - a, 6) for a, b in zip(times, times[1:], strict=False)}
     assert gaps == {5.0}
 
 

@@ -26,6 +26,35 @@ def test_derive_seed_is_stable():
     assert derive_seed(7, "latency") != derive_seed(7, "latency2")
 
 
+def test_derive_seed_distinct_for_distinct_names():
+    seeds = {derive_seed(7, name) for name in ("a", "b", "latency:0->1", "latency:1->0", "clients")}
+    assert len(seeds) == 5
+
+
+def test_derive_seed_identical_for_identical_inputs():
+    for seed, name in [(0, "x"), (2**63, "x"), (7, "latency:3->7")]:
+        assert derive_seed(seed, name) == derive_seed(seed, name)
+
+
+def test_interleaved_draws_do_not_interfere():
+    # Drawing from one stream must not perturb another: a stream's n-th
+    # draw is the same whether or not other streams were used in between.
+    solo = RngStream(11, "net")
+    expected = [solo.random() for _ in range(8)]
+
+    net = RngStream(11, "net")
+    clients = RngStream(11, "clients")
+    crash = RngStream(11, "crash")
+    observed = []
+    for i in range(8):
+        clients.random()
+        observed.append(net.random())
+        crash.randint(0, 100)
+        if i % 2:
+            clients.expovariate(1.0)
+    assert observed == expected
+
+
 def test_uniform_bounds():
     stream = RngStream(3, "u")
     for _ in range(100):

@@ -88,7 +88,7 @@ def test_repeated_crash_recover_cycles_stay_monotone(env):
     new_checker, manager = env
     checker = new_checker()
     older_seals = []
-    for cycle in range(4):
+    for _ in range(4):
         advance(checker, 2)
         sealed = manager.seal(checker)
         restarted = new_checker()
@@ -109,7 +109,7 @@ def test_recovered_checker_refuses_resigning_passed_steps(env):
     new_checker, manager = env
     checker = new_checker()
     stamps = set()
-    for cycle in range(3):
+    for _ in range(3):
         for _ in range(4):
             phi = checker.tee_sign()
             stamp = (phi.v_prep, phi.phase)
