@@ -146,6 +146,7 @@ def _throughput_latency_figure(
     thresholds: list[int],
     views_per_run: int,
     repetitions: int,
+    jobs: int = 1,
 ) -> ExperimentReport:
     runner = ExperimentRunner(
         regions=regions,
@@ -153,7 +154,7 @@ def _throughput_latency_figure(
         views_per_run=views_per_run,
         repetitions=repetitions,
     )
-    grid = runner.sweep(ALL_PROTOCOLS, thresholds)
+    grid = runner.sweep(ALL_PROTOCOLS, thresholds, jobs=jobs)
     rows = []
     for protocol in ALL_PROTOCOLS:
         for f in thresholds:
@@ -206,6 +207,7 @@ def fig6(
     thresholds: list[int] | None = None,
     views_per_run: int = 6,
     repetitions: int = 2,
+    jobs: int = 1,
 ) -> ExperimentReport:
     """Fig 6a (256 B) / Fig 6b (0 B): 4 EU regions."""
     label = "a" if payload_bytes else "b"
@@ -216,6 +218,7 @@ def fig6(
         thresholds=thresholds or DEFAULT_THRESHOLDS,
         views_per_run=views_per_run,
         repetitions=repetitions,
+        jobs=jobs,
     )
 
 
@@ -224,6 +227,7 @@ def fig7(
     thresholds: list[int] | None = None,
     views_per_run: int = 6,
     repetitions: int = 2,
+    jobs: int = 1,
 ) -> ExperimentReport:
     """Fig 7a (256 B) / Fig 7b (0 B): 11 world regions."""
     label = "a" if payload_bytes else "b"
@@ -234,6 +238,7 @@ def fig7(
         thresholds=thresholds or DEFAULT_THRESHOLDS,
         views_per_run=views_per_run,
         repetitions=repetitions,
+        jobs=jobs,
     )
 
 
@@ -241,13 +246,26 @@ def fig7(
 # Figure 8: comparison at fixed N = 61
 # ---------------------------------------------------------------------------
 
-def fig8(views_per_run: int = 6, repetitions: int = 1) -> ExperimentReport:
+#: Fig 8's (protocol, f) cells: every system has N = 61 replicas.
+FIG8_CELLS = [
+    ("hotstuff", 20),
+    ("chained-hotstuff", 20),
+    ("damysus-c", 30),
+    ("damysus-a", 20),
+    ("damysus", 30),
+    ("chained-damysus", 30),
+]
+
+
+def fig8(views_per_run: int = 6, repetitions: int = 1, jobs: int = 1) -> ExperimentReport:
     """Fig 8: improvements over (chained) HotStuff at N = 61.
 
     3 x 20 + 1 = 61 = 2 x 30 + 1: the non-hybrid protocols run with
     f = 20 and the hybrid ones with f = 30, so all systems have 61
     replicas while the hybrid ones additionally tolerate 10 more faults.
     """
+    from repro.bench.parallel import run_cells
+
     rows = []
     data = {}
     for fig_name, regions, payload in [
@@ -262,14 +280,8 @@ def fig8(views_per_run: int = 6, repetitions: int = 1) -> ExperimentReport:
             views_per_run=views_per_run,
             repetitions=repetitions,
         )
-        cells = {
-            "hotstuff": runner.run_cell("hotstuff", 20),
-            "chained-hotstuff": runner.run_cell("chained-hotstuff", 20),
-            "damysus-c": runner.run_cell("damysus-c", 30),
-            "damysus-a": runner.run_cell("damysus-a", 20),
-            "damysus": runner.run_cell("damysus", 30),
-            "chained-damysus": runner.run_cell("chained-damysus", 30),
-        }
+        grid = run_cells(runner, FIG8_CELLS, jobs=jobs)
+        cells = {protocol: grid[(protocol, f)] for protocol, f in FIG8_CELLS}
         data[fig_name] = cells
         row = [fig_name]
         for protocol, baseline in [

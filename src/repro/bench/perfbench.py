@@ -1,0 +1,258 @@
+"""Perf measurement and the ``repro perf`` baseline/check gate.
+
+Two measurements feed ``BENCH_baseline.json``:
+
+* **hotpath** - one simulation cell run twice, with the result-invisible
+  caches (:mod:`repro.perf`) enabled and disabled, reporting the
+  simulator's events/sec counters.  The cached/uncached ratio isolates
+  the hot-path optimization win on a single core.
+* **grid** - a small Fig 6-style grid timed sequentially with caches off
+  (approximating the unoptimized code), sequentially with caches on, and
+  in parallel (``repro.bench.parallel``).  ``total_speedup`` is the
+  end-to-end win; on a multi-core runner it multiplies the cache and
+  parallel factors.
+
+``check_bench`` reuses :mod:`repro.analysis.regression`'s drift
+machinery (:class:`Drift` / :class:`RegressionReport`) to diff a fresh
+measurement against the committed baseline.  Wall-clock numbers on
+shared CI are noisy, so the gate only fails on *pathological* slowdowns
+(default 3x) or on losing the speedups outright.  The parallel
+expectation scales with the cores actually available: a single-core
+machine can only demonstrate the cache win, and the gate says so rather
+than flaking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Any
+
+from repro import perf
+from repro.analysis.regression import Drift, RegressionReport
+from repro.bench.experiments import ALL_PROTOCOLS
+from repro.bench.parallel import resolve_jobs, run_cells
+from repro.bench.runner import ExperimentRunner
+from repro.config import SystemConfig
+from repro.protocols.system import ConsensusSystem
+
+#: Default baseline location (repo root, next to full_results.json's dir).
+BASELINE_DEFAULT = "BENCH_baseline.json"
+
+#: Default measurement parameters, recorded in the baseline's ``meta`` so
+#: a later ``--check`` re-measures the *same* workload.
+DEFAULT_HOTPATH = {"protocol": "hotstuff", "f": 20, "views": 6, "payload": 256, "seed": 1}
+#: Grid thresholds lean toward the paper's larger f values: quorum
+#: verification cost grows quadratically with f, which is exactly what
+#: the caches optimize, so small-f-only grids under-report the win.
+DEFAULT_GRID = {"thresholds": [2, 10, 20], "views": 6, "repetitions": 2, "payload": 256}
+
+#: Slowdown factor treated as a regression (generous: CI machines vary).
+DEFAULT_THRESHOLD = 3.0
+
+#: Required end-to-end grid speedup per effective worker count.  With 2+
+#: cores the parallel executor must combine with the caches for >= 2x;
+#: a single core can only show the cache win.
+MULTI_CORE_REQUIRED_SPEEDUP = 2.0
+SINGLE_CORE_REQUIRED_SPEEDUP = 1.1
+
+#: The hot-path caches must keep buying a measurable single-cell win.
+MIN_CACHE_SPEEDUP = 1.05
+
+
+def _time_cell(
+    protocol: str, f: int, views: int, payload: int, seed: int
+) -> tuple[float, int, float, float]:
+    """Run one cell; return (wall s, events fired, throughput, latency)."""
+    config = SystemConfig(protocol=protocol, f=f, payload_bytes=payload, seed=seed)
+    system = ConsensusSystem(config)
+    system.sim.attach_wall_clock(time.perf_counter)
+    result = system.run_until_views(views)
+    return (
+        system.sim.wall_seconds,
+        system.sim.events_processed,
+        result.throughput_kops,
+        result.mean_latency_ms,
+    )
+
+
+def measure_hotpath(params: dict[str, Any] | None = None) -> dict[str, Any]:
+    """One cell, caches on vs off; asserts the results are identical."""
+    p = dict(DEFAULT_HOTPATH)
+    p.update(params or {})
+    out: dict[str, Any] = {"params": p}
+    results = {}
+    try:
+        for label, enabled in (("cached", True), ("uncached", False)):
+            perf.set_caches_enabled(enabled)
+            wall, events, tput, lat = _time_cell(
+                p["protocol"], p["f"], p["views"], p["payload"], p["seed"]
+            )
+            out[label] = {
+                "wall_seconds": round(wall, 4),
+                "events": events,
+                "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+            }
+            results[label] = (tput, lat)
+    finally:
+        perf.set_caches_enabled(True)
+    if results["cached"] != results["uncached"]:
+        raise AssertionError(
+            f"caches changed results: {results['cached']} != {results['uncached']}"
+        )
+    cached_s = out["cached"]["wall_seconds"]
+    uncached_s = out["uncached"]["wall_seconds"]
+    out["cache_speedup"] = round(uncached_s / cached_s, 3) if cached_s > 0 else 0.0
+    return out
+
+
+def measure_grid(
+    params: dict[str, Any] | None = None, jobs: int = 0
+) -> dict[str, Any]:
+    """Time a small Fig 6-style grid: sequential uncached/cached + parallel."""
+    p = dict(DEFAULT_GRID)
+    p.update(params or {})
+    runner = ExperimentRunner(
+        payload_bytes=p["payload"],
+        views_per_run=p["views"],
+        repetitions=p["repetitions"],
+    )
+    cells = [(protocol, f) for protocol in ALL_PROTOCOLS for f in p["thresholds"]]
+    timings: dict[str, float] = {}
+    grids: dict[str, Any] = {}
+    try:
+        perf.set_caches_enabled(False)
+        start = time.perf_counter()
+        grids["sequential_uncached"] = run_cells(runner, cells, jobs=1)
+        timings["sequential_uncached_s"] = time.perf_counter() - start
+
+        perf.set_caches_enabled(True)
+        perf.clear_caches()
+        start = time.perf_counter()
+        grids["sequential_cached"] = run_cells(runner, cells, jobs=1)
+        timings["sequential_cached_s"] = time.perf_counter() - start
+    finally:
+        perf.set_caches_enabled(True)
+
+    effective_jobs = min(resolve_jobs(jobs), 4)
+    if effective_jobs > 1:
+        start = time.perf_counter()
+        grids["parallel_cached"] = run_cells(runner, cells, jobs=effective_jobs)
+        timings["parallel_cached_s"] = time.perf_counter() - start
+        if grids["parallel_cached"] != grids["sequential_cached"]:
+            raise AssertionError("parallel grid diverged from sequential grid")
+    else:
+        timings["parallel_cached_s"] = timings["sequential_cached_s"]
+    if grids["sequential_uncached"] != grids["sequential_cached"]:
+        raise AssertionError("caches changed grid results")
+
+    out: dict[str, Any] = {"params": p, "cells": len(cells), "jobs": effective_jobs}
+    out.update({k: round(v, 3) for k, v in timings.items()})
+    seq_un = timings["sequential_uncached_s"]
+    seq_ca = timings["sequential_cached_s"]
+    par_ca = timings["parallel_cached_s"]
+    out["cache_speedup"] = round(seq_un / seq_ca, 3) if seq_ca > 0 else 0.0
+    out["parallel_speedup"] = round(seq_ca / par_ca, 3) if par_ca > 0 else 0.0
+    out["total_speedup"] = round(seq_un / par_ca, 3) if par_ca > 0 else 0.0
+    return out
+
+
+def collect_bench(jobs: int = 0, quick: bool = False) -> dict[str, Any]:
+    """Full measurement blob for the baseline file."""
+    hot_params = dict(DEFAULT_HOTPATH)
+    grid_params = dict(DEFAULT_GRID)
+    if quick:
+        # Keep f=10 in the quick grid: the caches' win scales with f, and
+        # an all-small-f grid would under-report it into gate noise.
+        hot_params.update(f=10, views=4)
+        grid_params.update(thresholds=[2, 10], views=4, repetitions=1)
+    return {
+        "meta": {
+            "cpus": os.cpu_count() or 1,
+            "quick": quick,
+            "schema": 1,
+        },
+        "hotpath": measure_hotpath(hot_params),
+        "grid": measure_grid(grid_params, jobs=jobs),
+    }
+
+
+def write_baseline(path: str | pathlib.Path, bench: dict[str, Any]) -> None:
+    pathlib.Path(path).write_text(json.dumps(bench, indent=2) + "\n")
+
+
+def load_baseline(path: str | pathlib.Path) -> dict[str, Any]:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def required_grid_speedup(effective_jobs: int) -> float:
+    """What total grid speedup the gate demands on this machine."""
+    if effective_jobs >= 2:
+        return MULTI_CORE_REQUIRED_SPEEDUP
+    return SINGLE_CORE_REQUIRED_SPEEDUP
+
+
+def check_bench(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[bool, RegressionReport, list[str]]:
+    """Diff a fresh measurement against the baseline.
+
+    Returns ``(ok, report, messages)``.  Failure conditions:
+
+    * hot-path events/sec dropped by more than ``threshold``x;
+    * grid wall-clock grew by more than ``threshold``x;
+    * the cache win vanished (cache_speedup below ``MIN_CACHE_SPEEDUP``);
+    * total grid speedup below what this machine's cores require.
+    """
+    report = RegressionReport()
+    messages: list[str] = []
+    ok = True
+
+    base_eps = baseline["hotpath"]["cached"]["events_per_sec"]
+    cur_eps = current["hotpath"]["cached"]["events_per_sec"]
+    report.drifts.append(Drift("hotpath", "cached", "events_per_sec", base_eps, cur_eps))
+    if base_eps > 0 and cur_eps < base_eps / threshold:
+        ok = False
+        messages.append(
+            f"FAIL hotpath: {cur_eps:.0f} events/s vs baseline {base_eps:.0f} "
+            f"(more than {threshold:g}x slower)"
+        )
+
+    for metric in ("sequential_cached_s", "parallel_cached_s"):
+        base_s = baseline["grid"][metric]
+        cur_s = current["grid"][metric]
+        report.drifts.append(Drift("grid", "fig6-small", metric, base_s, cur_s))
+        if base_s > 0 and cur_s > base_s * threshold:
+            ok = False
+            messages.append(
+                f"FAIL grid {metric}: {cur_s:.2f}s vs baseline {base_s:.2f}s "
+                f"(more than {threshold:g}x slower)"
+            )
+
+    cache_speedup = current["hotpath"]["cache_speedup"]
+    if cache_speedup < MIN_CACHE_SPEEDUP:
+        ok = False
+        messages.append(
+            f"FAIL hotpath cache_speedup {cache_speedup:.2f}x < "
+            f"{MIN_CACHE_SPEEDUP:g}x: the result-invisible caches stopped paying"
+        )
+
+    jobs = current["grid"]["jobs"]
+    required = required_grid_speedup(jobs)
+    total = current["grid"]["total_speedup"]
+    if total < required:
+        ok = False
+        messages.append(
+            f"FAIL grid total_speedup {total:.2f}x < required {required:g}x "
+            f"(jobs={jobs})"
+        )
+    else:
+        messages.append(
+            f"ok: grid total_speedup {total:.2f}x (required {required:g}x at "
+            f"jobs={jobs}), hotpath cache_speedup {cache_speedup:.2f}x"
+        )
+    return ok, report, messages

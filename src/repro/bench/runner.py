@@ -57,11 +57,14 @@ class ExperimentRunner:
         return summarize_runs(runs)
 
     def sweep(
-        self, protocols: list[str], thresholds: list[int]
+        self, protocols: list[str], thresholds: list[int], jobs: int = 1
     ) -> dict[tuple[str, int], Summary]:
-        """The full grid a throughput/latency figure needs."""
-        results: dict[tuple[str, int], Summary] = {}
-        for protocol in protocols:
-            for f in thresholds:
-                results[(protocol, f)] = self.run_cell(protocol, f)
-        return results
+        """The full grid a throughput/latency figure needs.
+
+        ``jobs > 1`` shards repetitions across worker processes (0 means
+        one per core); the merged summaries are identical to ``jobs=1``.
+        """
+        from repro.bench.parallel import run_cells
+
+        cells = [(protocol, f) for protocol in protocols for f in thresholds]
+        return run_cells(self, cells, jobs=jobs)

@@ -5,6 +5,9 @@ Commands:
 * ``run`` - simulate one protocol deployment and print its metrics;
 * ``compare`` - run several protocols on the same deployment side by side;
 * ``experiment`` - regenerate one of the paper's tables/figures;
+* ``bench`` - run an experiment grid, optionally sharded across processes;
+* ``profile`` - cProfile one scenario cell and print the hot functions;
+* ``perf`` - write or check the perf baseline (``BENCH_baseline.json``);
 * ``chaos`` - fault-injection run: lossy links, a partition, crash/recovery;
 * ``counterexample`` - print the Section 4 trusted-counter demonstration;
 * ``lint`` - run the AST invariant linter (TEE boundaries, determinism);
@@ -78,6 +81,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    bench_p = sub.add_parser(
+        "bench", help="run an experiment grid, optionally sharded across processes"
+    )
+    bench_p.add_argument(
+        "name", choices=["fig6a", "fig6b", "fig7a", "fig7b", "fig8"],
+        help="which grid to run",
+    )
+    bench_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the grid (0 = one per core, 1 = in-process)",
+    )
+    bench_p.add_argument("--thresholds", type=int, nargs="*", default=None,
+                         metavar="F", help="fault thresholds (fig6/fig7 only)")
+    bench_p.add_argument("--views", type=int, default=6, help="views per run")
+    bench_p.add_argument("--reps", type=int, default=2, help="repetitions per cell")
+
+    prof_p = sub.add_parser(
+        "profile", help="cProfile one scenario cell and print the hot functions"
+    )
+    prof_p.add_argument("--protocol", default="damysus", choices=sorted(SPECS))
+    prof_p.add_argument("--f", type=int, default=10, help="fault threshold")
+    prof_p.add_argument("--views", type=int, default=8, help="blocks to commit")
+    prof_p.add_argument("--payload", type=int, default=256, help="tx payload bytes")
+    prof_p.add_argument("--regions", default="eu", choices=sorted(_REGIONS))
+    prof_p.add_argument("--seed", type=int, default=1)
+    prof_p.add_argument("--top", type=int, default=20,
+                        help="functions to print, by cumulative time")
+    prof_p.add_argument("--no-caches", action="store_true",
+                        help="profile with the result-invisible caches disabled")
+
+    perf_p = sub.add_parser(
+        "perf", help="write or check the perf baseline (BENCH_baseline.json)"
+    )
+    perf_group = perf_p.add_mutually_exclusive_group(required=True)
+    perf_group.add_argument("--check", action="store_true",
+                            help="re-measure and compare against the baseline")
+    perf_group.add_argument("--write-baseline", action="store_true",
+                            help="measure and (over)write the baseline file")
+    perf_p.add_argument("--baseline", default=None,
+                        help="baseline path (default: BENCH_baseline.json)")
+    perf_p.add_argument("--threshold", type=float, default=None,
+                        help="slowdown factor treated as a regression (default 3.0)")
+    perf_p.add_argument("--jobs", type=int, default=0,
+                        help="workers for the grid measurement (0 = one per core)")
+    perf_p.add_argument("--quick", action="store_true",
+                        help="tiny workload for CI smoke (recorded in the baseline)")
 
     chaos_p = sub.add_parser(
         "chaos",
@@ -192,6 +242,96 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import fig6, fig7, fig8
+
+    if args.name == "fig8":
+        report = fig8(views_per_run=args.views, repetitions=args.reps, jobs=args.jobs)
+    else:
+        fig = fig6 if args.name.startswith("fig6") else fig7
+        payload = 256 if args.name.endswith("a") else 0
+        report = fig(
+            payload_bytes=payload,
+            thresholds=args.thresholds,
+            views_per_run=args.views,
+            repetitions=args.reps,
+            jobs=args.jobs,
+        )
+    print(report.render())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    from repro import perf
+
+    config = SystemConfig(
+        protocol=args.protocol,
+        f=args.f,
+        payload_bytes=args.payload,
+        regions=_REGIONS[args.regions],
+        seed=args.seed,
+    )
+    perf.set_caches_enabled(not args.no_caches)
+    try:
+        system = ConsensusSystem(config)
+        system.sim.attach_wall_clock(time.perf_counter)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = system.run_until_views(args.views)
+        profiler.disable()
+    finally:
+        perf.set_caches_enabled(True)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print(stream.getvalue().rstrip())
+    sim = system.sim
+    print(f"caches             {'off' if args.no_caches else 'on'}")
+    print(f"committed blocks   {result.committed_blocks}")
+    print(f"events fired       {sim.events_processed}")
+    print(f"wall seconds       {sim.wall_seconds:.3f}")
+    print(f"events / wall s    {sim.events_per_wall_second:,.0f}")
+    print(f"wall s / sim s     {sim.wall_seconds_per_sim_second:.3f}")
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.bench import perfbench
+
+    baseline_path = args.baseline or perfbench.BASELINE_DEFAULT
+    threshold = args.threshold if args.threshold is not None else perfbench.DEFAULT_THRESHOLD
+    if args.write_baseline:
+        bench = perfbench.collect_bench(jobs=args.jobs, quick=args.quick)
+        perfbench.write_baseline(baseline_path, bench)
+        grid = bench["grid"]
+        print(
+            f"wrote {baseline_path}: hotpath cache_speedup "
+            f"{bench['hotpath']['cache_speedup']:.2f}x, grid total_speedup "
+            f"{grid['total_speedup']:.2f}x (jobs={grid['jobs']})"
+        )
+        return 0
+    try:
+        baseline = perfbench.load_baseline(baseline_path)
+    except FileNotFoundError:
+        print(f"no baseline at {baseline_path}; run `repro perf --write-baseline`",
+              file=sys.stderr)
+        return 2
+    # Re-measure the same workload the baseline recorded (quick or full);
+    # a --quick flag on --check would compare apples to oranges.
+    quick = bool(baseline["meta"].get("quick"))
+    current = perfbench.collect_bench(jobs=args.jobs, quick=quick)
+    ok, report, messages = perfbench.check_bench(baseline, current, threshold=threshold)
+    print(report.summary(drift_threshold=threshold - 1.0))
+    for message in messages:
+        print(message)
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     report = run_standard_chaos(
         args.protocol,
@@ -267,6 +407,9 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
+        "bench": _cmd_bench,
+        "profile": _cmd_profile,
+        "perf": _cmd_perf,
         "chaos": _cmd_chaos,
         "counterexample": _cmd_counterexample,
         "lint": _cmd_lint,

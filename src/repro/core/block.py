@@ -30,7 +30,7 @@ BLOCK_HEADER_BYTES = HASH_SIZE + 4 + 4 + 8
 GENESIS_PAYLOAD_DIGEST: Hash = hash_fields(("genesis",))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Block:
     """A proposal: transactions plus a pointer to the extended block."""
 
@@ -42,6 +42,10 @@ class Block:
     is_blank: bool = False
     created_at: float = 0.0
     _hash: Hash = field(default=b"", repr=False, compare=False)
+    _wire_size: int = field(default=-1, init=False, repr=False, compare=False)
+    # Wire encoding memo, filled by repro.core.codec: blocks are immutable,
+    # so their byte encoding can be computed once per object.
+    _codec_bytes: bytes = field(default=b"", init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         just_digest = self.justify.digest() if self.justify is not None else b""
@@ -76,10 +80,19 @@ class Block:
         return len(self.transactions)
 
     def wire_size(self) -> int:
-        """Bytes of this block on the wire (header + txs + justification)."""
-        size = BLOCK_HEADER_BYTES + sum(tx.wire_size() for tx in self.transactions)
-        if self.justify is not None:
-            size += self.justify.wire_size()
+        """Bytes of this block on the wire (header + txs + justification).
+
+        Computed once and cached: the network asks for a block's size on
+        every send of every proposal carrying it, and summing 400
+        per-transaction sizes each time dominated the send path.  Blocks
+        are immutable, so the size can never change.
+        """
+        size = self._wire_size
+        if size < 0:
+            size = BLOCK_HEADER_BYTES + sum(tx.wire_size() for tx in self.transactions)
+            if self.justify is not None:
+                size += self.justify.wire_size()
+            object.__setattr__(self, "_wire_size", size)
         return size
 
 

@@ -12,14 +12,15 @@ in Section 7.1:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro import perf
 from repro.crypto.hashing import HASH_SIZE, Hash, encode_fields, sha256
 from repro.crypto.scheme import SIGNATURE_WIRE_SIZE, Signature, SignatureScheme
 from repro.core.phases import Phase
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QuorumCert:
     """A set of partial signatures certifying a block at (view, phase)."""
 
@@ -28,6 +29,7 @@ class QuorumCert:
     phase: Phase
     sigs: tuple[Signature, ...]
     is_genesis: bool = False
+    _digest: Hash = field(default=b"", init=False, repr=False, compare=False)
 
     # -- certificate vocabulary (Section 7.1) -------------------------------
 
@@ -63,8 +65,15 @@ class QuorumCert:
         return scheme.verify_all(self.signed_payload(), list(self.sigs))
 
     def digest(self) -> Hash:
-        """Digest for embedding the certificate in a block hash."""
-        return sha256(
+        """Digest for embedding the certificate in a block hash.
+
+        Computed once per (immutable) certificate object and cached;
+        certificates are digested whenever a block embedding them is
+        hashed or re-hashed.
+        """
+        if self._digest:
+            return self._digest
+        digest = sha256(
             encode_fields(
                 (
                     "qc",
@@ -76,14 +85,33 @@ class QuorumCert:
                 )
             )
         )
+        object.__setattr__(self, "_digest", digest)
+        return digest
 
     def wire_size(self) -> int:
         return 4 + 1 + HASH_SIZE + 4 + SIGNATURE_WIRE_SIZE * len(self.sigs)
 
 
+#: Memoized vote payloads.  Every vote, QC assembly and QC verification
+#: for the same (view, phase, block) re-encodes the same canonical bytes;
+#: the encoding is a pure function of the key, so memoization is
+#: invisible to results.
+_VOTE_PAYLOAD_CACHE: dict[tuple[int, str, Hash], bytes] = {}
+perf.register_cache_clearer(_VOTE_PAYLOAD_CACHE.clear)
+
+
 def vote_payload(view: int, phase: Phase, block_hash: Hash) -> bytes:
     """Canonical bytes a replica signs when voting in HotStuff-style phases."""
-    return encode_fields(("vote", view, phase.value, block_hash))
+    if not perf.caches_enabled():
+        return encode_fields(("vote", view, phase.value, block_hash))
+    key = (view, phase.value, block_hash)
+    payload = _VOTE_PAYLOAD_CACHE.get(key)
+    if payload is None:
+        if len(_VOTE_PAYLOAD_CACHE) >= 65536:  # bound memory, not results
+            _VOTE_PAYLOAD_CACHE.clear()
+        payload = encode_fields(("vote", view, phase.value, block_hash))
+        _VOTE_PAYLOAD_CACHE[key] = payload
+    return payload
 
 
 def genesis_qc(genesis_hash: Hash) -> QuorumCert:
@@ -97,7 +125,7 @@ def genesis_qc(genesis_hash: Hash) -> QuorumCert:
     )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Accumulator:
     """Certificate that ``prep_hash`` is the highest prepared block.
 
@@ -112,6 +140,7 @@ class Accumulator:
     signature: Signature
     ids: tuple[int, ...] | None = None  # working form
     count: int | None = None  # finalized form
+    _digest: Hash = field(default=b"", init=False, repr=False, compare=False)
 
     # -- certificate vocabulary ----------------------------------------------
 
@@ -151,10 +180,12 @@ class Accumulator:
 
     def verify(self, scheme: SignatureScheme) -> bool:
         """Check the accumulator TEE's signature over the current form."""
-        return scheme.verify(self.signed_payload(), self.signature)
+        return scheme.verify_cached(self.signed_payload(), self.signature)
 
     def digest(self) -> Hash:
-        return sha256(
+        if self._digest:
+            return self._digest
+        digest = sha256(
             encode_fields(
                 (
                     "acc-digest",
@@ -166,6 +197,8 @@ class Accumulator:
                 )
             )
         )
+        object.__setattr__(self, "_digest", digest)
+        return digest
 
     def wire_size(self) -> int:
         ids_bytes = 4 if self.finalized else 4 * len(self.ids or ())

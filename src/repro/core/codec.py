@@ -18,6 +18,7 @@ from __future__ import annotations
 import struct
 from typing import Any, Callable
 
+from repro import perf
 from repro.crypto.hashing import HASH_SIZE, Hash
 from repro.crypto.scheme import Signature
 from repro.errors import ProtocolError
@@ -268,6 +269,26 @@ _JUST_NONE, _JUST_QC, _JUST_ACC, _JUST_COMMIT = range(4)
 
 
 def _enc_block(enc: Encoder, block: Block) -> None:
+    """Encode a block, memoizing the bytes on the (immutable) block object.
+
+    The same block body is re-encoded for every peer a proposal is sent
+    to and for every block-sync response; the encoding is a pure function
+    of the block's content, so caching it on the object is invisible on
+    the wire.
+    """
+    if perf.caches_enabled():
+        cached = block._codec_bytes
+        if not cached:
+            sub = Encoder()
+            _enc_block_fields(sub, block)
+            cached = sub.bytes()
+            object.__setattr__(block, "_codec_bytes", cached)
+        enc.raw(cached)
+        return
+    _enc_block_fields(enc, block)
+
+
+def _enc_block_fields(enc: Encoder, block: Block) -> None:
     enc.hash32(block.parent_hash)
     enc.i64(block.view)
     enc.u8(1 if block.is_genesis else 0)

@@ -21,13 +21,14 @@ import itertools
 from collections import deque
 from dataclasses import dataclass
 
+from repro import perf
 from repro.crypto.hashing import Hash, hash_fields
 
 #: Metadata bytes per transaction (2 x 4 B ids + 32 B previous-block hash).
 TX_METADATA_BYTES = 40
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Transaction:
     """A client transaction; payload content is abstracted to its size."""
 
@@ -44,9 +45,24 @@ class Transaction:
         return (self.client_id, self.tx_id, self.payload_bytes)
 
 
+#: Memoized payload digests keyed by the (immutable) transaction tuple.
+#: The same tuple is re-digested whenever a block is reconstructed from
+#: the wire or re-hashed; the digest is a pure function of its content.
+_PAYLOAD_DIGEST_CACHE: dict[tuple[Transaction, ...], Hash] = {}
+perf.register_cache_clearer(_PAYLOAD_DIGEST_CACHE.clear)
+
+
 def payload_digest(transactions: tuple[Transaction, ...]) -> Hash:
     """Digest binding a block to its transaction list."""
-    return hash_fields(tuple(tx.digest_fields() for tx in transactions))
+    if not perf.caches_enabled():
+        return hash_fields(tuple(tx.digest_fields() for tx in transactions))
+    digest = _PAYLOAD_DIGEST_CACHE.get(transactions)
+    if digest is None:
+        if len(_PAYLOAD_DIGEST_CACHE) >= 4096:  # bound memory, not results
+            _PAYLOAD_DIGEST_CACHE.clear()
+        digest = hash_fields(tuple(tx.digest_fields() for tx in transactions))
+        _PAYLOAD_DIGEST_CACHE[transactions] = digest
+    return digest
 
 
 class Mempool:

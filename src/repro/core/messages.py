@@ -23,7 +23,7 @@ from repro.core.phases import Phase
 MSG_HEADER_BYTES = 12
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NewViewMsg:
     """HotStuff new-view: a replica's latest prepare QC (Section 3)."""
 
@@ -36,7 +36,7 @@ class NewViewMsg:
         return MSG_HEADER_BYTES + 4 + self.justify.wire_size()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NewViewAMsg:
     """Damysus-A new-view: latest prepare QC, signed by the sender.
 
@@ -54,7 +54,7 @@ class NewViewAMsg:
         return MSG_HEADER_BYTES + 4 + self.justify.wire_size() + SIGNATURE_WIRE_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProposalMsg:
     """HotStuff prepare proposal: new block plus its justifying high QC."""
 
@@ -68,7 +68,7 @@ class ProposalMsg:
         return MSG_HEADER_BYTES + 4 + self.block.wire_size() + self.justify.wire_size()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VoteMsg:
     """HotStuff-style partial vote for (view, phase, block)."""
 
@@ -83,7 +83,7 @@ class VoteMsg:
         return MSG_HEADER_BYTES + 4 + 1 + HASH_SIZE + SIGNATURE_WIRE_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QCMsg:
     """Leader broadcast of an assembled quorum certificate."""
 
@@ -97,7 +97,7 @@ class QCMsg:
         return MSG_HEADER_BYTES + 4 + 1 + self.qc.wire_size()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitmentMsg:
     """A (new-view / vote / combined) Checker commitment on the wire.
 
@@ -121,7 +121,7 @@ class CommitmentMsg:
         return MSG_HEADER_BYTES + self.commitment.wire_size()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockProposal:
     """Damysus prepare message ``<b, acc, sigma>`` (Fig 2a, line 10).
 
@@ -148,7 +148,7 @@ class BlockProposal:
         return size
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProposalAMsg:
     """Damysus-A prepare message: block + finalized accumulator + leader sig."""
 
@@ -169,7 +169,7 @@ class ProposalAMsg:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChainedProposal:
     """Chained proposal ``<b, sigma'>`` (Fig 5a, line 18/22).
 
@@ -188,7 +188,7 @@ class ChainedProposal:
         return MSG_HEADER_BYTES + 4 + self.block.wire_size() + SIGNATURE_WIRE_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockRequest:
     """Block-synchronization fetch: ask a peer for a block body by hash.
 
@@ -208,7 +208,7 @@ class BlockRequest:
         return MSG_HEADER_BYTES + HASH_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockResponse:
     """Block-synchronization reply carrying the requested block body."""
 
@@ -224,7 +224,7 @@ class BlockResponse:
         return MSG_HEADER_BYTES + self.block.wire_size()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientRequest:
     """A client transaction submission."""
 
@@ -241,7 +241,7 @@ class ClientRequest:
         return MSG_HEADER_BYTES + self.tx.wire_size()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientReply:
     """A replica's reply once a client transaction executed."""
 

@@ -39,6 +39,7 @@ class HmacScheme(SignatureScheme):
         self._keys[signer] = hashlib.sha256(
             self._secret + signer.to_bytes(8, "big", signed=True)
         ).digest()
+        self._forget_cached_verifications()
 
     def sign(self, signer: int, message: bytes) -> Signature:
         key = self._keys.get(signer)

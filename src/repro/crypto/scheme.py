@@ -15,6 +15,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from repro import perf
+
 #: Wire size we account for one signature, matching ECDSA/prime256v1 (64 B).
 SIGNATURE_WIRE_SIZE = 64
 
@@ -26,7 +28,7 @@ SIGNATURE_WIRE_SIZE = 64
 _SCHEME_NONCE = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Signature:
     """A signature over some message bytes, tagged with the signer id."""
 
@@ -43,6 +45,12 @@ class Signature:
         return SIGNATURE_WIRE_SIZE
 
 
+#: Entries kept in a scheme's verification memo before it is reset.  The
+#: cap only bounds memory; a reset never changes results because every
+#: entry is recomputable from its key.
+_VERIFY_CACHE_MAX = 1 << 18
+
+
 class SignatureScheme:
     """Common interface of the Schnorr and HMAC schemes."""
 
@@ -50,6 +58,12 @@ class SignatureScheme:
 
     def __init__(self) -> None:
         self.instance_nonce = next(_SCHEME_NONCE)
+        # Memoized verification outcomes keyed by (signer, message, sig
+        # bytes).  Verification is a pure function of that key and the
+        # signer's registered public key, so re-delivered or re-validated
+        # messages (every replica checks the same quorum certificate)
+        # skip the underlying crypto.  Keygen invalidates the memo.
+        self._verify_cache: dict[tuple[int, bytes, bytes], bool] = {}
 
     def keygen(self, signer: int) -> None:
         """Create and register a key pair for ``signer``."""
@@ -63,6 +77,23 @@ class SignatureScheme:
         """Check ``signature`` over ``message`` against the public directory."""
         raise NotImplementedError
 
+    def verify_cached(self, message: bytes, signature: Signature) -> bool:
+        """:meth:`verify`, memoized by ``(signer, message, sig bytes)``."""
+        if not perf.caches_enabled():
+            return self.verify(message, signature)
+        key = (signature.signer, message, signature.data)
+        cached = self._verify_cache.get(key)
+        if cached is None:
+            if len(self._verify_cache) >= _VERIFY_CACHE_MAX:
+                self._verify_cache.clear()
+            cached = self.verify(message, signature)
+            self._verify_cache[key] = cached
+        return cached
+
+    def _forget_cached_verifications(self) -> None:
+        """Drop memoized outcomes; called whenever the key directory changes."""
+        self._verify_cache.clear()
+
     def verify_all(self, message: bytes, signatures: list[Signature]) -> bool:
         """Verify a list of signatures over the same message.
 
@@ -72,4 +103,5 @@ class SignatureScheme:
         signers = {sig.signer for sig in signatures}
         if len(signers) != len(signatures):
             return False
-        return all(self.verify(message, sig) for sig in signatures)
+        verify = self.verify_cached
+        return all(verify(message, sig) for sig in signatures)

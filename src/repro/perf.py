@@ -1,0 +1,49 @@
+"""Hot-path memoization switchboard.
+
+Several pure-function hot paths (signature verification, vote payloads,
+block wire sizes, codec encodings) memoize their results keyed by message
+*content*.  Because every cached value is a pure function of immutable
+inputs, the caches are invisible to simulation results: a run produces
+bit-identical output with caches on or off.  What they change is wall
+time, which is exactly what ``repro perf`` measures - it flips the
+switch here to quantify the improvement.
+
+The module is deliberately dependency-free (it sits below ``repro.core``
+and ``repro.crypto`` in the import graph) and holds no cache storage
+itself: cache owners register a clearer so ``clear_caches()`` can reset
+global memo tables between measurements or between grid cells.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+_caches_enabled: bool = True
+_clearers: list[Callable[[], None]] = []
+
+
+def caches_enabled() -> bool:
+    """Whether content-keyed memoization is active (default: on)."""
+    return _caches_enabled
+
+
+def set_caches_enabled(enabled: bool) -> None:
+    """Globally enable or disable hot-path memoization.
+
+    Disabling also clears every registered cache so stale entries cannot
+    be served if the switch is flipped back on mid-measurement.
+    """
+    global _caches_enabled
+    _caches_enabled = enabled
+    clear_caches()
+
+
+def register_cache_clearer(clearer: Callable[[], None]) -> None:
+    """Register a callable that empties one memo table."""
+    _clearers.append(clearer)
+
+
+def clear_caches() -> None:
+    """Empty every registered memo table."""
+    for clearer in _clearers:
+        clearer()

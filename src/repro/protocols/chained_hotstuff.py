@@ -153,7 +153,7 @@ class ChainedHotStuffReplica(BaseReplica):
         self.charge_verify(len(justify.sigs) + 1)
         if not justify.verify(self.scheme, self.quorum):
             return
-        if not self.scheme.verify(
+        if not self.scheme.verify_cached(
             vote_payload(msg.view, Phase.PREPARE, block.hash), msg.leader_sig
         ):
             return
@@ -211,7 +211,7 @@ class ChainedHotStuffReplica(BaseReplica):
         if not self.is_leader(msg.view + 1):
             return
         self.charge_verify(1)
-        if not self.scheme.verify(
+        if not self.scheme.verify_cached(
             vote_payload(msg.view, msg.phase, msg.block_hash), msg.sig
         ):
             return

@@ -159,7 +159,7 @@ class DamysusAReplica(BaseReplica):
             return
         if not acc.verify(self.scheme):
             return
-        if not self.scheme.verify(
+        if not self.scheme.verify_cached(
             proposal_a_payload(msg.view, msg.block.hash), msg.leader_sig
         ):
             return
@@ -180,7 +180,7 @@ class DamysusAReplica(BaseReplica):
         if not self.is_leader(msg.view):
             return
         self.charge_verify(1)
-        if not self.scheme.verify(
+        if not self.scheme.verify_cached(
             vote_payload(msg.view, msg.phase, msg.block_hash), msg.sig
         ):
             return

@@ -148,7 +148,7 @@ class FastHotStuffReplica(BaseReplica):
         if not self.is_leader(msg.view):
             return
         self.charge_verify(1)
-        if not self.scheme.verify(
+        if not self.scheme.verify_cached(
             new_view_a_payload(msg.view, msg.justify), msg.sender_sig
         ):
             return
@@ -191,7 +191,7 @@ class FastHotStuffReplica(BaseReplica):
         for report in proof:
             if report.view != msg.view:
                 return False
-            if not self.scheme.verify(
+            if not self.scheme.verify_cached(
                 new_view_a_payload(report.view, report.justify), report.sender_sig
             ):
                 return False
@@ -234,7 +234,7 @@ class FastHotStuffReplica(BaseReplica):
         if not self.is_leader(msg.view):
             return
         self.charge_verify(1)
-        if not self.scheme.verify(
+        if not self.scheme.verify_cached(
             vote_payload(msg.view, msg.phase, msg.block_hash), msg.sig
         ):
             return

@@ -202,7 +202,7 @@ class HotStuffReplica(BaseReplica):
         if not self.is_leader(msg.view):
             return
         self.charge_verify(1)
-        if not self.scheme.verify(
+        if not self.scheme.verify_cached(
             vote_payload(msg.view, msg.phase, msg.block_hash), msg.sig
         ):
             return

@@ -9,6 +9,16 @@ wall clock.
 Times are floats in *milliseconds* of virtual time.  Milliseconds are the
 natural unit for wide-area consensus (inter-region RTTs are tens of ms,
 crypto operations are fractions of a ms).
+
+Cancelled events are discarded lazily when they reach the top of the
+heap, but the simulator tracks how many cancelled entries are pending and
+*compacts* the heap once they are the majority, so chaos runs that cancel
+many timeouts keep the heap (and every push/pop) small.
+
+For profiling, an external wall clock can be attached with
+:meth:`Simulator.attach_wall_clock`; the simulator itself never imports a
+time source (determinism rule DET001) and the measured wall time feeds
+only the reporting counters, never the event order.
 """
 
 from __future__ import annotations
@@ -20,8 +30,12 @@ from typing import Callable
 
 from repro.errors import SimulationError
 
+#: Compact the heap when more than half its entries are cancelled and it
+#: is at least this large (tiny heaps are not worth rebuilding).
+_COMPACT_MIN_HEAP = 64
 
-@dataclass(order=True)
+
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -33,10 +47,17 @@ class Event:
     seq: int
     fn: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Back-reference used for cancelled-event accounting; detached (set to
+    # None) once the event leaves the heap so late cancels cannot skew the
+    # pending counter.
+    sim: "Simulator | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when it fires."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.sim is not None:
+                self.sim._note_cancelled()
 
 
 class Simulator:
@@ -55,6 +76,11 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._cancelled_pending = 0
+        # Optional profiling clock (e.g. time.perf_counter), injected from
+        # outside the sim package; see module docstring.
+        self._wall_clock: Callable[[], float] | None = None
+        self._wall_seconds = 0.0
 
     @property
     def now(self) -> float:
@@ -71,6 +97,43 @@ class Simulator:
         """Number of events still on the heap (including cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled_pending
+
+    # -- profiling counters -------------------------------------------------
+
+    def attach_wall_clock(self, clock: Callable[[], float]) -> None:
+        """Install a wall-clock source (seconds) used only for reporting.
+
+        The clock is read around :meth:`run` to maintain
+        :attr:`wall_seconds`; it never influences event order, so
+        determinism is preserved.
+        """
+        self._wall_clock = clock
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds spent inside :meth:`run` (0 if no clock)."""
+        return self._wall_seconds
+
+    @property
+    def events_per_wall_second(self) -> float:
+        """Fired events per wall-clock second (0 without an attached clock)."""
+        if self._wall_seconds <= 0.0:
+            return 0.0
+        return self._events_processed / self._wall_seconds
+
+    @property
+    def wall_seconds_per_sim_second(self) -> float:
+        """Wall-clock seconds needed per simulated second (0 without clock)."""
+        if self._wall_seconds <= 0.0 or self._now <= 0.0:
+            return 0.0
+        return self._wall_seconds / (self._now / 1000.0)
+
+    # -- scheduling ---------------------------------------------------------
+
     def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` to run ``delay`` ms from now; returns the event.
 
@@ -80,13 +143,39 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = Event(time=self._now + delay, seq=next(self._seq), fn=fn)
+        event = Event(time=self._now + delay, seq=next(self._seq), fn=fn, sim=self)
         heapq.heappush(self._heap, event)
         return event
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` at absolute virtual time ``time``."""
         return self.schedule(time - self._now, fn)
+
+    # -- cancellation accounting -------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """One pending event was cancelled; compact if the heap is mostly dead."""
+        self._cancelled_pending += 1
+        heap = self._heap
+        if (
+            len(heap) >= _COMPACT_MIN_HEAP
+            and self._cancelled_pending * 2 > len(heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In-place (slice assignment) so that a compaction triggered from a
+        callback does not invalidate the heap list the run loop iterates.
+        """
+        heap = self._heap
+        live = [event for event in heap if not event.cancelled]
+        heap[:] = live
+        heapq.heapify(heap)
+        self._cancelled_pending = 0
+
+    # -- running ------------------------------------------------------------
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Process events until the heap drains or a bound is hit.
@@ -99,19 +188,26 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         fired = 0
+        heap = self._heap
+        heappop = heapq.heappop
+        clock = self._wall_clock
+        started = clock() if clock is not None else 0.0
         try:
-            while self._heap:
-                event = self._heap[0]
+            while heap:
+                event = heap[0]
                 if until is not None and event.time > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 if event.cancelled:
+                    event.sim = None
+                    self._cancelled_pending -= 1
                     continue
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway event chain?"
                     )
+                event.sim = None
                 self._now = event.time
                 self._events_processed += 1
                 fired += 1
@@ -121,15 +217,39 @@ class Simulator:
                     self._now = until
         finally:
             self._running = False
+            if clock is not None:
+                self._wall_seconds += clock() - started
 
-    def step(self) -> bool:
-        """Fire exactly one (non-cancelled) event; return False if none left."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_processed += 1
-            event.fn()
-            return True
-        return False
+    def step(self, max_events: int | None = None) -> bool:
+        """Fire exactly one (non-cancelled) event; return False if none left.
+
+        Applies the same reentrancy guard and accounting as :meth:`run`:
+        calling ``step()`` from inside a callback raises, cancelled events
+        are discarded (and counted off ``cancelled_pending``), and
+        ``max_events`` - checked against the lifetime
+        :attr:`events_processed` counter - guards stepped drains against
+        runaway event chains just like ``run(max_events=...)`` does.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                event = heapq.heappop(heap)
+                if event.cancelled:
+                    event.sim = None
+                    self._cancelled_pending -= 1
+                    continue
+                if max_events is not None and self._events_processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway event chain?"
+                    )
+                event.sim = None
+                self._now = event.time
+                self._events_processed += 1
+                event.fn()
+                return True
+            return False
+        finally:
+            self._running = False

@@ -193,7 +193,7 @@ class QCAccumulatorService(TrustedComponent):
         if self._directory.kind_of(msg.sender_sig.signer) != "replica":
             raise TEERefusal("qc-accumulator: report not signed by a replica")
         payload = new_view_a_payload(msg.view, msg.justify)
-        if not self._scheme.verify(payload, msg.sender_sig):
+        if not self._scheme.verify_cached(payload, msg.sender_sig):
             raise TEERefusal("qc-accumulator: bad report signature")
         if msg.justify.phase != Phase.PREPARE:
             raise TEERefusal("qc-accumulator: justification is not a prepare QC")

@@ -43,7 +43,7 @@ class TrustedComponent:
         """
         if self._directory.kind_of(signature.signer) != "tee":
             return False
-        return self._scheme.verify(payload, signature)
+        return self._scheme.verify_cached(payload, signature)
 
     def _count_call(self) -> None:
         self.calls += 1

@@ -67,7 +67,7 @@ class TrustedCounter(TrustedComponent):
             return False
         if cert.signature.signer != cert.component_id:
             return False
-        return self._scheme.verify(cert.signed_payload(), cert.signature)
+        return self._scheme.verify_cached(cert.signed_payload(), cert.signature)
 
 
 def verify_counter_certificate(
@@ -78,4 +78,4 @@ def verify_counter_certificate(
         return False
     if cert.signature.signer != cert.component_id:
         return False
-    return scheme.verify(cert.signed_payload(), cert.signature)
+    return scheme.verify_cached(cert.signed_payload(), cert.signature)

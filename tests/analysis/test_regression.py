@@ -60,6 +60,41 @@ def test_missing_cells_are_skipped():
     assert all(d.cell == "damysus|1" for d in report.drifts)
 
 
+def test_missing_figure_is_skipped():
+    candidate = blob()
+    del candidate["fig7b"]
+    report = compare_results(blob(), candidate)
+    assert all(d.figure != "fig7b" for d in report.drifts)
+    # The remaining figures still contribute their full drift set.
+    assert {d.figure for d in report.drifts} == {"fig6a", "fig6b", "fig7a"}
+
+
+def test_empty_blobs_compare_clean():
+    report = compare_results({}, {})
+    assert report.drifts == []
+    assert report.shape_ok
+    assert report.worst_drift() is None
+
+
+def test_zero_baseline_reports_zero_relative():
+    """A zero baseline cell must not divide by zero."""
+    report = compare_results(blob(damysus_tput=0.0), blob(damysus_tput=4.0))
+    zero_drifts = [d for d in report.drifts if d.baseline == 0.0]
+    assert zero_drifts
+    assert all(d.relative == 0.0 for d in zero_drifts)
+
+
+def test_compare_files_shape_mismatch(tmp_path):
+    """Candidate with flipped ordering is flagged via the file API too."""
+    base = tmp_path / "base.json"
+    cand = tmp_path / "cand.json"
+    base.write_text(json.dumps(blob()))
+    cand.write_text(json.dumps(blob(damysus_tput=2.0, hotstuff_tput=5.0)))
+    report = compare_files(base, cand)
+    assert not report.shape_ok
+    assert report.ordering_breaks
+
+
 def test_real_results_file_shape_holds():
     """The committed full_results.json passes its own regression check."""
     import pathlib

@@ -1,0 +1,129 @@
+"""Tests for the perf measurement + baseline gate (repro perf)."""
+
+import json
+
+import pytest
+
+from repro.bench import perfbench
+
+
+def tiny_hotpath():
+    return perfbench.measure_hotpath({"protocol": "hotstuff", "f": 1, "views": 3})
+
+
+def test_measure_hotpath_shape():
+    out = tiny_hotpath()
+    for label in ("cached", "uncached"):
+        assert out[label]["events"] > 0
+        assert out[label]["wall_seconds"] >= 0.0
+    # Identical event counts: the caches are result-invisible.
+    assert out["cached"]["events"] == out["uncached"]["events"]
+    assert out["cache_speedup"] > 0.0
+
+
+def test_measure_grid_identity_and_shape():
+    out = perfbench.measure_grid(
+        {"thresholds": [1], "views": 3, "repetitions": 1, "payload": 0}, jobs=1
+    )
+    assert out["cells"] == 6  # every protocol at f=1
+    assert out["sequential_cached_s"] > 0.0
+    assert out["total_speedup"] > 0.0
+
+
+def test_baseline_roundtrip(tmp_path):
+    bench = {"meta": {"cpus": 4, "quick": True, "schema": 1}, "hotpath": {}, "grid": {}}
+    path = tmp_path / "BENCH_baseline.json"
+    perfbench.write_baseline(path, bench)
+    assert perfbench.load_baseline(path) == bench
+    assert json.loads(path.read_text())["meta"]["cpus"] == 4
+
+
+def fake_bench(eps=100_000.0, grid_s=2.0, cache_speedup=1.5, total_speedup=1.5, jobs=1):
+    return {
+        "meta": {"cpus": jobs, "quick": False, "schema": 1},
+        "hotpath": {
+            "cached": {"events_per_sec": eps, "wall_seconds": 0.1, "events": 10_000},
+            "uncached": {
+                "events_per_sec": eps / cache_speedup,
+                "wall_seconds": 0.1 * cache_speedup,
+                "events": 10_000,
+            },
+            "cache_speedup": cache_speedup,
+        },
+        "grid": {
+            "cells": 18,
+            "jobs": jobs,
+            "sequential_uncached_s": grid_s * total_speedup,
+            "sequential_cached_s": grid_s,
+            "parallel_cached_s": grid_s,
+            "cache_speedup": total_speedup,
+            "parallel_speedup": 1.0,
+            "total_speedup": total_speedup,
+        },
+    }
+
+
+def test_check_bench_passes_on_self():
+    ok, report, messages = perfbench.check_bench(fake_bench(), fake_bench())
+    assert ok, messages
+    assert report.drifts  # Drift machinery engaged
+    assert any("ok:" in m for m in messages)
+
+
+def test_check_bench_flags_hotpath_slowdown():
+    ok, _, messages = perfbench.check_bench(
+        fake_bench(eps=100_000.0), fake_bench(eps=20_000.0), threshold=3.0
+    )
+    assert not ok
+    assert any("hotpath" in m and "slower" in m for m in messages)
+
+
+def test_check_bench_flags_grid_slowdown():
+    ok, _, messages = perfbench.check_bench(
+        fake_bench(grid_s=1.0), fake_bench(grid_s=10.0), threshold=3.0
+    )
+    assert not ok
+    assert any("grid" in m and "slower" in m for m in messages)
+
+
+def test_check_bench_flags_lost_cache_win():
+    ok, _, messages = perfbench.check_bench(
+        fake_bench(), fake_bench(cache_speedup=1.0, total_speedup=1.2)
+    )
+    assert not ok
+    assert any("cache_speedup" in m for m in messages)
+
+
+def test_check_bench_requires_multicore_speedup():
+    # With 4 effective workers the end-to-end grid win must reach 2x.
+    ok, _, messages = perfbench.check_bench(
+        fake_bench(jobs=4), fake_bench(total_speedup=1.5, jobs=4)
+    )
+    assert not ok
+    assert any("total_speedup" in m for m in messages)
+    # The same 1.5x passes on a single-core machine (cache win only).
+    ok, _, _ = perfbench.check_bench(fake_bench(), fake_bench(total_speedup=1.5))
+    assert ok
+
+
+def test_required_grid_speedup_scaling():
+    assert perfbench.required_grid_speedup(1) == pytest.approx(
+        perfbench.SINGLE_CORE_REQUIRED_SPEEDUP
+    )
+    assert perfbench.required_grid_speedup(4) == pytest.approx(
+        perfbench.MULTI_CORE_REQUIRED_SPEEDUP
+    )
+
+
+def test_committed_baseline_is_valid():
+    """The repo's committed BENCH_baseline.json parses and shows the wins."""
+    import pathlib
+
+    path = pathlib.Path(__file__).resolve().parents[2] / "BENCH_baseline.json"
+    if not path.exists():
+        pytest.skip("BENCH_baseline.json not generated")
+    baseline = perfbench.load_baseline(path)
+    assert baseline["hotpath"]["cache_speedup"] >= perfbench.MIN_CACHE_SPEEDUP
+    assert baseline["grid"]["total_speedup"] >= perfbench.required_grid_speedup(
+        baseline["grid"]["jobs"]
+    )

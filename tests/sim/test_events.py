@@ -155,3 +155,125 @@ def test_simulator_not_reentrant():
     sim.schedule(1.0, reenter)
     sim.run()
     assert len(errors) == 1
+
+
+def test_step_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.step()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_step_respects_max_events():
+    """step() enforces max_events against the lifetime counter, like run()."""
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    assert sim.step(max_events=2) is True
+    assert sim.step(max_events=2) is True
+    with pytest.raises(SimulationError):
+        sim.step(max_events=2)
+
+
+def test_step_skips_cancelled_and_updates_counter():
+    sim = Simulator()
+    fired = []
+    cancelled = sim.schedule(1.0, lambda: fired.append("dead"))
+    sim.schedule(2.0, lambda: fired.append("live"))
+    cancelled.cancel()
+    assert sim.cancelled_pending == 1
+    assert sim.step() is True
+    assert fired == ["live"]
+    assert sim.cancelled_pending == 0
+    assert sim.events_processed == 1
+
+
+def test_cancelled_pending_counter():
+    sim = Simulator()
+    events = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+    for event in events[:4]:
+        event.cancel()
+    assert sim.cancelled_pending == 4
+    events[0].cancel()  # double-cancel must not double-count
+    assert sim.cancelled_pending == 4
+    sim.run()
+    assert sim.cancelled_pending == 0
+    assert sim.events_processed == 6
+
+
+def test_heap_compacts_when_mostly_cancelled():
+    """Cancelling the majority of a large heap shrinks it immediately."""
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+    for event in events[:51]:
+        event.cancel()
+    assert sim.pending == 49
+    assert sim.cancelled_pending == 0
+    sim.run()
+    assert sim.events_processed == 49
+
+
+def test_small_heaps_skip_compaction():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for event in events[:9]:
+        event.cancel()
+    # Below the compaction floor the cancelled entries stay until popped.
+    assert sim.pending == 10
+    assert sim.cancelled_pending == 9
+    sim.run()
+    assert sim.events_processed == 1
+    assert sim.cancelled_pending == 0
+
+
+def test_cancel_after_pop_does_not_skew_counter():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.run()
+    event.cancel()  # already fired; must not touch the pending counter
+    assert sim.cancelled_pending == 0
+
+
+def test_compaction_preserves_event_order():
+    sim = Simulator()
+    order = []
+    keep = []
+    for i in range(200):
+        event = sim.schedule(float(i + 1), lambda t=float(i + 1): order.append(t))
+        if i % 2:
+            keep.append(event)
+        else:
+            event.cancel()
+    sim.run()
+    assert order == sorted(order)
+    assert sim.events_processed == 100
+
+
+def test_wall_clock_counters():
+    sim = Simulator()
+    ticks = iter([0.0, 2.0])
+    sim.attach_wall_clock(lambda: next(ticks))
+    for i in range(4):
+        sim.schedule(250.0 * (i + 1), lambda: None)
+    sim.run()
+    assert sim.wall_seconds == 2.0
+    assert sim.events_per_wall_second == pytest.approx(2.0)
+    # 1000 ms of virtual time took 2 wall seconds.
+    assert sim.wall_seconds_per_sim_second == pytest.approx(2.0)
+
+
+def test_counters_zero_without_wall_clock():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.wall_seconds == 0.0
+    assert sim.events_per_wall_second == 0.0
+    assert sim.wall_seconds_per_sim_second == 0.0
