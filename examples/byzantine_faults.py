@@ -21,7 +21,7 @@ from repro.adversary import (
 from repro.analysis import run_checker_scenario, run_counter_scenario
 from repro.config import SystemConfig
 from repro.costs import CostModel
-from repro.protocols.system import ConsensusSystem
+from repro.runtime.sim import ConsensusSystem
 
 
 def banner(title: str) -> None:

@@ -9,7 +9,7 @@ HotStuff's 4).
 """
 
 from repro.config import SystemConfig
-from repro.protocols.system import ConsensusSystem
+from repro.runtime.sim import ConsensusSystem
 
 
 def run(protocol: str):

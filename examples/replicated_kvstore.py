@@ -12,7 +12,7 @@ from repro.app import KVCommand, attach_state_machines
 from repro.app.kvstore import OP_DELETE, OP_INCREMENT, OP_PUT
 from repro.config import SystemConfig
 from repro.costs import CostModel
-from repro.protocols.system import ConsensusSystem
+from repro.runtime.sim import ConsensusSystem
 
 
 def main() -> None:

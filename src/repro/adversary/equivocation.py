@@ -34,12 +34,12 @@ class EquivocatingHotStuffLeader(HotStuffReplica):
         self._proposed.add(view)
         self.equivocations += 1
         block_a = create_leaf(
-            high_qc.block_hash, view, self.mempool.take_block(self.sim.now),
-            created_at=self.sim.now,
+            high_qc.block_hash, view, self.mempool.take_block(self.now),
+            created_at=self.now,
         )
         block_b = create_leaf(
-            high_qc.block_hash, view, self.mempool.take_block(self.sim.now),
-            created_at=self.sim.now,
+            high_qc.block_hash, view, self.mempool.take_block(self.now),
+            created_at=self.now,
         )
         self.store.add(block_a)
         self.store.add(block_b)
@@ -73,12 +73,12 @@ class EquivocatingDamysusLeader(DamysusReplica):
             return
         self._proposed.add(view)
         block_a = create_leaf(
-            acc.prep_hash, view, self.mempool.take_block(self.sim.now),
-            created_at=self.sim.now,
+            acc.prep_hash, view, self.mempool.take_block(self.now),
+            created_at=self.now,
         )
         block_b = create_leaf(
-            acc.prep_hash, view, self.mempool.take_block(self.sim.now),
-            created_at=self.sim.now,
+            acc.prep_hash, view, self.mempool.take_block(self.now),
+            created_at=self.now,
         )
         self.store.add(block_a)
         self.store.add(block_b)

@@ -38,8 +38,8 @@ class StaleHotStuffLeader(HotStuffReplica):
         self.stale_proposals += 1
         bottom = genesis_qc(self.store.genesis.hash)
         block = create_leaf(
-            bottom.block_hash, view, self.mempool.take_block(self.sim.now),
-            created_at=self.sim.now,
+            bottom.block_hash, view, self.mempool.take_block(self.now),
+            created_at=self.now,
         )
         self.store.add(block)
         self.broadcast_charged(ProposalMsg(view, block, bottom), include_self=True)

@@ -27,7 +27,7 @@ from repro.config import SystemConfig
 from repro.costs import CostModel
 from repro.errors import SafetyViolation, SimulationError
 from repro.protocols.registry import get_spec
-from repro.protocols.system import ConsensusSystem
+from repro.runtime.sim import ConsensusSystem
 from repro.sim.faults import FaultPlan
 
 #: Simulation chunk size (virtual ms) between invariant checks.

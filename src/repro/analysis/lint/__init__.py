@@ -13,7 +13,11 @@ package enforces them mechanically:
   :class:`repro.sim.rng.RngStream`, time through the event loop;
 * ``MSG00x`` - exhaustiveness rules: declared message types are
   dispatched by some protocol, sent messages have a receiver, and
-  ``Phase`` matches cover every phase.
+  ``Phase`` matches cover every phase;
+* ``ARCH00x`` - layering rules: the host-agnostic layers
+  (:mod:`repro.core`, :mod:`repro.tee`, :mod:`repro.protocols`) must
+  not import a runtime host (:mod:`repro.sim` or
+  :mod:`repro.runtime.asyncio_net`).
 
 Findings can be suppressed per line with ``# repro-lint: ignore[RULE]``
 or waived wholesale via a committed baseline file.
@@ -29,7 +33,12 @@ from repro.analysis.lint.engine import (
     run_lint,
     write_baseline,
 )
-from repro.analysis.lint import rules_det, rules_msg, rules_tee  # noqa: F401  (register rules)
+from repro.analysis.lint import (  # noqa: F401  (register rules)
+    rules_arch,
+    rules_det,
+    rules_msg,
+    rules_tee,
+)
 
 __all__ = [
     "BASELINE_DEFAULT",

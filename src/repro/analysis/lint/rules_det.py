@@ -32,10 +32,18 @@ RESTRICTED_PACKAGES = (
     "repro.analysis",
     "repro.core",
     "repro.crypto",
+    "repro.runtime",
 )
 
-#: The one module allowed to touch ``random``: the seeded-stream wrapper.
-_RNG_MODULE = "repro.sim.rng"
+#: The one runtime that legitimately runs on wall-clock time and real
+#: sockets; everything else under ``repro.runtime`` (the effect algebra,
+#: the machine base class, the simulator adapter) must stay a pure
+#: function of the config.
+_WALL_CLOCK_MODULES = ("repro.runtime.asyncio_net",)
+
+#: The modules allowed to touch ``random``: the seeded-stream wrapper
+#: (now in the core) and its historical ``repro.sim.rng`` import path.
+_RNG_MODULES = ("repro.core.rng", "repro.sim.rng")
 
 _BANNED_MODULES = {"random", "secrets", "uuid", "time", "datetime"}
 _BANNED_OS_IMPORTS = {"urandom", "getrandom"}
@@ -74,7 +82,7 @@ _BANNED_BARE_CALLS = {
 
 
 def restricted(ctx: FileContext) -> bool:
-    if ctx.module == _RNG_MODULE:
+    if ctx.module in _RNG_MODULES or ctx.module in _WALL_CLOCK_MODULES:
         return False
     return any(in_package(ctx.module, pkg) for pkg in RESTRICTED_PACKAGES)
 

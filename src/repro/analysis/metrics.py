@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.protocols.system import RunResult
+from repro.runtime.sim import RunResult
 
 
 def mean(values: list[float]) -> float:

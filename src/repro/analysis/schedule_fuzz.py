@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.config import SystemConfig
 from repro.costs import CostModel
 from repro.protocols.registry import get_spec
-from repro.protocols.system import ConsensusSystem
+from repro.runtime.sim import ConsensusSystem
 from repro.sim.rng import RngStream
 
 

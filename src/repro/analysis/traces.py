@@ -14,7 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.bench.reporting import format_table
-from repro.protocols.system import ConsensusSystem
+from repro.runtime.sim import ConsensusSystem
 
 #: Message types that mark a leader certificate broadcast, per protocol
 #: family (votes and new-views are omitted: they are the inbound halves).

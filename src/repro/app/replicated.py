@@ -17,7 +17,7 @@ from repro.app.kvstore import KVCommand, KVResult, KVStateMachine
 from repro.core.mempool import Transaction
 from repro.errors import ProtocolError
 from repro.protocols.replica import BaseReplica
-from repro.protocols.system import ConsensusSystem
+from repro.runtime.sim import ConsensusSystem
 
 
 class StateMachine(Protocol):

@@ -22,7 +22,7 @@ from repro.analysis.metrics import (
 from repro.bench.reporting import format_table
 from repro.bench.runner import ExperimentRunner
 from repro.config import SystemConfig
-from repro.protocols.system import ConsensusSystem
+from repro.runtime.sim import ConsensusSystem
 from repro.sim.regions import EU_REGIONS, WORLD_REGIONS, RegionMap
 
 #: Protocols in each figure, paper order.

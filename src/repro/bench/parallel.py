@@ -23,7 +23,7 @@ from repro.analysis.metrics import Summary, summarize_runs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bench.runner import ExperimentRunner
-    from repro.protocols.system import RunResult
+    from repro.runtime.sim import RunResult
 
 def resolve_jobs(jobs: int) -> int:
     """Normalize a ``--jobs`` value: 0 means "all cores", negatives reject."""

@@ -36,7 +36,7 @@ from repro.bench.experiments import ALL_PROTOCOLS
 from repro.bench.parallel import resolve_jobs, run_cells
 from repro.bench.runner import ExperimentRunner
 from repro.config import SystemConfig
-from repro.protocols.system import ConsensusSystem
+from repro.runtime.sim import ConsensusSystem
 
 #: Default baseline location (repo root, next to full_results.json's dir).
 BASELINE_DEFAULT = "BENCH_baseline.json"

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.analysis.metrics import Summary, summarize_runs
 from repro.config import SystemConfig
 from repro.costs import DEFAULT_COSTS, CostModel
-from repro.protocols.system import ConsensusSystem, RunResult
+from repro.runtime.sim import ConsensusSystem, RunResult
 from repro.sim.regions import EU_REGIONS, RegionMap
 
 

@@ -10,6 +10,8 @@ Commands:
 * ``perf`` - write or check the perf baseline (``BENCH_baseline.json``);
 * ``chaos`` - fault-injection run: lossy links, a partition, crash/recovery;
 * ``counterexample`` - print the Section 4 trusted-counter demonstration;
+* ``serve`` - run one replica on real asyncio TCP sockets (fixed ports);
+* ``net-bench`` - run a localhost TCP cluster and report committed tx/s;
 * ``lint`` - run the AST invariant linter (TEE boundaries, determinism);
 * ``protocols`` - list the implemented protocols and their properties.
 """
@@ -34,7 +36,7 @@ from repro.bench.experiments import fig6, fig7, fig8, fig9, table1_experiment
 from repro.bench.reporting import format_table
 from repro.config import SystemConfig
 from repro.protocols.registry import PROTOCOL_ORDER, SPECS, get_spec
-from repro.protocols.system import ConsensusSystem
+from repro.runtime.sim import ConsensusSystem
 from repro.sim.regions import EU_REGIONS, WORLD_REGIONS
 
 _REGIONS = {"eu": EU_REGIONS, "world": WORLD_REGIONS}
@@ -146,6 +148,38 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fresh committed views required after healing")
 
     sub.add_parser("counterexample", help="Section 4: counters are not enough")
+
+    serve_p = sub.add_parser(
+        "serve", help="run one replica on real asyncio TCP sockets"
+    )
+    serve_p.add_argument("--protocol", default="damysus", choices=sorted(SPECS))
+    serve_p.add_argument("--pid", type=int, required=True, help="this replica's pid")
+    serve_p.add_argument("--n", type=int, default=4, help="cluster size")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--base-port", type=int, default=47000,
+                         help="replica i listens on base-port + i")
+    serve_p.add_argument("--seed", type=int, default=1,
+                         help="must match across the cluster (keys HMAC secrets)")
+    serve_p.add_argument("--payload", type=int, default=128, help="tx payload bytes")
+    serve_p.add_argument("--block-size", type=int, default=32, help="txs per block")
+    serve_p.add_argument("--timeout-ms", type=float, default=2_000.0,
+                         help="pacemaker base view timeout")
+    serve_p.add_argument("--duration", type=float, default=0.0,
+                         help="seconds to run (0 = until interrupted)")
+
+    net_p = sub.add_parser(
+        "net-bench", help="run a localhost TCP cluster and report committed tx/s"
+    )
+    net_p.add_argument("--protocol", default="damysus", choices=sorted(SPECS))
+    net_p.add_argument("--n", type=int, default=4, help="cluster size")
+    net_p.add_argument("--seed", type=int, default=1)
+    net_p.add_argument("--duration", type=float, default=5.0, help="seconds to run")
+    net_p.add_argument("--target-blocks", type=int, default=0,
+                       help="stop early once every replica committed this many")
+    net_p.add_argument("--payload", type=int, default=128, help="tx payload bytes")
+    net_p.add_argument("--block-size", type=int, default=32, help="txs per block")
+    net_p.add_argument("--timeout-ms", type=float, default=2_000.0,
+                       help="pacemaker base view timeout")
 
     lint_p = sub.add_parser(
         "lint",
@@ -368,6 +402,71 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime.asyncio_net import serve_replica
+
+    print(
+        f"replica {args.pid}/{args.n} ({args.protocol}) listening on "
+        f"{args.host}:{args.base_port + args.pid}",
+        flush=True,
+    )
+    try:
+        runtime = asyncio.run(
+            serve_replica(
+                args.protocol,
+                args.pid,
+                args.n,
+                base_port=args.base_port,
+                host=args.host,
+                seed=args.seed,
+                duration_s=args.duration,
+                payload_bytes=args.payload,
+                block_size=args.block_size,
+                timeout_ms=args.timeout_ms,
+            )
+        )
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+        return 0
+    print(
+        f"committed {runtime.committed_blocks} blocks "
+        f"({runtime.committed_txs} txs); sent {runtime.sent_messages} messages"
+    )
+    return 0
+
+
+def _cmd_net_bench(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime.asyncio_net import run_local_cluster
+
+    report = asyncio.run(
+        run_local_cluster(
+            args.protocol,
+            args.n,
+            seed=args.seed,
+            duration_s=args.duration,
+            target_blocks=args.target_blocks,
+            payload_bytes=args.payload,
+            block_size=args.block_size,
+            timeout_ms=args.timeout_ms,
+        )
+    )
+    print(f"protocol           {report.protocol}")
+    print(f"replicas           {report.num_replicas} (f={report.f}, "
+          f"quorum={report.quorum})")
+    print(f"elapsed            {report.elapsed_s:.2f} s")
+    print(f"committed blocks   {report.committed_blocks} (slowest replica)")
+    print(f"committed txs      {report.committed_txs}")
+    print(f"throughput         {report.tx_per_s:,.0f} tx/s")
+    print(f"messages / bytes   {report.messages_sent} / {report.bytes_sent}")
+    if report.dropped_messages:
+        print(f"dropped frames     {report.dropped_messages}")
+    return 0 if report.committed_blocks > 0 else 1
+
+
 def _cmd_counterexample(_: argparse.Namespace) -> int:
     print("Plain trusted counters (Section 4.1):")
     print(run_counter_scenario().describe())
@@ -411,6 +510,8 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "perf": _cmd_perf,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
+        "net-bench": _cmd_net_bench,
         "counterexample": _cmd_counterexample,
         "lint": _cmd_lint,
         "protocols": _cmd_protocols,

@@ -1,0 +1,21 @@
+"""The one thing the protocol core may know about time: how to read it.
+
+Replicas need "now" for block timestamps and latency bookkeeping, but
+must not know whether time is virtual (the discrete-event simulator) or
+real (an asyncio event loop).  Runtimes inject anything satisfying this
+protocol; :class:`repro.sim.events.Simulator` satisfies it structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A monotonically non-decreasing millisecond clock."""
+
+    @property
+    def now(self) -> float:
+        """Current time in milliseconds (virtual or wall)."""
+        ...

@@ -580,3 +580,24 @@ def decode_message(data: bytes) -> Any:
     msg = dec_fn(dec)
     dec.expect_done()
     return msg
+
+
+def wire_size_of(payload: Any) -> int:
+    """Best-effort wire size of a payload in bytes.
+
+    Protocol messages implement ``wire_size()``; other payloads (test
+    strings, tuples...) fall back to a small constant so unit tests do not
+    need size plumbing.
+    """
+    sizer = getattr(payload, "wire_size", None)
+    if callable(sizer):
+        return int(sizer())
+    return 64
+
+
+def msg_type_of(payload: Any) -> str:
+    """Message-type label used for per-type accounting."""
+    label = getattr(payload, "msg_type", None)
+    if isinstance(label, str):
+        return label
+    return type(payload).__name__

@@ -21,7 +21,7 @@ from repro.crypto.hashing import Hash
 from repro.errors import ProtocolError, SafetyViolation
 from repro.core.block import Block
 from repro.core.chain import BlockStore
-from repro.sim.monitor import ExecutionRecord, Monitor
+from repro.core.monitor import ExecutionMonitor, ExecutionRecord
 
 
 @dataclass
@@ -81,7 +81,7 @@ class Ledger:
         replica: int,
         store: BlockStore,
         oracle: SafetyOracle | None = None,
-        monitor: Monitor | None = None,
+        monitor: ExecutionMonitor | None = None,
     ) -> None:
         self.replica = replica
         self.store = store

@@ -1,0 +1,39 @@
+"""Execution observation interface: what the core reports upward.
+
+The protocol core announces block executions; *who listens* is a runtime
+concern.  The simulator's :class:`repro.sim.monitor.Monitor` implements
+the :class:`ExecutionMonitor` protocol to aggregate paper metrics, and
+other runtimes may substitute their own sink (or none).  Keeping the
+record type and the narrow interface here keeps ``repro.core`` free of
+simulator imports - the core never learns about networks or event loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+@dataclass
+class ExecutionRecord:
+    """One block execution observed at one replica."""
+
+    replica: int
+    view: int
+    block_hash: bytes
+    num_transactions: int
+    proposed_at: float
+    executed_at: float
+
+    @property
+    def latency_ms(self) -> float:
+        """Proposal-to-execution latency of the block at this replica."""
+        return self.executed_at - self.proposed_at
+
+
+class ExecutionMonitor(Protocol):
+    """The one method the execution ledger needs from a metrics sink."""
+
+    def record_execution(self, record: ExecutionRecord) -> None:
+        """Called by replicas when they execute (commit) a block."""
+        ...

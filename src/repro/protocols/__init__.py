@@ -21,7 +21,17 @@ from repro.protocols.hotstuff import HotStuffReplica
 from repro.protocols.pacemaker import Pacemaker, round_robin_leader
 from repro.protocols.registry import PROTOCOL_ORDER, SPECS, ProtocolSpec, get_spec
 from repro.protocols.replica import BaseReplica, QuorumCollector
-from repro.protocols.system import ConsensusSystem, RunResult
+
+
+def __getattr__(name: str):
+    # Lazy (PEP 562): the system builder lives with the simulator runtime
+    # now, and importing a protocol module must not drag the simulator in.
+    if name in ("ConsensusSystem", "RunResult"):
+        from repro.runtime import sim as _sim
+
+        return getattr(_sim, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "BaseReplica",

@@ -195,8 +195,8 @@ class ChainedDamysusReplica(BaseReplica):
         block = create_chain(
             qc,
             view,
-            self.mempool.take_block(self.sim.now),
-            created_at=self.sim.now,
+            self.mempool.take_block(self.now),
+            created_at=self.now,
         )
         self.blocks[view] = block
         self.store.add(block)

@@ -120,8 +120,8 @@ class ChainedHotStuffReplica(BaseReplica):
         block = create_chain(
             self.high_qc,
             view,
-            self.mempool.take_block(self.sim.now),
-            created_at=self.sim.now,
+            self.mempool.take_block(self.now),
+            created_at=self.now,
         )
         self.store.add(block)
         self.charge_sign()

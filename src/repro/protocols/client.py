@@ -13,11 +13,11 @@ import itertools
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.clock import Clock
 from repro.core.mempool import Transaction
 from repro.core.messages import ClientReply, ClientRequest
-from repro.sim.events import Simulator
-from repro.sim.process import Process
-from repro.sim.rng import RngStream
+from repro.core.rng import RngStream
+from repro.runtime.machine import Machine
 
 
 @dataclass
@@ -33,13 +33,13 @@ class CompletedRequest:
         return self.first_reply_at - self.submitted_at
 
 
-class Client(Process):
+class Client(Machine):
     """An open- or closed-loop load generator."""
 
     def __init__(
         self,
         pid: int,
-        sim: Simulator,
+        clock: Clock,
         client_id: int,
         replica_pids: list[int],
         payload_bytes: int,
@@ -47,7 +47,7 @@ class Client(Process):
         total_txs: int = 0,
         rng: "RngStream | None" = None,
     ) -> None:
-        super().__init__(pid, sim)
+        super().__init__(pid, clock)
         self.client_id = client_id
         self.replica_pids = list(replica_pids)
         self.payload_bytes = payload_bytes
@@ -73,9 +73,9 @@ class Client(Process):
             client_id=self.client_id,
             tx_id=tx_id,
             payload_bytes=self.payload_bytes,
-            submitted_at=self.sim.now,
+            submitted_at=self.now,
         )
-        self.submitted[tx_id] = self.sim.now
+        self.submitted[tx_id] = self.now
         request = ClientRequest(self.client_id, tx)
         for pid in self.replica_pids:
             self.send(pid, request)
@@ -86,6 +86,8 @@ class Client(Process):
         self.set_timer(max(delay, 0.001), self._submit_next)
 
     def on_message(self, sender: int, payload: Any) -> None:
+        if self.crashed:
+            return
         if not isinstance(payload, ClientReply):
             return
         if payload.client_id != self.client_id:
@@ -97,7 +99,7 @@ class Client(Process):
             CompletedRequest(
                 tx_id=payload.tx_id,
                 submitted_at=submitted,
-                first_reply_at=self.sim.now,
+                first_reply_at=self.now,
             )
         )
 

@@ -187,8 +187,8 @@ class DamysusReplica(BaseReplica):
         block = create_leaf(
             acc.prep_hash,
             view,
-            self.mempool.take_block(self.sim.now),
-            created_at=self.sim.now,
+            self.mempool.take_block(self.now),
+            created_at=self.now,
         )
         self.store.add(block)
         self.charge_tee(signs=1, verifies=1)

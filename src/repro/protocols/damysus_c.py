@@ -99,8 +99,8 @@ class DamysusCReplica(DamysusReplica):
         block = create_leaf(
             justify.h_just,
             view,
-            self.mempool.take_block(self.sim.now),
-            created_at=self.sim.now,
+            self.mempool.take_block(self.now),
+            created_at=self.now,
         )
         self.store.add(block)
         self.charge_tee(signs=1, verifies=1)

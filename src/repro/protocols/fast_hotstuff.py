@@ -136,8 +136,8 @@ class FastHotStuffReplica(BaseReplica):
         block = create_leaf(
             self.prepare_qc.block_hash,
             view,
-            self.mempool.take_block(self.sim.now),
-            created_at=self.sim.now,
+            self.mempool.take_block(self.now),
+            created_at=self.now,
         )
         self.store.add(block)
         self.broadcast_charged(
@@ -169,8 +169,8 @@ class FastHotStuffReplica(BaseReplica):
         block = create_leaf(
             self.prepare_qc.block_hash,
             msg.view,
-            self.mempool.take_block(self.sim.now),
-            created_at=self.sim.now,
+            self.mempool.take_block(self.now),
+            created_at=self.now,
         )
         self.store.add(block)
         self.broadcast_charged(

@@ -163,8 +163,8 @@ class HotStuffReplica(BaseReplica):
         block = create_leaf(
             high_qc.block_hash,
             view,
-            self.mempool.take_block(self.sim.now),
-            created_at=self.sim.now,
+            self.mempool.take_block(self.now),
+            created_at=self.now,
         )
         self.store.add(block)
         self.broadcast_charged(ProposalMsg(view, block, high_qc), include_self=True)

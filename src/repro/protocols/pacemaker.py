@@ -10,12 +10,22 @@ leader, chosen deterministically and known to all nodes", Section 5).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
-
-from repro.sim.process import Process, Timer
+from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.rng import RngStream
+    from repro.core.rng import RngStream
+
+
+class TimerHandle(Protocol):
+    """A cancellable one-shot timer, however the host implements it."""
+
+    def cancel(self) -> None: ...
+
+
+class TimerHost(Protocol):
+    """What the pacemaker needs from its host machine or process."""
+
+    def set_timer(self, delay_ms: float, fn: Callable[[], None]) -> Any: ...
 
 
 def round_robin_leader(view: int, num_replicas: int) -> int:
@@ -28,7 +38,7 @@ class Pacemaker:
 
     def __init__(
         self,
-        process: Process,
+        process: TimerHost,
         base_timeout_ms: float,
         backoff: float = 2.0,
         on_timeout: Callable[[int], None] | None = None,
@@ -59,7 +69,7 @@ class Pacemaker:
         )
         self.current_timeout_ms = base_timeout_ms
         self.timeouts_fired = 0
-        self._timer: Timer | None = None
+        self._timer: TimerHandle | None = None
         self._view = -1
 
     @property

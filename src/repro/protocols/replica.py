@@ -15,16 +15,17 @@ from repro.crypto.keys import KeyDirectory
 from repro.crypto.scheme import SignatureScheme
 from repro.core.chain import BlockStore
 from repro.core.block import Block
+from repro.core.clock import Clock
+from repro.core.codec import wire_size_of
 from repro.core.executor import Ledger, SafetyOracle
 from repro.core.mempool import Mempool
 from repro.core.messages import BlockRequest, BlockResponse, ClientReply, ClientRequest
+from repro.core.monitor import ExecutionMonitor
+from repro.core.rng import RngStream
 from repro.errors import MissingBlockError, TEERefusal
 from repro.protocols.pacemaker import Pacemaker, round_robin_leader
-from repro.sim.events import Simulator
-from repro.sim.monitor import Monitor
-from repro.sim.network import wire_size_of
-from repro.sim.process import Process
-from repro.sim.rng import RngStream
+from repro.runtime.effects import Commit
+from repro.runtime.machine import Machine
 from repro.tee.sealed import SealedState, SealManager
 
 #: Cap on buffered future-view messages per replica (Byzantine flood guard).
@@ -92,8 +93,16 @@ class QuorumCollector:
         }
 
 
-class BaseReplica(Process):
-    """Common replica machinery; protocol subclasses implement handlers."""
+class BaseReplica(Machine):
+    """Common replica machinery; protocol subclasses implement handlers.
+
+    Replicas are sans-I/O state machines: handlers emit
+    :mod:`repro.runtime.effects` (flushed to the attached runtime when the
+    outermost entry point returns) and read time from an injected
+    :class:`~repro.core.clock.Clock` - never from a simulator or socket.
+    """
+
+    ENTRY_POINTS = Machine.ENTRY_POINTS + ("dispatch", "advance_view", "execute_block")
 
     #: The replica's Checker trusted component, if the protocol has one.
     #: Protocols that set it must implement ``_make_checker()``.
@@ -102,17 +111,17 @@ class BaseReplica(Process):
     def __init__(  # noqa: PLR0913 - wiring point for the whole stack
         self,
         pid: int,
-        sim: Simulator,
+        clock: Clock,
         config: SystemConfig,
         scheme: SignatureScheme,
         directory: KeyDirectory,
         num_replicas: int,
         quorum: int,
         oracle: SafetyOracle | None = None,
-        monitor: Monitor | None = None,
+        monitor: ExecutionMonitor | None = None,
         client_pids: dict[int, int] | None = None,
     ) -> None:
-        super().__init__(pid, sim)
+        super().__init__(pid, clock)
         self.config = config
         self.costs = config.costs
         self.scheme = scheme
@@ -276,6 +285,8 @@ class BaseReplica(Process):
         return getattr(payload, "view", None)
 
     def on_message(self, sender: int, payload: Any) -> None:
+        if self.crashed:
+            return
         if isinstance(payload, ClientRequest):
             self.mempool.add(payload.tx)
             return
@@ -372,7 +383,7 @@ class BaseReplica(Process):
         and the missing blocks are fetched from peers.
         """
         try:
-            newly = self.ledger.execute(block, self.sim.now, view)
+            newly = self.ledger.execute(block, self.now, view)
         except MissingBlockError:
             self._pending_exec[block.hash] = view
             self._request_missing_ancestors(block)
@@ -387,9 +398,10 @@ class BaseReplica(Process):
                             replica=self.pid,
                             client_id=tx.client_id,
                             tx_id=tx.tx_id,
-                            executed_at=self.sim.now,
+                            executed_at=self.now,
                         ),
                     )
+            self._emit(Commit(executed, view))
         return newly
 
     # -- block synchronization -------------------------------------------------

@@ -1,213 +1,22 @@
-"""System builder: wires one complete simulated deployment.
+"""Compatibility shim: the system builder moved to :mod:`repro.runtime.sim`.
 
-``ConsensusSystem(config)`` constructs the simulator, RNG streams, the
-region-matrix (optionally partial-synchrony-wrapped) network, the
-signature scheme and key directory, the replicas with their trusted
-components, and optional clients - then runs the simulation and exposes
-the measured results.  This is the single entry point used by tests,
-examples and the benchmark harness.
+``ConsensusSystem`` wires protocol machines to the *simulator* runtime,
+so it lives with the other runtime adapters now.  This module keeps the
+historical import path working.  Attribute access is lazy (PEP 562) so
+that importing a protocol module never drags in the simulator package -
+the layering the ``ARCH00x`` lint rules enforce.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Any
 
-from repro.config import SystemConfig
-from repro.crypto.hmac_scheme import HmacScheme
-from repro.crypto.keys import KeyDirectory
-from repro.crypto.scheme import SignatureScheme
-from repro.crypto.schnorr import GROUP_TEST, SchnorrScheme
-from repro.core.executor import SafetyOracle
-from repro.protocols.client import Client
-from repro.protocols.registry import ProtocolSpec, get_spec
-from repro.protocols.replica import BaseReplica
-from repro.sim.events import Simulator
-from repro.sim.faults import FaultPlan
-from repro.sim.latency import MatrixLatency, PartialSynchronyLatency
-from repro.sim.monitor import Monitor
-from repro.sim.network import Network
-from repro.sim.rng import RngFactory
-
-#: Simulation chunk size (virtual ms) between stop-condition checks.
-_RUN_CHUNK_MS = 200.0
+__all__ = ["ConsensusSystem", "RunResult"]
 
 
-@dataclass
-class RunResult:
-    """Aggregated outcome of one simulated run."""
+def __getattr__(name: str) -> Any:
+    if name in __all__:
+        from repro.runtime import sim as _sim
 
-    protocol: str
-    f: int
-    num_replicas: int
-    duration_ms: float
-    committed_blocks: int
-    committed_views: int
-    throughput_kops: float
-    mean_latency_ms: float
-    messages_sent: int
-    bytes_sent: int
-    safe: bool
-
-
-class ConsensusSystem:
-    """One fully wired simulated deployment."""
-
-    def __init__(
-        self,
-        config: SystemConfig,
-        strict_safety: bool = True,
-        replica_overrides: dict[int, type] | None = None,
-    ) -> None:
-        self.config = config
-        self.replica_overrides = replica_overrides or {}
-        self.spec: ProtocolSpec = get_spec(config.protocol)
-        self.num_replicas = self.spec.num_replicas(config.f)
-        self.quorum = self.spec.quorum(config.f)
-        self.sim = Simulator()
-        self.rng = RngFactory(config.seed)
-        self.monitor = Monitor()
-        self.oracle = SafetyOracle(strict=strict_safety)
-        self.scheme = self._build_scheme()
-        self.directory = KeyDirectory(self.scheme)
-        self.network = Network(
-            self.sim, self._build_latency(), self.monitor, fifo=config.fifo_links
-        )
-        self.replicas: list[BaseReplica] = []
-        self.clients: list[Client] = []
-        self._build_processes()
-        self._started = False
-
-    # -- construction ------------------------------------------------------------
-
-    def _build_scheme(self) -> SignatureScheme:
-        if self.config.use_real_crypto:
-            return SchnorrScheme(GROUP_TEST)
-        return HmacScheme(secret=f"system-{self.config.seed}".encode())
-
-    def _build_latency(self):
-        # Clients get region slots too (they occupy pids after the replicas).
-        placement = self.config.regions.assign_round_robin(
-            self.num_replicas + self.config.num_clients
-        )
-        matrix = MatrixLatency(
-            self.config.regions,
-            placement,
-            self.rng.stream("latency"),
-            bandwidth=self.config.bandwidth_bytes_per_ms,
-            jitter=self.config.latency_jitter,
-        )
-        if self.config.gst_ms > 0:
-            return PartialSynchronyLatency(
-                matrix,
-                self.rng.stream("pre-gst"),
-                gst=self.config.gst_ms,
-                delta_ms=self.config.delta_ms,
-                max_extra_ms=self.config.pre_gst_extra_ms,
-            )
-        return matrix
-
-    def _build_processes(self) -> None:
-        config = self.config
-        client_pids = {
-            cid: self.num_replicas + cid for cid in range(config.num_clients)
-        }
-        for pid in range(self.num_replicas):
-            self.directory.register_replica(pid)
-        for pid in range(self.num_replicas):
-            replica_class = self.replica_overrides.get(pid, self.spec.replica_class)
-            replica = replica_class(
-                pid,
-                self.sim,
-                config,
-                self.scheme,
-                self.directory,
-                self.num_replicas,
-                self.quorum,
-                oracle=self.oracle,
-                monitor=self.monitor,
-                client_pids=client_pids,
-            )
-            replica.replica_pids = list(range(self.num_replicas))
-            self.network.add_process(replica)
-            self.replicas.append(replica)
-        for cid in range(config.num_clients):
-            client = Client(
-                pid=client_pids[cid],
-                sim=self.sim,
-                client_id=cid,
-                replica_pids=list(range(self.num_replicas)),
-                payload_bytes=config.payload_bytes,
-                interval_ms=config.client_interval_ms,
-                total_txs=config.client_total_txs,
-                rng=self.rng.stream(f"client:{cid}") if config.client_poisson else None,
-            )
-            self.network.add_process(client)
-            self.clients.append(client)
-
-    # -- faults -------------------------------------------------------------------
-
-    def crash_replicas(self, pids: list[int]) -> None:
-        """Crash (silence) the given replicas before or during a run."""
-        for pid in pids:
-            self.replicas[pid].crash()
-
-    def recover_replicas(self, pids: list[int]) -> None:
-        """Recover previously crashed replicas (unseal TEE state, rejoin)."""
-        for pid in pids:
-            self.replicas[pid].recover()
-
-    def apply_fault_plan(self, plan: FaultPlan) -> None:
-        """Install a fault plan: link faults now, crash/recover on schedule.
-
-        The plan draws from the system's seeded ``"faults"`` RNG stream,
-        so a given (config, plan) pair replays identically.
-        """
-        plan.install(self.network, self.rng.stream("faults"), replicas=self.replicas)
-
-    # -- running --------------------------------------------------------------------
-
-    def start(self) -> None:
-        if self._started:
-            return
-        self._started = True
-        for replica in self.replicas:
-            if not replica.crashed:
-                replica.start()
-        for client in self.clients:
-            client.start()
-
-    def run(self, duration_ms: float) -> RunResult:
-        """Run for a fixed amount of virtual time."""
-        self.start()
-        self.sim.run(until=self.sim.now + duration_ms)
-        return self.result()
-
-    def run_until_views(self, num_views: int, max_time_ms: float = 600_000.0) -> RunResult:
-        """Run until ``num_views`` blocks committed (or the time cap)."""
-        self.start()
-        while self.sim.now < max_time_ms:
-            if len(self.monitor.committed_views()) >= num_views:
-                break
-            if self.sim.pending == 0:
-                break
-            self.sim.run(until=self.sim.now + _RUN_CHUNK_MS)
-        return self.result()
-
-    # -- results ---------------------------------------------------------------------
-
-    def result(self) -> RunResult:
-        distinct_blocks = {rec.block_hash for rec in self.monitor.executions}
-        duration = self.sim.now
-        return RunResult(
-            protocol=self.config.protocol,
-            f=self.config.f,
-            num_replicas=self.num_replicas,
-            duration_ms=duration,
-            committed_blocks=len(distinct_blocks),
-            committed_views=len(self.monitor.committed_views()),
-            throughput_kops=self.monitor.throughput_kops(duration),
-            mean_latency_ms=self.monitor.mean_latency_ms(),
-            messages_sent=self.monitor.messages_sent,
-            bytes_sent=self.monitor.bytes_sent,
-            safe=self.oracle.safe,
-        )
+        return getattr(_sim, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,469 @@
+"""Real-network runtime: protocol machines on asyncio TCP sockets.
+
+The same sans-I/O machines the simulator hosts (``repro.runtime.sim``)
+run here unchanged against real sockets and wall-clock timers:
+
+* :class:`WallClock` satisfies :class:`repro.core.clock.Clock` with
+  monotonic milliseconds.
+* :class:`AsyncioRuntime` is one machine's seat on an event loop.  It
+  interprets effect lists onto per-peer outbound queues (length-prefixed
+  frames over :mod:`repro.core.codec`, see :mod:`repro.runtime.framing`)
+  and ``loop.call_later`` timers.  ``ChargeCpu`` is a no-op - real CPUs
+  charge themselves.
+* :func:`run_local_cluster` boots an n-replica localhost deployment
+  (two-phase: bind every server on an ephemeral port, then exchange the
+  real addresses) and reports committed throughput - the backing of the
+  ``repro net-bench`` CLI and the cross-runtime equivalence test.
+* :func:`serve_replica` runs a single replica on a fixed port for
+  multi-process deployments (``repro serve``).
+
+Outbound connections are lazy with exponential reconnect backoff; each
+starts with a hello frame naming the sender pid so the acceptor can
+attribute inbound messages before parsing any consensus payload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.core.codec import CodecError, decode_message, encode_message
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import KeyDirectory
+from repro.errors import ConfigError
+from repro.protocols.registry import ProtocolSpec, get_spec
+from repro.protocols.replica import BaseReplica
+from repro.runtime.effects import (
+    Broadcast,
+    CancelTimer,
+    ChargeCpu,
+    Commit,
+    Effect,
+    Send,
+    SetTimer,
+)
+from repro.runtime.framing import (
+    FrameDecoder,
+    FramingError,
+    decode_hello,
+    encode_frame,
+    encode_hello,
+)
+
+#: Reconnect backoff bounds for outbound peer connections (seconds).
+RECONNECT_INITIAL_S = 0.05
+RECONNECT_MAX_S = 1.0
+
+#: Outbound frames queued per peer before the oldest are dropped.  A BFT
+#: protocol tolerates message loss (the pacemaker recovers), so bounding
+#: memory beats backpressuring the consensus handler.
+MAX_OUTBOUND_QUEUE = 10_000
+
+_RECV_CHUNK = 64 * 1024
+
+
+class WallClock:
+    """Monotonic wall-clock milliseconds, zeroed at construction."""
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        return (time.monotonic() - self._t0) * 1000.0
+
+
+class AsyncioRuntime:
+    """One machine's seat on an asyncio event loop: server, peers, timers."""
+
+    def __init__(
+        self,
+        machine: BaseReplica,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.machine = machine
+        machine.runtime = self
+        self.host = host
+        self.port = port  # replaced by the bound port after start_server()
+        self.peers: dict[int, tuple[str, int]] = {}
+        self._server: asyncio.Server | None = None
+        self._queues: dict[int, asyncio.Queue[bytes]] = {}
+        self._sender_tasks: dict[int, asyncio.Task[None]] = {}
+        self._reader_tasks: set[asyncio.Task[None]] = set()
+        self._timers: dict[int, asyncio.TimerHandle] = {}
+        self._closed = False
+        # Transport-level counters for net-bench reporting.
+        self.sent_messages = 0
+        self.sent_bytes = 0
+        self.dropped_messages = 0
+        self.committed_blocks = 0
+        self.committed_txs = 0
+        self.commit_event = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start_server(self) -> tuple[str, int]:
+        """Bind the listening socket; returns the (host, port) peers dial."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    def set_peers(self, peers: dict[int, tuple[str, int]]) -> None:
+        """Install the pid -> (host, port) address book (excluding self)."""
+        self.peers = {pid: addr for pid, addr in peers.items() if pid != self.machine.pid}
+
+    def start_machine(self) -> None:
+        self.machine.start()
+
+    async def close(self) -> None:
+        """Tear down timers, sender tasks, inbound readers and the server."""
+        self._closed = True
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        tasks = list(self._sender_tasks.values()) + list(self._reader_tasks)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._sender_tasks.clear()
+        self._reader_tasks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- Runtime interface -------------------------------------------------
+
+    def execute(self, effects: list[Effect]) -> None:
+        for effect in effects:
+            if type(effect) is Send:
+                self._send(effect.dest, effect.payload)
+            elif type(effect) is Broadcast:
+                dests = list(effect.dests)
+                if effect.include_self and self.machine.pid not in dests:
+                    dests.append(self.machine.pid)
+                for dest in dests:
+                    self._send(dest, effect.payload)
+            elif type(effect) is SetTimer:
+                self._arm_timer(effect.timer_id, effect.delay_ms)
+            elif type(effect) is CancelTimer:
+                handle = self._timers.pop(effect.timer_id, None)
+                if handle is not None:
+                    handle.cancel()
+            elif type(effect) is Commit:
+                self.committed_blocks += 1
+                self.committed_txs += effect.block.num_transactions()
+                self.commit_event.set()
+            # ChargeCpu models simulated CPU occupancy; real CPUs charge
+            # themselves, so it needs no interpretation here.
+
+    def machine_recovered(self) -> None:
+        """No CPU model to reset on a real host."""
+
+    # -- sending -----------------------------------------------------------
+
+    def _send(self, dest: int, payload: object) -> None:
+        if self._closed:
+            return
+        if dest == self.machine.pid:
+            # Self-delivery skips the codec, mirroring the simulator's
+            # in-memory self loop; call_soon keeps the handler re-entrant
+            # safe (never invoked inside another handler's flush).
+            asyncio.get_running_loop().call_soon(
+                self.machine.on_message, self.machine.pid, payload
+            )
+            return
+        if dest not in self.peers:
+            return
+        frame = encode_frame(encode_message(payload))
+        queue = self._queues.get(dest)
+        if queue is None:
+            queue = asyncio.Queue(maxsize=MAX_OUTBOUND_QUEUE)
+            self._queues[dest] = queue
+            self._sender_tasks[dest] = asyncio.get_running_loop().create_task(
+                self._sender_loop(dest, queue)
+            )
+        try:
+            queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            self.dropped_messages += 1
+            return
+        self.sent_messages += 1
+        self.sent_bytes += len(frame)
+
+    async def _sender_loop(self, dest: int, queue: asyncio.Queue[bytes]) -> None:
+        """Drain ``queue`` to ``dest``, reconnecting with backoff on failure."""
+        backoff = RECONNECT_INITIAL_S
+        while not self._closed:
+            try:
+                host, port = self.peers[dest]
+                _reader, writer = await asyncio.open_connection(host, port)
+            except (OSError, KeyError):
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, RECONNECT_MAX_S)
+                continue
+            backoff = RECONNECT_INITIAL_S
+            try:
+                writer.write(encode_hello(self.machine.pid))
+                await writer.drain()
+                while True:
+                    frame = await queue.get()
+                    writer.write(frame)
+                    await writer.drain()
+            except (OSError, ConnectionError):
+                # Frames written into the dead socket are lost; consensus
+                # tolerates that (the next view change resynchronises).
+                pass
+            finally:
+                writer.close()
+
+    # -- receiving ---------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._reader_tasks.add(task)
+        sender: int | None = None
+        decoder = FrameDecoder()
+        try:
+            while not self._closed:
+                data = await reader.read(_RECV_CHUNK)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    if sender is None:
+                        sender = decode_hello(frame)
+                        continue
+                    self.machine.on_message(sender, decode_message(frame))
+        except (FramingError, CodecError):
+            pass  # malformed peer stream: drop the connection
+        except (OSError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._reader_tasks.discard(task)
+            writer.close()
+
+    # -- timers ------------------------------------------------------------
+
+    def _arm_timer(self, timer_id: int, delay_ms: float) -> None:
+        def fire() -> None:
+            self._timers.pop(timer_id, None)
+            self.machine.on_timer(timer_id)
+
+        self._timers[timer_id] = asyncio.get_running_loop().call_later(
+            max(delay_ms, 0.0) / 1000.0, fire
+        )
+
+
+# -- cluster construction ---------------------------------------------------
+
+
+def _sized_quorum(spec: ProtocolSpec, n: int) -> tuple[int, int]:
+    """(f, quorum) for an ``n``-replica deployment of ``spec``.
+
+    ``n`` need not sit exactly on the protocol's N(f) line; extra
+    replicas above N(f) enlarge the quorum so the intersection argument
+    still holds.
+    """
+    f = spec.max_faults(n)
+    if f < 1:
+        raise ConfigError(f"{spec.name} needs more than {n} replicas to tolerate a fault")
+    return f, spec.quorum(f) + (n - spec.num_replicas(f))
+
+
+def build_machine(
+    protocol: str,
+    pid: int,
+    n: int,
+    clock: WallClock,
+    *,
+    seed: int = 1,
+    payload_bytes: int = 128,
+    block_size: int = 32,
+    timeout_ms: float = 2_000.0,
+) -> BaseReplica:
+    """Construct one protocol machine for an ``n``-replica TCP deployment.
+
+    Every replica of a deployment must be built with the same arguments:
+    the HMAC scheme is keyed off ``seed`` and quorum sizing off ``n``.
+    """
+    spec = get_spec(protocol)
+    f, quorum = _sized_quorum(spec, n)
+    config = SystemConfig(
+        protocol=protocol,
+        f=f,
+        seed=seed,
+        payload_bytes=payload_bytes,
+        block_size=block_size,
+        timeout_ms=timeout_ms,
+        open_loop=True,
+    )
+    scheme = HmacScheme(secret=f"system-{seed}".encode())
+    directory = KeyDirectory(scheme)
+    # Unlike the simulator, each process holds its own directory, so the
+    # peers' trusted-component identities must be registered here too
+    # (each replica's own TEE self-registers during construction).
+    for peer in range(n):
+        directory.register_replica(peer)
+        directory.register_tee(peer)
+    replica = spec.replica_class(
+        pid, clock, config, scheme, directory, n, quorum, client_pids={}
+    )
+    replica.replica_pids = list(range(n))
+    return replica
+
+
+@dataclass
+class ClusterReport:
+    """Outcome of one :func:`run_local_cluster` run."""
+
+    protocol: str
+    num_replicas: int
+    f: int
+    quorum: int
+    elapsed_s: float
+    committed_blocks: int  # at the slowest replica
+    committed_txs: int  # at the slowest replica
+    messages_sent: int
+    bytes_sent: int
+    dropped_messages: int
+    #: Per-replica executed block-hash chains (for equivalence checks).
+    chains: dict[int, list[str]] = field(default_factory=dict)
+
+    @property
+    def tx_per_s(self) -> float:
+        return self.committed_txs / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+async def run_local_cluster(
+    protocol: str,
+    n: int,
+    *,
+    seed: int = 1,
+    duration_s: float = 5.0,
+    target_blocks: int = 0,
+    payload_bytes: int = 128,
+    block_size: int = 32,
+    timeout_ms: float = 2_000.0,
+    host: str = "127.0.0.1",
+) -> ClusterReport:
+    """Run an ``n``-replica cluster on localhost TCP; report throughput.
+
+    Stops after ``duration_s`` seconds, or as soon as every replica has
+    committed ``target_blocks`` blocks (when ``target_blocks`` > 0).
+    """
+    spec = get_spec(protocol)
+    f, quorum = _sized_quorum(spec, n)
+    clock = WallClock()
+    runtimes = [
+        AsyncioRuntime(
+            build_machine(
+                protocol,
+                pid,
+                n,
+                clock,
+                seed=seed,
+                payload_bytes=payload_bytes,
+                block_size=block_size,
+                timeout_ms=timeout_ms,
+            ),
+            host=host,
+        )
+        for pid in range(n)
+    ]
+    # Phase 1: bind every server on an ephemeral port; phase 2: exchange
+    # the real addresses.  No fixed ports, so parallel CI runs never race.
+    addresses = {}
+    for pid, runtime in enumerate(runtimes):
+        addresses[pid] = await runtime.start_server()
+    for runtime in runtimes:
+        runtime.set_peers(addresses)
+    t0 = time.monotonic()
+    for runtime in runtimes:
+        runtime.start_machine()
+    deadline = t0 + duration_s
+    try:
+        while time.monotonic() < deadline:
+            if target_blocks > 0 and all(
+                rt.committed_blocks >= target_blocks for rt in runtimes
+            ):
+                break
+            await asyncio.sleep(0.02)
+    finally:
+        elapsed = time.monotonic() - t0
+        for runtime in runtimes:
+            await runtime.close()
+    return ClusterReport(
+        protocol=protocol,
+        num_replicas=n,
+        f=f,
+        quorum=quorum,
+        elapsed_s=elapsed,
+        committed_blocks=min(rt.committed_blocks for rt in runtimes),
+        committed_txs=min(rt.committed_txs for rt in runtimes),
+        messages_sent=sum(rt.sent_messages for rt in runtimes),
+        bytes_sent=sum(rt.sent_bytes for rt in runtimes),
+        dropped_messages=sum(rt.dropped_messages for rt in runtimes),
+        chains={
+            rt.machine.pid: [block.hash.hex() for block in rt.machine.ledger.executed]
+            for rt in runtimes
+        },
+    )
+
+
+async def serve_replica(
+    protocol: str,
+    pid: int,
+    n: int,
+    *,
+    base_port: int,
+    host: str = "127.0.0.1",
+    seed: int = 1,
+    duration_s: float = 0.0,
+    payload_bytes: int = 128,
+    block_size: int = 32,
+    timeout_ms: float = 2_000.0,
+) -> AsyncioRuntime:
+    """Run one replica of a fixed-port deployment (``repro serve``).
+
+    Peers are assumed at ``base_port + pid`` on ``host`` - start one
+    process per pid with identical arguments.  Runs for ``duration_s``
+    seconds (0 = until cancelled) and returns the runtime for inspection.
+    """
+    if not 0 <= pid < n:
+        raise ConfigError(f"pid {pid} outside cluster of {n} replicas")
+    clock = WallClock()
+    runtime = AsyncioRuntime(
+        build_machine(
+            protocol,
+            pid,
+            n,
+            clock,
+            seed=seed,
+            payload_bytes=payload_bytes,
+            block_size=block_size,
+            timeout_ms=timeout_ms,
+        ),
+        host=host,
+        port=base_port + pid,
+    )
+    await runtime.start_server()
+    runtime.set_peers({peer: (host, base_port + peer) for peer in range(n)})
+    runtime.start_machine()
+    try:
+        if duration_s > 0:
+            await asyncio.sleep(duration_s)
+        else:
+            await asyncio.Event().wait()
+    finally:
+        await runtime.close()
+    return runtime

@@ -1,0 +1,99 @@
+"""The effect algebra: everything a protocol machine can ask of the world.
+
+A sans-I/O protocol machine never touches a network, a timer wheel or a
+CPU model directly.  Its handlers *describe* I/O as a list of effects, in
+the exact order the actions should happen, and a :class:`Runtime` carries
+them out - on the discrete-event simulator, on real asyncio sockets, or
+on nothing at all (unit tests can simply assert on the list).
+
+Effect interpretation order is part of the contract: runtimes must apply
+effects in list order, because the simulator derives its deterministic
+event ordering from the order side effects are scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+
+@dataclass(frozen=True, slots=True)
+class Send:
+    """Deliver ``payload`` to the peer ``dest`` (best effort)."""
+
+    dest: int
+    payload: Any
+    size_bytes: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Broadcast:
+    """Deliver ``payload`` to every pid in ``dests`` in order.
+
+    ``include_self`` mirrors the paper's message counting: self-messages
+    are real sends (Table 1 "includes self-messages"), delivered through
+    the same path as peer traffic.
+    """
+
+    dests: tuple[int, ...]
+    payload: Any
+    include_self: bool = False
+    size_bytes: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SetTimer:
+    """Arm one-shot timer ``timer_id`` to fire ``delay_ms`` from now.
+
+    The runtime calls ``machine.on_timer(timer_id)`` when it fires.
+    """
+
+    timer_id: int
+    delay_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class CancelTimer:
+    """Disarm a previously set timer (no-op if it already fired)."""
+
+    timer_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class Commit:
+    """Announce that ``block`` was executed (committed) in ``view``.
+
+    Runtimes use this for progress reporting; the ledger has already
+    applied the block by the time this effect is emitted.
+    """
+
+    block: Any
+    view: int
+
+
+@dataclass(frozen=True, slots=True)
+class ChargeCpu:
+    """Occupy the machine's (single) CPU for ``ms`` of processing time.
+
+    The simulator models this as busy time that delays subsequent sends
+    and deliveries; wall-clock runtimes may ignore it (the real CPU burns
+    real time).
+    """
+
+    ms: float = field(default=0.0)
+
+
+#: Union of every effect a machine may emit.
+Effect = Send | Broadcast | SetTimer | CancelTimer | Commit | ChargeCpu
+
+
+class Runtime(Protocol):
+    """What a machine needs from whatever hosts it."""
+
+    def execute(self, effects: list[Effect]) -> None:
+        """Apply ``effects`` in order on behalf of the attached machine."""
+        ...
+
+    def machine_recovered(self) -> None:
+        """The machine restarted: reset host-side state (CPU busy time)."""
+        ...

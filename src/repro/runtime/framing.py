@@ -1,0 +1,83 @@
+"""Length-prefixed framing for protocol messages on a byte stream.
+
+TCP gives a byte stream; the wire codec (:mod:`repro.core.codec`) gives
+message bytes.  This module glues them: every message travels as a
+``u32-le`` length prefix followed by that many payload bytes, and the
+first frame of every connection is a *hello* identifying the sender's
+pid (consensus messages carry signatures, but the transport needs an
+address book entry before the first message is parsed).
+
+Pure and I/O-free by design - :class:`FrameDecoder` is fed bytes and
+yields frames - so it is unit-testable without sockets and reusable by
+any transport.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ProtocolError
+
+#: Frames above this size are treated as a protocol violation (a byzantine
+#: peer must not be able to make us buffer unbounded memory).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_LEN = struct.Struct("<I")
+
+#: First-frame payload prefix identifying a peer connection.
+HELLO_MAGIC = b"repro-hello\x00"
+
+
+class FramingError(ProtocolError):
+    """Malformed framing on a connection (oversized or bad hello)."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a length prefix."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FramingError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LEN.pack(len(payload)) + payload
+
+
+def encode_hello(pid: int) -> bytes:
+    """The hello frame a connecting peer sends first: magic + sender pid."""
+    return encode_frame(HELLO_MAGIC + _LEN.pack(pid))
+
+
+def decode_hello(payload: bytes) -> int:
+    """Parse a hello frame payload; returns the sender pid."""
+    if len(payload) != len(HELLO_MAGIC) + _LEN.size or not payload.startswith(HELLO_MAGIC):
+        raise FramingError("connection did not open with a valid hello frame")
+    return int(_LEN.unpack_from(payload, len(HELLO_MAGIC))[0])
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed bytes in, take whole frames out."""
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb ``data``; return every frame completed by it, in order."""
+        self._buffer.extend(data)
+        frames: list[bytes] = []
+        while True:
+            if len(self._buffer) < _LEN.size:
+                break
+            (length,) = _LEN.unpack_from(self._buffer, 0)
+            if length > self.max_frame_bytes:
+                raise FramingError(
+                    f"peer announced a {length}-byte frame (cap {self.max_frame_bytes})"
+                )
+            end = _LEN.size + length
+            if len(self._buffer) < end:
+                break
+            frames.append(bytes(self._buffer[_LEN.size:end]))
+            del self._buffer[:end]
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)

@@ -11,22 +11,11 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+# The record type moved to the core (the ledger produces it); it is
+# re-exported here because the simulator side has always offered it.
+from repro.core.monitor import ExecutionRecord
 
-@dataclass
-class ExecutionRecord:
-    """One block execution observed at one replica."""
-
-    replica: int
-    view: int
-    block_hash: bytes
-    num_transactions: int
-    proposed_at: float
-    executed_at: float
-
-    @property
-    def latency_ms(self) -> float:
-        """Proposal-to-execution latency of the block at this replica."""
-        return self.executed_at - self.proposed_at
+__all__ = ["ExecutionRecord", "Monitor"]
 
 
 @dataclass

@@ -25,34 +25,19 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+
+# Sizing/labelling helpers grew up here but belong to the wire codec;
+# re-exported for compatibility with existing imports.
+from repro.core.codec import msg_type_of, wire_size_of
 from repro.sim.events import Simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.monitor import Monitor
 from repro.sim.process import Process
 
+__all__ = ["SELF_DELIVERY_MS", "Network", "msg_type_of", "wire_size_of"]
+
 #: Loop-back delay for a process sending to itself, in ms.
 SELF_DELIVERY_MS = 0.01
-
-
-def wire_size_of(payload: Any) -> int:
-    """Best-effort wire size of a payload in bytes.
-
-    Protocol messages implement ``wire_size()``; other payloads (test
-    strings, tuples...) fall back to a small constant so unit tests do not
-    need size plumbing.
-    """
-    sizer = getattr(payload, "wire_size", None)
-    if callable(sizer):
-        return int(sizer())
-    return 64
-
-
-def msg_type_of(payload: Any) -> str:
-    """Message-type label used for per-type accounting."""
-    label = getattr(payload, "msg_type", None)
-    if isinstance(label, str):
-        return label
-    return type(payload).__name__
 
 
 class Network:

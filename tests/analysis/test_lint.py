@@ -324,6 +324,83 @@ def test_msg003_wildcard_is_exhaustive(tmp_path):
     assert lint_ids(tmp_path, ["MSG003"]) == []
 
 
+# -- ARCH layering rules --------------------------------------------------------
+
+
+def test_arch001_core_must_not_import_sim(tmp_path):
+    make_module(
+        tmp_path,
+        "repro.core.leaky",
+        """
+        from repro.sim.events import Simulator
+
+        def build():
+            return Simulator()
+        """,
+    )
+    assert lint_ids(tmp_path, ["ARCH001"]) == [("ARCH001", 2)]
+
+
+def test_arch002_tee_must_not_import_asyncio_runtime(tmp_path):
+    make_module(
+        tmp_path,
+        "repro.tee.leaky",
+        """
+        import repro.runtime.asyncio_net
+        """,
+    )
+    assert lint_ids(tmp_path, ["ARCH002"]) == [("ARCH002", 2)]
+
+
+def test_arch003_protocols_must_not_import_sim(tmp_path):
+    make_module(
+        tmp_path,
+        "repro.protocols.leaky",
+        """
+        def lazy():
+            from repro.sim.network import Network  # laziness is no excuse
+
+            return Network
+        """,
+    )
+    assert lint_ids(tmp_path, ["ARCH003"]) == [("ARCH003", 3)]
+
+
+def test_arch003_submodule_via_from_parent_import(tmp_path):
+    make_module(
+        tmp_path,
+        "repro.protocols.leaky",
+        """
+        from repro.runtime import asyncio_net
+        """,
+    )
+    assert lint_ids(tmp_path, ["ARCH003"]) == [("ARCH003", 2)]
+
+
+def test_arch_rules_allow_effect_vocabulary(tmp_path):
+    make_module(
+        tmp_path,
+        "repro.protocols.fine",
+        """
+        from repro.core.clock import Clock
+        from repro.runtime.effects import Send
+        from repro.runtime.machine import Machine
+        """,
+    )
+    assert lint_ids(tmp_path, ["ARCH001", "ARCH002", "ARCH003"]) == []
+
+
+def test_arch_rules_ignore_other_layers(tmp_path):
+    make_module(
+        tmp_path,
+        "repro.bench.hosty",
+        """
+        from repro.sim.events import Simulator
+        """,
+    )
+    assert lint_ids(tmp_path, ["ARCH001", "ARCH002", "ARCH003"]) == []
+
+
 # -- suppression, baseline, engine plumbing -------------------------------------
 
 

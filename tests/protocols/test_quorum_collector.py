@@ -64,3 +64,31 @@ def test_pending_keys_counts_state():
     assert collector.pending_keys() >= 1
     collector.discard_before_view(5)
     assert collector.pending_keys() == 0
+
+
+def test_discard_clears_dedup_state_too():
+    # After GC, a pruned key starts from scratch: the old contributors'
+    # dedup entries must not shadow fresh additions.
+    collector = QuorumCollector(2)
+    collector.add((1, "x"), "a", 0)
+    collector.discard_before_view(2)
+    assert collector.add((1, "x"), "a2", 0) is None  # fresh key, count 1
+    assert collector.count((1, "x")) == 1
+    assert collector.add((1, "x"), "b", 1) == ["a2", "b"]
+
+
+def test_discard_clears_done_marks_below_horizon():
+    # Done-marks below the horizon are dropped with the rest of the state,
+    # so a resurrected stale key can fire again (staleness filtering is
+    # the replica's job, not the collector's).
+    collector = QuorumCollector(1)
+    assert collector.add((1, "x"), "a", 0) == ["a"]
+    collector.discard_before_view(2)
+    assert collector.add((1, "x"), "b", 0) == ["b"]
+
+
+def test_discard_at_horizon_keeps_exact_view():
+    collector = QuorumCollector(2)
+    collector.add(3, "a", 0)
+    collector.discard_before_view(3)  # strictly-below semantics
+    assert collector.count(3) == 1

@@ -120,5 +120,5 @@ def test_crashed_replica_ignores_everything():
         def wire_size(self):
             return 10
 
-    replica.deliver(0, Msg())
+    assert replica.on_message(0, Msg()) == []
     assert replica.view == view_before

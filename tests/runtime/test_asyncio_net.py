@@ -1,0 +1,103 @@
+"""Tests for the asyncio TCP runtime: loopback clusters on real sockets.
+
+These run actual ``asyncio.start_server`` listeners on ephemeral
+localhost ports, so they double as the CI smoke test for the network
+stack.  Durations are generous upper bounds - a healthy cluster commits
+its first block within milliseconds and every run stops early via
+``target_blocks``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.runtime.asyncio_net import _sized_quorum, build_machine, run_local_cluster
+from repro.runtime.sim import ConsensusSystem
+from repro.protocols.registry import get_spec
+
+
+def test_smoke_damysus_n4_commits_a_block():
+    """The CI acceptance gate: n=4 Damysus commits >= 1 block in 30 s."""
+    report = asyncio.run(
+        run_local_cluster("damysus", 4, duration_s=30.0, target_blocks=1)
+    )
+    assert report.committed_blocks >= 1
+    assert report.committed_txs > 0
+    assert report.tx_per_s > 0
+
+
+def test_replicas_agree_on_the_committed_chain():
+    report = asyncio.run(
+        run_local_cluster("damysus", 4, duration_s=30.0, target_blocks=3)
+    )
+    chains = list(report.chains.values())
+    prefix = min(len(chain) for chain in chains)
+    assert prefix >= 3
+    for chain in chains[1:]:
+        assert chain[:prefix] == chains[0][:prefix]
+
+
+def test_cross_runtime_equivalence_same_block_hashes():
+    """The same Damysus scenario commits the same blocks on both runtimes.
+
+    Block identity covers parent linkage, view numbers and every
+    transaction payload, so chain-prefix equality means the simulator
+    and the socket runtime drove the protocol through identical
+    decisions - the sans-I/O core is genuinely host-independent.
+    """
+    config = SystemConfig(
+        protocol="damysus", f=1, payload_bytes=64, block_size=8, seed=7
+    )
+    system = ConsensusSystem(config)
+    system.run_until_views(5, max_time_ms=120_000)
+    sim_chain = [block.hash.hex() for block in system.replicas[0].ledger.executed]
+    assert len(sim_chain) >= 4
+
+    report = asyncio.run(
+        run_local_cluster(
+            "damysus",
+            system.num_replicas,
+            seed=7,
+            payload_bytes=64,
+            block_size=8,
+            duration_s=30.0,
+            target_blocks=5,
+        )
+    )
+    net_chain = report.chains[0]
+    prefix = min(len(sim_chain), len(net_chain), 4)
+    assert prefix >= 4
+    assert sim_chain[:prefix] == net_chain[:prefix]
+
+
+@pytest.mark.parametrize("protocol", ["hotstuff", "chained-damysus"])
+def test_other_protocols_commit_on_sockets(protocol):
+    report = asyncio.run(
+        run_local_cluster(protocol, 4, duration_s=30.0, target_blocks=1)
+    )
+    assert report.committed_blocks >= 1
+
+
+def test_sized_quorum_tracks_extra_replicas():
+    spec = get_spec("damysus")  # N = 2f+1, quorum = f+1
+    assert _sized_quorum(spec, 3) == (1, 2)
+    assert _sized_quorum(spec, 4) == (1, 3)  # one extra replica -> +1 quorum
+    assert _sized_quorum(spec, 5) == (2, 3)
+
+
+def test_sized_quorum_rejects_tiny_clusters():
+    with pytest.raises(ConfigError):
+        _sized_quorum(get_spec("hotstuff"), 3)  # 3f+1 needs n >= 4
+
+
+def test_build_machine_registers_all_peer_identities():
+    machine = build_machine("damysus", 0, 4, _FixedClock())
+    for peer in range(4):
+        assert machine.directory.kind_of(peer) == "replica"
+        assert machine.directory.kind_of(1_000_000 + peer) == "tee"
+
+
+class _FixedClock:
+    now = 0.0

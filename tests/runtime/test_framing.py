@@ -1,0 +1,73 @@
+"""Tests for the length-prefixed framing layer (pure, no sockets)."""
+
+import pytest
+
+from repro.runtime.framing import (
+    FrameDecoder,
+    FramingError,
+    decode_hello,
+    encode_frame,
+    encode_hello,
+)
+
+
+def test_round_trip_single_frame():
+    decoder = FrameDecoder()
+    assert decoder.feed(encode_frame(b"hello")) == [b"hello"]
+    assert decoder.pending_bytes == 0
+
+
+def test_round_trip_many_frames_in_one_read():
+    payloads = [b"", b"a", b"bb" * 100, bytes(range(256))]
+    blob = b"".join(encode_frame(p) for p in payloads)
+    assert FrameDecoder().feed(blob) == payloads
+
+
+def test_byte_at_a_time_reassembly():
+    decoder = FrameDecoder()
+    frames = []
+    for byte in encode_frame(b"dripfeed"):
+        frames.extend(decoder.feed(bytes([byte])))
+    assert frames == [b"dripfeed"]
+    assert decoder.pending_bytes == 0
+
+
+def test_split_across_arbitrary_boundaries():
+    blob = encode_frame(b"first") + encode_frame(b"second")
+    for cut in range(1, len(blob)):
+        decoder = FrameDecoder()
+        frames = decoder.feed(blob[:cut]) + decoder.feed(blob[cut:])
+        assert frames == [b"first", b"second"], f"failed at cut {cut}"
+
+
+def test_oversized_announcement_rejected():
+    decoder = FrameDecoder(max_frame_bytes=16)
+    with pytest.raises(FramingError):
+        decoder.feed(encode_frame(b"x" * 17))
+
+
+def test_oversized_encode_rejected():
+    from repro.runtime.framing import MAX_FRAME_BYTES
+
+    with pytest.raises(FramingError):
+        encode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+
+def test_hello_round_trip():
+    decoder = FrameDecoder()
+    (frame,) = decoder.feed(encode_hello(42))
+    assert decode_hello(frame) == 42
+
+
+def test_bad_hello_rejected():
+    with pytest.raises(FramingError):
+        decode_hello(b"not a hello at all")
+    with pytest.raises(FramingError):
+        decode_hello(b"")
+
+
+def test_pending_bytes_tracks_partial_frame():
+    decoder = FrameDecoder()
+    partial = encode_frame(b"abcdef")[:-2]
+    assert decoder.feed(partial) == []
+    assert decoder.pending_bytes == len(partial)
