@@ -35,11 +35,18 @@ RESTRICTED_PACKAGES = (
     "repro.runtime",
 )
 
-#: The one runtime that legitimately runs on wall-clock time and real
-#: sockets; everything else under ``repro.runtime`` (the effect algebra,
-#: the machine base class, the simulator adapter) must stay a pure
-#: function of the config.
-_WALL_CLOCK_MODULES = ("repro.runtime.asyncio_net",)
+#: The runtime host modules that legitimately run on wall-clock time,
+#: real sockets and real processes: the asyncio host plus the two
+#: resilience modules that orchestrate OS processes (the supervisor and
+#: the net-chaos scenario).  Everything else under ``repro.runtime`` -
+#: the effect algebra, the machine base class, the simulator adapter,
+#: and the *pure* resilience modules (fault decider, durable sealer,
+#: watchdog) - must stay a pure function of the config.
+_WALL_CLOCK_MODULES = (
+    "repro.runtime.asyncio_net",
+    "repro.runtime.resilience.supervisor",
+    "repro.runtime.resilience.netchaos",
+)
 
 #: The modules allowed to touch ``random``: the seeded-stream wrapper
 #: (now in the core) and its historical ``repro.sim.rng`` import path.

@@ -12,6 +12,8 @@ Commands:
 * ``counterexample`` - print the Section 4 trusted-counter demonstration;
 * ``serve`` - run one replica on real asyncio TCP sockets (fixed ports);
 * ``net-bench`` - run a localhost TCP cluster and report committed tx/s;
+* ``net-chaos`` - multi-process chaos: SIGKILL + restart-from-sealed-state
+  and a live partition/heal, asserting commits resume within a bound;
 * ``lint`` - run the AST invariant linter (TEE boundaries, determinism);
 * ``protocols`` - list the implemented protocols and their properties.
 """
@@ -166,6 +168,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="pacemaker base view timeout")
     serve_p.add_argument("--duration", type=float, default=0.0,
                          help="seconds to run (0 = until interrupted)")
+    serve_p.add_argument("--seal-dir", default=None, metavar="DIR",
+                         help="persist sealed checker state here; restart "
+                         "restores it (rollback-refusing)")
+    serve_p.add_argument("--health-file", default=None, metavar="PATH",
+                         help="rewrite a JSON liveness snapshot here")
+    serve_p.add_argument("--health-interval", type=float, default=0.5,
+                         metavar="S", help="seconds between health snapshots")
+    serve_p.add_argument("--fault-spec", default=None, metavar="PATH",
+                         help="FaultPlan rules_spec JSON applied to outbound "
+                         "frames; re-read when its mtime changes")
 
     net_p = sub.add_parser(
         "net-bench", help="run a localhost TCP cluster and report committed tx/s"
@@ -180,6 +192,34 @@ def build_parser() -> argparse.ArgumentParser:
     net_p.add_argument("--block-size", type=int, default=32, help="txs per block")
     net_p.add_argument("--timeout-ms", type=float, default=2_000.0,
                        help="pacemaker base view timeout")
+
+    nc_p = sub.add_parser(
+        "net-chaos",
+        help="multi-process chaos: SIGKILL+restart from sealed state, "
+        "partition+heal, commits must resume",
+    )
+    nc_p.add_argument("--protocol", default="damysus", choices=sorted(SPECS))
+    nc_p.add_argument("--n", type=int, default=4, help="cluster size (>= 4)")
+    nc_p.add_argument("--seed", type=int, default=1,
+                      help="keys both the cluster and the fault decisions")
+    nc_p.add_argument("--loss", type=float, default=0.05,
+                      help="background per-frame drop probability")
+    nc_p.add_argument("--base-port", type=int, default=0,
+                      help="first replica port (0 = pick free ports)")
+    nc_p.add_argument("--commit-bound", type=float, default=60.0, metavar="S",
+                      help="seconds within which commits must (re)appear")
+    nc_p.add_argument("--partition-hold", type=float, default=6.0, metavar="S",
+                      help="seconds to hold the 2/2 partition")
+    nc_p.add_argument("--timeout-ms", type=float, default=1_000.0,
+                      help="pacemaker base view timeout")
+    nc_p.add_argument("--no-kill", action="store_true",
+                      help="skip the SIGKILL + restart phases")
+    nc_p.add_argument("--no-partition", action="store_true",
+                      help="skip the partition + heal phases")
+    nc_p.add_argument("--run-dir", default=None, metavar="DIR",
+                      help="artifact directory (default: fresh temp dir)")
+    nc_p.add_argument("--keep-artifacts", action="store_true",
+                      help="keep logs/health/seal files even on success")
 
     lint_p = sub.add_parser(
         "lint",
@@ -425,6 +465,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 payload_bytes=args.payload,
                 block_size=args.block_size,
                 timeout_ms=args.timeout_ms,
+                seal_dir=args.seal_dir,
+                health_file=args.health_file,
+                health_interval_s=args.health_interval,
+                fault_spec=args.fault_spec,
             )
         )
     except KeyboardInterrupt:
@@ -465,6 +509,27 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
     if report.dropped_messages:
         print(f"dropped frames     {report.dropped_messages}")
     return 0 if report.committed_blocks > 0 else 1
+
+
+def _cmd_net_chaos(args: argparse.Namespace) -> int:
+    from repro.runtime.resilience.netchaos import run_net_chaos
+
+    report = run_net_chaos(
+        args.protocol,
+        args.n,
+        seed=args.seed,
+        loss=args.loss,
+        base_port=args.base_port,
+        commit_bound_s=args.commit_bound,
+        partition_hold_s=args.partition_hold,
+        timeout_ms=args.timeout_ms,
+        kill=not args.no_kill,
+        partition=not args.no_partition,
+        run_dir=args.run_dir,
+        keep_artifacts=args.keep_artifacts,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
 
 
 def _cmd_counterexample(_: argparse.Namespace) -> int:
@@ -512,6 +577,7 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": _cmd_chaos,
         "serve": _cmd_serve,
         "net-bench": _cmd_net_bench,
+        "net-chaos": _cmd_net_chaos,
         "counterexample": _cmd_counterexample,
         "lint": _cmd_lint,
         "protocols": _cmd_protocols,

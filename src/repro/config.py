@@ -55,3 +55,50 @@ class SystemConfig:
             raise ConfigError("payload_bytes must be non-negative")
         if not 0.0 <= self.timeout_jitter < 1.0:
             raise ConfigError("timeout_jitter must be in [0, 1)")
+
+
+#: Overflow policies for the bounded per-peer outbound frame queues.
+#: ``drop-oldest`` sheds the stalest frame to admit the new one (a BFT
+#: protocol recovers lost history via view changes, so freshness wins);
+#: ``drop-newest`` sheds the incoming frame, preserving FIFO history.
+OVERFLOW_POLICIES = ("drop-oldest", "drop-newest")
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Transport tuning for the asyncio TCP runtime.
+
+    The :class:`SystemConfig` describes the *protocol* deployment; this
+    describes one host's socket behaviour: reconnect backoff (with
+    seeded jitter so a thundering herd of reconnecting peers decorrelates
+    deterministically), outbound queue bounds and overflow policy, and
+    the hostile-input frame cap.  Defaults match the historical module
+    constants of :mod:`repro.runtime.asyncio_net`.
+    """
+
+    reconnect_initial_s: float = 0.05
+    reconnect_max_s: float = 1.0
+    #: +/- fraction of seeded jitter applied to every backoff sleep
+    #: (0 = deterministic exponential backoff, the historical behaviour).
+    reconnect_jitter: float = 0.25
+    #: Outbound frames queued per peer before the overflow policy runs.
+    max_outbound_queue: int = 10_000
+    overflow_policy: str = "drop-oldest"
+    #: Frames above this size disconnect the peer instead of buffering.
+    max_frame_bytes: int = 4 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.reconnect_initial_s <= 0:
+            raise ConfigError("reconnect_initial_s must be positive")
+        if self.reconnect_max_s < self.reconnect_initial_s:
+            raise ConfigError("reconnect_max_s must be >= reconnect_initial_s")
+        if not 0.0 <= self.reconnect_jitter < 1.0:
+            raise ConfigError("reconnect_jitter must be in [0, 1)")
+        if self.max_outbound_queue < 1:
+            raise ConfigError("max_outbound_queue must be positive")
+        if self.overflow_policy not in OVERFLOW_POLICIES:
+            raise ConfigError(
+                f"overflow_policy must be one of {OVERFLOW_POLICIES}"
+            )
+        if self.max_frame_bytes < 1024:
+            raise ConfigError("max_frame_bytes must be at least 1 KiB")

@@ -17,6 +17,20 @@ run here unchanged against real sockets and wall-clock timers:
 * :func:`serve_replica` runs a single replica on a fixed port for
   multi-process deployments (``repro serve``).
 
+Resilience hooks (all optional, see :mod:`repro.runtime.resilience`):
+
+* a :class:`~repro.runtime.resilience.transport.FaultDecider` sits on
+  the sending side of every peer link, applying the cluster's
+  :class:`~repro.core.faults.FaultPlan` to real frames (drop, duplicate,
+  delay) with seeded-deterministic decisions;
+* a :class:`~repro.runtime.resilience.durable.DurableSealer` persists
+  sealed checker state before any frame leaves the host, so a SIGKILLed
+  process restarts without ever being able to re-sign a lower step;
+* :class:`~repro.config.NetConfig` bounds the runtime's appetite:
+  per-peer outbound queues with an explicit overflow policy and counter,
+  a max-frame-size guard that disconnects instead of buffering, and
+  jittered (seeded) reconnect backoff.
+
 Outbound connections are lazy with exponential reconnect backoff; each
 starts with a hello frame naming the sender pid so the acceptor can
 attribute inbound messages before parsing any consensus payload.
@@ -25,14 +39,20 @@ attribute inbound messages before parsing any consensus payload.
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import json
+import logging
+import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.config import SystemConfig
+from repro.config import NetConfig, SystemConfig
 from repro.core.codec import CodecError, decode_message, encode_message
+from repro.core.rng import RngStream
 from repro.crypto.hmac_scheme import HmacScheme
 from repro.crypto.keys import KeyDirectory
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TEERefusal
 from repro.protocols.registry import ProtocolSpec, get_spec
 from repro.protocols.replica import BaseReplica
 from repro.runtime.effects import (
@@ -51,14 +71,20 @@ from repro.runtime.framing import (
     encode_frame,
     encode_hello,
 )
+from repro.runtime.resilience.durable import DurableSealer
+from repro.runtime.resilience.transport import FaultDecider
+from repro.runtime.resilience.watchdog import LivenessWatchdog
+from repro.tee.sealed import FileSealStore
+
+_LOG = logging.getLogger("repro.net")
 
 #: Reconnect backoff bounds for outbound peer connections (seconds).
+#: Kept as module constants for callers that predate :class:`NetConfig`;
+#: the dataclass defaults mirror them.
 RECONNECT_INITIAL_S = 0.05
 RECONNECT_MAX_S = 1.0
 
-#: Outbound frames queued per peer before the oldest are dropped.  A BFT
-#: protocol tolerates message loss (the pacemaker recovers), so bounding
-#: memory beats backpressuring the consensus handler.
+#: Outbound frames queued per peer before the overflow policy applies.
 MAX_OUTBOUND_QUEUE = 10_000
 
 _RECV_CHUNK = 64 * 1024
@@ -84,22 +110,34 @@ class AsyncioRuntime:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        net: NetConfig | None = None,
+        fault_decider: FaultDecider | None = None,
+        sealer: DurableSealer | None = None,
     ) -> None:
         self.machine = machine
         machine.runtime = self
         self.host = host
         self.port = port  # replaced by the bound port after start_server()
+        self.net = net or NetConfig()
+        self.fault_decider = fault_decider
+        self.sealer = sealer
         self.peers: dict[int, tuple[str, int]] = {}
         self._server: asyncio.Server | None = None
         self._queues: dict[int, asyncio.Queue[bytes]] = {}
         self._sender_tasks: dict[int, asyncio.Task[None]] = {}
         self._reader_tasks: set[asyncio.Task[None]] = set()
         self._timers: dict[int, asyncio.TimerHandle] = {}
+        self._delayed: set[asyncio.TimerHandle] = set()
         self._closed = False
-        # Transport-level counters for net-bench reporting.
+        # Seeded jitter for reconnect backoff: deterministic per
+        # (seed, src, dst), so backoff schedules never share phase
+        # across links yet stay reproducible (DET-lint clean).
+        self._reconnect_rng: dict[int, RngStream] = {}
+        # Transport-level counters for net-bench / health reporting.
         self.sent_messages = 0
         self.sent_bytes = 0
-        self.dropped_messages = 0
+        self.dropped_messages = 0  # outbound queue overflow (either policy)
+        self.rejected_connections = 0  # malformed hello / framing violations
         self.committed_blocks = 0
         self.committed_txs = 0
         self.commit_event = asyncio.Event()
@@ -122,11 +160,20 @@ class AsyncioRuntime:
         self.machine.start()
 
     async def close(self) -> None:
-        """Tear down timers, sender tasks, inbound readers and the server."""
+        """Tear down timers, sender tasks, inbound readers and the server.
+
+        Graceful by construction: every sender awaits its writer's
+        ``wait_closed`` and every reader closes its transport, so a
+        completed ``close()`` leaves no pending tasks and no open
+        sockets behind (asserted by the shutdown tests).
+        """
         self._closed = True
         for handle in self._timers.values():
             handle.cancel()
         self._timers.clear()
+        for handle in self._delayed:
+            handle.cancel()
+        self._delayed.clear()
         tasks = list(self._sender_tasks.values()) + list(self._reader_tasks)
         for task in tasks:
             task.cancel()
@@ -142,6 +189,12 @@ class AsyncioRuntime:
     # -- Runtime interface -------------------------------------------------
 
     def execute(self, effects: list[Effect]) -> None:
+        # Durability before visibility: persist the checker's advanced
+        # (view, phase) step before any frame that depends on it can be
+        # queued, so a SIGKILL at any later instant leaves a seal at
+        # least as high as every signature the cluster may have seen.
+        if self.sealer is not None:
+            self.sealer.maybe_seal()
         for effect in effects:
             if type(effect) is Send:
                 self._send(effect.dest, effect.payload)
@@ -176,16 +229,38 @@ class AsyncioRuntime:
             # Self-delivery skips the codec, mirroring the simulator's
             # in-memory self loop; call_soon keeps the handler re-entrant
             # safe (never invoked inside another handler's flush).
-            asyncio.get_running_loop().call_soon(
-                self.machine.on_message, self.machine.pid, payload
-            )
+            asyncio.get_running_loop().call_soon(self._deliver_self, payload)
             return
         if dest not in self.peers:
             return
+        copies = 1
+        delay_ms = 0.0
+        if self.fault_decider is not None:
+            action = self.fault_decider.decide(
+                self.machine.pid, dest, payload, self.machine.clock.now
+            )
+            if action is not None:
+                if action.drop:
+                    return
+                copies += action.duplicates
+                delay_ms = action.extra_delay_ms
         frame = encode_frame(encode_message(payload))
+        for _ in range(copies):
+            if delay_ms > 0.0:
+                self._enqueue_later(dest, frame, delay_ms)
+            else:
+                self._enqueue(dest, frame)
+
+    def _deliver_self(self, payload: object) -> None:
+        if not self._closed:
+            self.machine.on_message(self.machine.pid, payload)
+
+    def _enqueue(self, dest: int, frame: bytes) -> None:
+        if self._closed:
+            return
         queue = self._queues.get(dest)
         if queue is None:
-            queue = asyncio.Queue(maxsize=MAX_OUTBOUND_QUEUE)
+            queue = asyncio.Queue(maxsize=self.net.max_outbound_queue)
             self._queues[dest] = queue
             self._sender_tasks[dest] = asyncio.get_running_loop().create_task(
                 self._sender_loop(dest, queue)
@@ -194,22 +269,55 @@ class AsyncioRuntime:
             queue.put_nowait(frame)
         except asyncio.QueueFull:
             self.dropped_messages += 1
-            return
+            if self.net.overflow_policy == "drop-newest":
+                return
+            # drop-oldest: sacrifice the stalest frame for the fresh one.
+            # Old consensus messages are the most likely to be obsolete
+            # (their view has moved on), so this keeps recovery traffic
+            # - new-views, fresh votes - flowing to a slow peer.
+            with contextlib.suppress(asyncio.QueueEmpty):
+                queue.get_nowait()
+            with contextlib.suppress(asyncio.QueueFull):
+                queue.put_nowait(frame)
         self.sent_messages += 1
         self.sent_bytes += len(frame)
 
+    def _enqueue_later(self, dest: int, frame: bytes, delay_ms: float) -> None:
+        handle_box: list[asyncio.TimerHandle] = []
+
+        def deliver() -> None:
+            if handle_box:
+                self._delayed.discard(handle_box[0])
+            self._enqueue(dest, frame)
+
+        handle = asyncio.get_running_loop().call_later(delay_ms / 1000.0, deliver)
+        handle_box.append(handle)
+        self._delayed.add(handle)
+
+    def _backoff_jitter(self, dest: int, backoff: float) -> float:
+        if self.net.reconnect_jitter <= 0.0:
+            return backoff
+        rng = self._reconnect_rng.get(dest)
+        if rng is None:
+            rng = RngStream(
+                self.machine.config.seed,
+                f"reconnect:{self.machine.pid}->{dest}",
+            )
+            self._reconnect_rng[dest] = rng
+        return rng.jitter(backoff, self.net.reconnect_jitter)
+
     async def _sender_loop(self, dest: int, queue: asyncio.Queue[bytes]) -> None:
-        """Drain ``queue`` to ``dest``, reconnecting with backoff on failure."""
-        backoff = RECONNECT_INITIAL_S
+        """Drain ``queue`` to ``dest``, reconnecting with jittered backoff."""
+        backoff = self.net.reconnect_initial_s
         while not self._closed:
             try:
                 host, port = self.peers[dest]
                 _reader, writer = await asyncio.open_connection(host, port)
             except (OSError, KeyError):
-                await asyncio.sleep(backoff)
-                backoff = min(backoff * 2, RECONNECT_MAX_S)
+                await asyncio.sleep(self._backoff_jitter(dest, backoff))
+                backoff = min(backoff * 2, self.net.reconnect_max_s)
                 continue
-            backoff = RECONNECT_INITIAL_S
+            backoff = self.net.reconnect_initial_s
             try:
                 writer.write(encode_hello(self.machine.pid))
                 await writer.drain()
@@ -223,6 +331,8 @@ class AsyncioRuntime:
                 pass
             finally:
                 writer.close()
+                with contextlib.suppress(Exception, asyncio.CancelledError):
+                    await writer.wait_closed()
 
     # -- receiving ---------------------------------------------------------
 
@@ -233,7 +343,7 @@ class AsyncioRuntime:
         assert task is not None
         self._reader_tasks.add(task)
         sender: int | None = None
-        decoder = FrameDecoder()
+        decoder = FrameDecoder(max_frame_bytes=self.net.max_frame_bytes)
         try:
             while not self._closed:
                 data = await reader.read(_RECV_CHUNK)
@@ -244,20 +354,32 @@ class AsyncioRuntime:
                         sender = decode_hello(frame)
                         continue
                     self.machine.on_message(sender, decode_message(frame))
-        except (FramingError, CodecError):
-            pass  # malformed peer stream: drop the connection
+        except (FramingError, CodecError) as exc:
+            # Malformed peer stream: disconnect, never buffer or guess.
+            self.rejected_connections += 1
+            peer = writer.get_extra_info("peername")
+            _LOG.warning(
+                "replica %d: rejecting connection from %s (claimed pid %s): %s",
+                self.machine.pid,
+                peer,
+                sender,
+                exc,
+            )
         except (OSError, ConnectionError, asyncio.CancelledError):
             pass
         finally:
             self._reader_tasks.discard(task)
             writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
 
     # -- timers ------------------------------------------------------------
 
     def _arm_timer(self, timer_id: int, delay_ms: float) -> None:
         def fire() -> None:
             self._timers.pop(timer_id, None)
-            self.machine.on_timer(timer_id)
+            if not self._closed:
+                self.machine.on_timer(timer_id)
 
         self._timers[timer_id] = asyncio.get_running_loop().call_later(
             max(delay_ms, 0.0) / 1000.0, fire
@@ -355,6 +477,7 @@ async def run_local_cluster(
     block_size: int = 32,
     timeout_ms: float = 2_000.0,
     host: str = "127.0.0.1",
+    net: NetConfig | None = None,
 ) -> ClusterReport:
     """Run an ``n``-replica cluster on localhost TCP; report throughput.
 
@@ -377,6 +500,7 @@ async def run_local_cluster(
                 timeout_ms=timeout_ms,
             ),
             host=host,
+            net=net,
         )
         for pid in range(n)
     ]
@@ -420,6 +544,31 @@ async def run_local_cluster(
     )
 
 
+# -- single-replica service (repro serve) -----------------------------------
+
+
+def _load_fault_rules(path: Path) -> tuple:
+    """Parse a fault-spec file into its rule tuple (empty on any problem).
+
+    The spec file is a control plane written by an orchestrator while
+    this process runs; a torn or half-written read is not fatal, the
+    poller simply retries on the next tick.
+    """
+    from repro.core.faults import FaultPlan
+
+    try:
+        return tuple(FaultPlan.from_rules_spec(path.read_text()).rules)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return tuple()
+
+
+def _write_health_file(path: Path, payload: dict) -> None:
+    """Atomically replace ``path`` with JSON ``payload`` (no torn reads)."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=0, sort_keys=True))
+    os.replace(tmp, path)
+
+
 async def serve_replica(
     protocol: str,
     pid: int,
@@ -432,38 +581,154 @@ async def serve_replica(
     payload_bytes: int = 128,
     block_size: int = 32,
     timeout_ms: float = 2_000.0,
+    net: NetConfig | None = None,
+    seal_dir: str | Path | None = None,
+    health_file: str | Path | None = None,
+    health_interval_s: float = 0.5,
+    fault_spec: str | Path | None = None,
 ) -> AsyncioRuntime:
     """Run one replica of a fixed-port deployment (``repro serve``).
 
     Peers are assumed at ``base_port + pid`` on ``host`` - start one
     process per pid with identical arguments.  Runs for ``duration_s``
     seconds (0 = until cancelled) and returns the runtime for inspection.
+
+    Resilience options:
+
+    * ``seal_dir`` - durable sealed checker state: every step advance is
+      persisted before frames leave, and on start the latest snapshot is
+      restored (rollback-refusing).  A process SIGKILLed mid-view can be
+      respawned with identical arguments and rejoins safely.
+    * ``health_file`` - a JSON liveness snapshot rewritten atomically
+      every ``health_interval_s`` seconds (commit counts, checker step,
+      fault counters); the ``repro net-chaos`` watchdog consumes these.
+    * ``fault_spec`` - a :meth:`~repro.core.faults.FaultPlan.rules_spec`
+      file applied to outbound frames, re-read whenever its mtime
+      changes (live partition/heal without restarting processes).
     """
     if not 0 <= pid < n:
         raise ConfigError(f"pid {pid} outside cluster of {n} replicas")
     clock = WallClock()
+    machine = build_machine(
+        protocol,
+        pid,
+        n,
+        clock,
+        seed=seed,
+        payload_bytes=payload_bytes,
+        block_size=block_size,
+        timeout_ms=timeout_ms,
+    )
+    decider: FaultDecider | None = None
+    spec_path: Path | None = None
+    spec_mtime = -1.0
+    if fault_spec is not None:
+        spec_path = Path(fault_spec)
+        decider = FaultDecider(_load_fault_rules(spec_path), seed)
+        try:
+            spec_mtime = spec_path.stat().st_mtime
+        except OSError:
+            spec_mtime = -1.0
+    sealer: DurableSealer | None = None
+    restored = False
+    if seal_dir is not None:
+        sealer = DurableSealer(machine, FileSealStore(Path(seal_dir)))
+        try:
+            restored = sealer.restore()
+        except TEERefusal:
+            _LOG.error(
+                "replica %d: durable sealed state refused (rollback?); "
+                "refusing to start",
+                pid,
+            )
+            raise
+        if restored:
+            _LOG.info(
+                "replica %d: restored sealed checker state at view %d",
+                pid,
+                machine.checker.step.view,
+            )
     runtime = AsyncioRuntime(
-        build_machine(
-            protocol,
-            pid,
-            n,
-            clock,
-            seed=seed,
-            payload_bytes=payload_bytes,
-            block_size=block_size,
-            timeout_ms=timeout_ms,
-        ),
+        machine,
         host=host,
         port=base_port + pid,
+        net=net,
+        fault_decider=decider,
+        sealer=sealer,
     )
     await runtime.start_server()
     runtime.set_peers({peer: (host, base_port + peer) for peer in range(n)})
     runtime.start_machine()
+
+    watchdog = LivenessWatchdog()
+    aux_tasks: list[asyncio.Task[None]] = []
+
+    async def health_loop(path: Path) -> None:
+        started = time.monotonic()
+        last_blocks = -1
+        while True:
+            blocks = runtime.committed_blocks
+            now_ms = clock.now
+            watchdog.record_alive(pid, now_ms)
+            if blocks > max(last_blocks, 0):
+                watchdog.record_commit(pid, now_ms, blocks)
+            last_blocks = blocks
+            checker = machine.checker
+            payload = {
+                "pid": pid,
+                "protocol": protocol,
+                "uptime_s": time.monotonic() - started,
+                "committed_blocks": blocks,
+                "committed_txs": runtime.committed_txs,
+                "view": machine.view,
+                "timeouts_fired": machine.pacemaker.timeouts_fired,
+                "timeout_ms": machine.pacemaker.current_timeout_ms,
+                "checker_view": None if checker is None else checker.step.view,
+                "checker_phase": None if checker is None else checker.step.phase.value,
+                "restored_from_seal": restored,
+                "seal_writes": 0 if sealer is None else sealer.seal_writes,
+                "dropped_messages": runtime.dropped_messages,
+                "rejected_connections": runtime.rejected_connections,
+                "faults": {} if decider is None else decider.counts(),
+                "watchdog": watchdog.snapshot(now_ms).to_dict(),
+            }
+            try:
+                _write_health_file(path, payload)
+            except OSError:  # health reporting must never kill the replica
+                _LOG.warning("replica %d: could not write health file %s", pid, path)
+            await asyncio.sleep(health_interval_s)
+
+    async def fault_spec_loop(path: Path, active: FaultDecider) -> None:
+        nonlocal spec_mtime
+        while True:
+            await asyncio.sleep(0.25)
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            if mtime == spec_mtime:
+                continue
+            rules = _load_fault_rules(path)
+            active.set_rules(rules)
+            spec_mtime = mtime
+            _LOG.info(
+                "replica %d: reloaded fault spec (%d rule(s))", pid, len(rules)
+            )
+
+    if health_file is not None:
+        aux_tasks.append(asyncio.ensure_future(health_loop(Path(health_file))))
+    if spec_path is not None and decider is not None:
+        aux_tasks.append(asyncio.ensure_future(fault_spec_loop(spec_path, decider)))
+
     try:
         if duration_s > 0:
             await asyncio.sleep(duration_s)
         else:
             await asyncio.Event().wait()
     finally:
+        for task in aux_tasks:
+            task.cancel()
+        if aux_tasks:
+            await asyncio.gather(*aux_tasks, return_exceptions=True)
         await runtime.close()
     return runtime

@@ -27,6 +27,12 @@ _LEN = struct.Struct("<I")
 #: First-frame payload prefix identifying a peer connection.
 HELLO_MAGIC = b"repro-hello\x00"
 
+#: Hello pids above this bound are treated as hostile input: real
+#: deployments number replicas densely from zero, so an id like 2**31
+#: can only come from garbage or an attack, and admitting it would let a
+#: stranger key unbounded per-peer state.
+MAX_HELLO_PID = 1 << 20
+
 
 class FramingError(ProtocolError):
     """Malformed framing on a connection (oversized or bad hello)."""
@@ -44,11 +50,23 @@ def encode_hello(pid: int) -> bytes:
     return encode_frame(HELLO_MAGIC + _LEN.pack(pid))
 
 
-def decode_hello(payload: bytes) -> int:
-    """Parse a hello frame payload; returns the sender pid."""
-    if len(payload) != len(HELLO_MAGIC) + _LEN.size or not payload.startswith(HELLO_MAGIC):
-        raise FramingError("connection did not open with a valid hello frame")
-    return int(_LEN.unpack_from(payload, len(HELLO_MAGIC))[0])
+def decode_hello(payload: bytes, max_pid: int = MAX_HELLO_PID) -> int:
+    """Parse a hello frame payload; returns the sender pid.
+
+    Rejects, with a :class:`FramingError` naming the reason, every
+    malformed shape a hostile or confused peer can present: wrong magic,
+    truncated payload, trailing bytes, and out-of-range sender ids.
+    """
+    if len(payload) < len(HELLO_MAGIC) or not payload.startswith(HELLO_MAGIC):
+        raise FramingError("hello frame has wrong magic")
+    if len(payload) < len(HELLO_MAGIC) + _LEN.size:
+        raise FramingError("hello frame truncated before the sender pid")
+    if len(payload) > len(HELLO_MAGIC) + _LEN.size:
+        raise FramingError("hello frame carries trailing bytes after the pid")
+    pid = int(_LEN.unpack_from(payload, len(HELLO_MAGIC))[0])
+    if pid > max_pid:
+        raise FramingError(f"hello pid {pid} exceeds the bound {max_pid}")
+    return pid
 
 
 class FrameDecoder:
@@ -57,9 +75,18 @@ class FrameDecoder:
     def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
         self.max_frame_bytes = max_frame_bytes
         self._buffer = bytearray()
+        self._poisoned = False
 
     def feed(self, data: bytes) -> list[bytes]:
-        """Absorb ``data``; return every frame completed by it, in order."""
+        """Absorb ``data``; return every frame completed by it, in order.
+
+        Raises :class:`FramingError` the moment a peer announces a frame
+        above the cap - before buffering any of its payload - and stays
+        poisoned afterwards: a stream that lied about one length prefix
+        has no trustworthy frame boundaries left.
+        """
+        if self._poisoned:
+            raise FramingError("decoder already rejected this stream")
         self._buffer.extend(data)
         frames: list[bytes] = []
         while True:
@@ -67,6 +94,7 @@ class FrameDecoder:
                 break
             (length,) = _LEN.unpack_from(self._buffer, 0)
             if length > self.max_frame_bytes:
+                self._poisoned = True
                 raise FramingError(
                     f"peer announced a {length}-byte frame (cap {self.max_frame_bytes})"
                 )

@@ -1,0 +1,44 @@
+"""Real-network fault tolerance for the asyncio runtime.
+
+The simulator has had deterministic fault injection since PR 1
+(:mod:`repro.core.faults` via :mod:`repro.sim.faults`); this package
+ports the same contract to real sockets and closes the crash-recovery
+loop end-to-end:
+
+* :mod:`~repro.runtime.resilience.transport` - frame-level fault
+  injection between the protocol machines and their peer connections,
+  seeded-deterministic per (src, dst, frame sequence);
+* :mod:`~repro.runtime.resilience.durable` - durable sealed TEE state:
+  every checker step advance is persisted (atomic write + fsync) before
+  its signature reaches the wire, so a SIGKILLed replica restarts from
+  its latest sealed step and refuses rollback;
+* :mod:`~repro.runtime.resilience.watchdog` - per-replica liveness
+  tracking with structured health snapshots;
+* :mod:`~repro.runtime.resilience.supervisor` - spawn / SIGKILL /
+  respawn replica processes (the ``repro serve`` entry point);
+* :mod:`~repro.runtime.resilience.netchaos` - the scripted
+  kill -> restart -> partition -> heal scenario behind
+  ``repro net-chaos``.
+"""
+
+from repro.runtime.resilience.durable import DurableSealer
+from repro.runtime.resilience.transport import (
+    FaultDecider,
+    FaultRecord,
+    decision_digest,
+)
+from repro.runtime.resilience.watchdog import (
+    HealthSnapshot,
+    LivenessWatchdog,
+    ReplicaHealth,
+)
+
+__all__ = [
+    "DurableSealer",
+    "FaultDecider",
+    "FaultRecord",
+    "HealthSnapshot",
+    "LivenessWatchdog",
+    "ReplicaHealth",
+    "decision_digest",
+]

@@ -1,0 +1,81 @@
+"""Durable sealed TEE state for the socket runtime.
+
+On the simulator, ``BaseReplica.crash()`` seals checker state in memory
+and ``recover()`` unseals it.  A real process killed with SIGKILL gets
+no chance to seal - so on the socket runtime the seal must already be
+on disk *before* any signature that depends on it leaves the host.
+:class:`DurableSealer` enforces exactly that: the asyncio runtime calls
+:meth:`maybe_seal` at the top of every effect flush (after the handler
+ran, before any frame is written), persisting a snapshot whenever the
+checker's (view, phase) step advanced.  Restart then restores the
+latest snapshot and primes the seal manager with the durable counter
+record, so presenting a stale snapshot raises
+:class:`~repro.errors.TEERefusal` exactly as the simulator path does.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.replica import BaseReplica
+from repro.tee.sealed import FileSealStore
+
+
+class DurableSealer:
+    """Glue between one replica's checker and a :class:`FileSealStore`."""
+
+    def __init__(self, replica: BaseReplica, store: FileSealStore) -> None:
+        self.replica = replica
+        self.store = store
+        self._last_sealed: tuple[int, str] | None = None
+        self.seal_writes = 0
+        self.restored = False
+
+    @property
+    def enabled(self) -> bool:
+        """Protocols without a trusted component have nothing to seal."""
+        return getattr(self.replica, "checker", None) is not None
+
+    def _step_key(self) -> tuple[int, str]:
+        step = self.replica.checker.step
+        return (step.view, step.phase.value)
+
+    def restore(self) -> bool:
+        """Restore the latest durable snapshot into the (fresh) replica.
+
+        Returns ``True`` when a snapshot existed and was accepted.
+        Always primes the replica's seal manager with the durable
+        counter record first, so a rolled-back snapshot - however
+        authentic - raises :class:`~repro.errors.TEERefusal` instead of
+        reviving an older step.  Call before ``start()``.
+        """
+        if not self.enabled:
+            return False
+        component_id = self.replica.checker.component_id
+        self.store.prime_manager(self.replica.seal_manager, component_id)
+        sealed = self.store.load(component_id)
+        if sealed is None:
+            return False
+        self.replica.restore_tee_state(sealed)  # raises TEERefusal on rollback
+        self._last_sealed = self._step_key()
+        self.restored = True
+        return True
+
+    def maybe_seal(self) -> bool:
+        """Persist a snapshot iff the checker step advanced since the last.
+
+        Runs before outbound frames are queued, so the signature a
+        restarted replica could try to re-issue is always covered by a
+        durable step at least as high - re-signing a lower (view, phase)
+        is impossible by construction.
+        """
+        if not self.enabled:
+            return False
+        key = self._step_key()
+        if key == self._last_sealed:
+            return False
+        sealed = self.replica.seal_tee_state()
+        if sealed is None:  # pragma: no cover - enabled implies a checker
+            return False
+        self.store.save(sealed)
+        self._last_sealed = key
+        self.seal_writes += 1
+        return True

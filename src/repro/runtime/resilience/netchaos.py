@@ -1,0 +1,394 @@
+"""Scripted real-network chaos: kill -> restart -> partition -> heal.
+
+This is the socket-runtime counterpart of :mod:`repro.analysis.chaos`:
+an n-replica localhost cluster of *real OS processes* (spawned via
+:class:`~repro.runtime.resilience.supervisor.ReplicaSupervisor`) is
+driven through the scenario the paper's trust model must survive:
+
+1. **boot** - every replica commits at least one block;
+2. **kill** - one replica is SIGKILLed; the rest keep committing
+   (n=4 Damysus tolerates f=1);
+3. **restart** - the killed replica respawns, restores its durable
+   sealed checker state (rollback-refusing), rejoins and commits;
+4. **partition** - the cluster splits 2/2 via a live fault-spec reload;
+   no quorum exists, commits stall (observed, informational);
+5. **heal** - the spec reverts; every replica commits a fresh block
+   within the bound.
+
+Fault injection is seeded-deterministic per (src, dst, frame sequence):
+the report carries the :func:`~repro.runtime.resilience.transport.decision_digest`
+of the scenario's rule set, which two same-seed runs reproduce exactly.
+
+Control plane: replica processes poll their ``--fault-spec`` file and
+apply rule changes live; health flows back through per-process JSON
+files (attributes written atomically) that the orchestrator's
+:class:`~repro.runtime.resilience.watchdog.LivenessWatchdog` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import socket
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.faults import FaultPlan
+from repro.errors import ConfigError
+from repro.runtime.resilience.supervisor import ReplicaProcessSpec, ReplicaSupervisor
+from repro.runtime.resilience.transport import decision_digest
+from repro.runtime.resilience.watchdog import LivenessWatchdog
+
+#: Polling cadence for health files and phase predicates (seconds).
+_POLL_S = 0.25
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Outcome of one scenario phase."""
+
+    name: str
+    ok: bool
+    detail: str
+    elapsed_s: float
+
+
+@dataclass
+class NetChaosReport:
+    """Everything one ``repro net-chaos`` run observed."""
+
+    protocol: str
+    n: int
+    seed: int
+    base_port: int
+    loss: float
+    decision_digest: str
+    phases: list[PhaseResult] = field(default_factory=list)
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    run_dir: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(phase.ok for phase in self.phases)
+
+    def describe(self) -> str:
+        lines = [
+            f"protocol            {self.protocol} (n={self.n}, seed={self.seed})",
+            f"base port           {self.base_port}",
+            f"loss probability    {self.loss}",
+            f"decision digest     {self.decision_digest}",
+            "                    (pure function of seed + fault plan: identical "
+            "across same-seed runs)",
+        ]
+        for phase in self.phases:
+            status = "ok" if phase.ok else "FAILED"
+            lines.append(
+                f"phase {phase.name:<12} {status:<7} {phase.elapsed_s:6.1f} s  "
+                f"{phase.detail}"
+            )
+        if self.fault_counts:
+            lines.append(
+                "injected faults     "
+                + ", ".join(f"{k}={v}" for k, v in sorted(self.fault_counts.items()))
+            )
+        lines.append(f"run artifacts       {self.run_dir}")
+        lines.append(f"verdict             {'OK' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+def _find_free_base_port(n: int, host: str) -> int:
+    """A base port with ``n`` consecutive free ports above it (best effort)."""
+    for _ in range(32):
+        with socket.socket() as probe:
+            probe.bind((host, 0))
+            base = probe.getsockname()[1]
+        if base + n >= 65535:
+            continue
+        try:
+            holders = []
+            try:
+                for offset in range(n):
+                    holder = socket.socket()
+                    holders.append(holder)
+                    holder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                    holder.bind((host, base + offset))
+            finally:
+                for holder in holders:
+                    holder.close()
+        except OSError:
+            continue
+        return base
+    raise ConfigError(f"could not find {n} consecutive free ports on {host}")
+
+
+def _read_health(path: Path) -> dict[str, Any] | None:
+    try:
+        return json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return None
+
+
+class _Cluster:
+    """The orchestrator's view of the running processes."""
+
+    def __init__(self, supervisors: list[ReplicaSupervisor], health: list[Path]) -> None:
+        self.supervisors = supervisors
+        self.health_paths = health
+        self.watchdog = LivenessWatchdog(stall_after_ms=20_000.0)
+        self._t0 = time.monotonic()
+        self._last_blocks: dict[int, int] = {}
+
+    @property
+    def now_ms(self) -> float:
+        return (time.monotonic() - self._t0) * 1000.0
+
+    def observe(self) -> dict[int, dict[str, Any]]:
+        """Read every health file, feeding the watchdog."""
+        out: dict[int, dict[str, Any]] = {}
+        for pid, path in enumerate(self.health_paths):
+            health = _read_health(path)
+            if health is None:
+                continue
+            out[pid] = health
+            if not self.supervisors[pid].running:
+                self.watchdog.record_dead(pid)
+                continue
+            self.watchdog.record_alive(pid, self.now_ms)
+            blocks = int(health.get("committed_blocks", 0))
+            if blocks > self._last_blocks.get(pid, -1):
+                if blocks > self._last_blocks.get(pid, 0):
+                    self.watchdog.record_commit(pid, self.now_ms, blocks)
+                self._last_blocks[pid] = blocks
+        return out
+
+    def committed(self, pids: list[int]) -> dict[int, int]:
+        health = self.observe()
+        return {
+            pid: int(health[pid].get("committed_blocks", 0))
+            for pid in pids
+            if pid in health
+        }
+
+    def wait_until(
+        self, predicate: Callable[[dict[int, dict[str, Any]]], bool], timeout_s: float
+    ) -> bool:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if predicate(self.observe()):
+                return True
+            time.sleep(_POLL_S)
+        return predicate(self.observe())
+
+
+def run_net_chaos(
+    protocol: str = "damysus",
+    n: int = 4,
+    *,
+    seed: int = 1,
+    loss: float = 0.05,
+    base_port: int = 0,
+    host: str = "127.0.0.1",
+    commit_bound_s: float = 60.0,
+    partition_hold_s: float = 6.0,
+    timeout_ms: float = 1_000.0,
+    kill: bool = True,
+    partition: bool = True,
+    run_dir: str | Path | None = None,
+    keep_artifacts: bool = False,
+) -> NetChaosReport:
+    """Run the scripted kill/restart/partition/heal scenario; see module doc.
+
+    ``commit_bound_s`` bounds every liveness assertion (boot, post-restart
+    and post-heal commits).  Artifacts (per-replica logs, health files,
+    seal files, the fault spec) land under ``run_dir`` (a fresh temp
+    directory by default, removed on success unless ``keep_artifacts``).
+    """
+    if n < 4:
+        raise ConfigError("net-chaos needs n >= 4 (a 2/2 partition and f >= 1)")
+    owns_dir = run_dir is None
+    root = Path(tempfile.mkdtemp(prefix="repro-netchaos-")) if owns_dir else Path(run_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    seal_dir = root / "seal"
+    health_dir = root / "health"
+    log_dir = root / "logs"
+    for directory in (seal_dir, health_dir, log_dir):
+        directory.mkdir(exist_ok=True)
+    fault_spec = root / "faults.json"
+
+    # Three live fault-spec states drive the scenario: background loss
+    # while all n replicas are up (quorum slack absorbs it), a clean
+    # network while only a bare quorum survives the kill (n-1 live
+    # replicas of a 2f+1 protocol leave zero slack - permanent loss
+    # there bounds liveness by luck, not by the protocol), and the 2/2
+    # partition.  Every transition exercises the replicas' live reload.
+    base_plan = FaultPlan()
+    if loss > 0.0:
+        base_plan.lossy_links(loss)
+    quiet_plan = FaultPlan()
+    left = set(range(0, 2))
+    right = set(range(2, n))
+    partition_plan = FaultPlan().partition(left, right)
+    # The digest advertises the full decision table of everything this
+    # scenario can inject (loss + partition rules).
+    digest_plan = FaultPlan()
+    if loss > 0.0:
+        digest_plan.lossy_links(loss)
+    digest_plan.partition(left, right)
+    fault_spec.write_text(base_plan.rules_spec())
+
+    if base_port == 0:
+        base_port = _find_free_base_port(n, host)
+    digest = decision_digest(digest_plan.rules, seed, list(range(n)))
+    report = NetChaosReport(
+        protocol=protocol,
+        n=n,
+        seed=seed,
+        base_port=base_port,
+        loss=loss,
+        decision_digest=digest,
+        run_dir=str(root),
+    )
+
+    supervisors = []
+    health_paths = []
+    for pid in range(n):
+        health_path = health_dir / f"replica-{pid}.json"
+        health_paths.append(health_path)
+        spec = ReplicaProcessSpec(
+            pid=pid,
+            protocol=protocol,
+            n=n,
+            base_port=base_port,
+            seed=seed,
+            host=host,
+            timeout_ms=timeout_ms,
+            seal_dir=seal_dir,
+            health_file=health_path,
+            fault_spec=fault_spec,
+        )
+        supervisors.append(
+            ReplicaSupervisor(spec=spec, log_path=log_dir / f"replica-{pid}.log")
+        )
+    cluster = _Cluster(supervisors, health_paths)
+
+    def phase(name: str, started: float, ok: bool, detail: str) -> bool:
+        report.phases.append(
+            PhaseResult(name, ok, detail, elapsed_s=time.monotonic() - started)
+        )
+        return ok
+
+    victim = n - 1
+    survivors = [pid for pid in range(n) if pid != victim]
+    try:
+        for supervisor in supervisors:
+            supervisor.spawn()
+
+        # -- boot: everyone commits ------------------------------------------
+        t = time.monotonic()
+        booted = cluster.wait_until(
+            lambda h: len(h) == n
+            and all(int(h[p].get("committed_blocks", 0)) >= 1 for p in range(n)),
+            commit_bound_s,
+        )
+        blocks = cluster.committed(list(range(n)))
+        if not phase("boot", t, booted, f"committed blocks per replica: {blocks}"):
+            return report
+
+        if kill:
+            # -- kill: survivors keep committing -----------------------------
+            t = time.monotonic()
+            fault_spec.write_text(quiet_plan.rules_spec())
+            before = cluster.committed(survivors)
+            supervisors[victim].kill()
+            cluster.watchdog.record_dead(victim)
+            survived = cluster.wait_until(
+                lambda h: all(
+                    int(h.get(p, {}).get("committed_blocks", 0)) > before.get(p, 0)
+                    for p in survivors
+                ),
+                commit_bound_s,
+            )
+            after = cluster.committed(survivors)
+            if not phase(
+                "kill",
+                t,
+                survived,
+                f"SIGKILLed replica {victim}; survivor commits {before} -> {after}",
+            ):
+                return report
+
+            # -- restart: restore from durable sealed state ------------------
+            t = time.monotonic()
+            supervisors[victim].spawn()
+            rejoined = cluster.wait_until(
+                lambda h: bool(h.get(victim, {}).get("restored_from_seal"))
+                and int(h.get(victim, {}).get("committed_blocks", 0)) >= 1,
+                commit_bound_s,
+            )
+            health = cluster.observe().get(victim, {})
+            if not phase(
+                "restart",
+                t,
+                rejoined,
+                f"replica {victim} restored_from_seal="
+                f"{health.get('restored_from_seal')} checker_view="
+                f"{health.get('checker_view')} committed="
+                f"{health.get('committed_blocks')}",
+            ):
+                return report
+
+        if partition:
+            # -- partition: 2/2, no quorum, commits stall --------------------
+            t = time.monotonic()
+            fault_spec.write_text(partition_plan.rules_spec())
+            time.sleep(max(partition_hold_s / 2, 2.0))
+            mid = cluster.committed(list(range(n)))
+            time.sleep(max(partition_hold_s / 2, 2.0))
+            end = cluster.committed(list(range(n)))
+            stalled = all(end.get(p, 0) == mid.get(p, 0) for p in mid)
+            # Informational: a commit already quorum-certified before the
+            # split may land late; the hard requirement is healing below.
+            phase(
+                "partition",
+                t,
+                True,
+                f"2/2 split {sorted(left)}|{sorted(right)}; commits during hold: "
+                f"{mid} -> {end} ({'stalled' if stalled else 'straggler commits seen'})",
+            )
+
+            # -- heal: everyone commits a fresh block ------------------------
+            t = time.monotonic()
+            before_heal = cluster.committed(list(range(n)))
+            fault_spec.write_text(quiet_plan.rules_spec())
+            healed = cluster.wait_until(
+                lambda h: all(
+                    int(h.get(p, {}).get("committed_blocks", 0))
+                    > before_heal.get(p, 0)
+                    for p in range(n)
+                ),
+                commit_bound_s,
+            )
+            after_heal = cluster.committed(list(range(n)))
+            if not phase(
+                "heal",
+                t,
+                healed,
+                f"post-heal commits {before_heal} -> {after_heal}",
+            ):
+                return report
+
+        totals: dict[str, int] = {}
+        for health in cluster.observe().values():
+            for key, value in (health.get("faults") or {}).items():
+                totals[key] = totals.get(key, 0) + int(value)
+        report.fault_counts = totals
+        return report
+    finally:
+        for supervisor in supervisors:
+            supervisor.terminate()
+        if owns_dir and report.ok and not keep_artifacts:
+            shutil.rmtree(root, ignore_errors=True)
+            report.run_dir += " (removed; pass keep_artifacts to retain)"

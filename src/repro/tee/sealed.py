@@ -12,13 +12,23 @@ We model sealing with an authenticated (HMAC) snapshot bound to the
 component's private identity, plus a monotonic seal counter so stale
 snapshots are rejected on unseal (rollback protection, as provided by
 SGX's monotonic counters or an external trusted store).
+
+:class:`FileSealStore` makes sealing *durable*: snapshots and the
+trusted latest-counter record survive a real process death (SIGKILL
+included) via atomic write-temp + fsync + rename, so a replica process
+restarted by :class:`repro.runtime.resilience.supervisor.ReplicaSupervisor`
+resumes from its latest sealed step - and refuses rollback exactly as
+the in-memory path does, even across restarts.
 """
 
 from __future__ import annotations
 
 import hashlib
 import hmac
+import json
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.errors import TEERefusal
 from repro.tee.checker import Checker
@@ -71,6 +81,23 @@ class SealManager:
     def __init__(self) -> None:
         self._latest: dict[int, int] = {}
 
+    def latest_counter(self, component_id: int) -> int:
+        """The highest seal counter issued for ``component_id`` (0 = none)."""
+        return self._latest.get(component_id, 0)
+
+    def prime(self, component_id: int, counter: int) -> None:
+        """Install a trusted floor for ``component_id``'s seal counter.
+
+        This is how a freshly started process rejoins the monotonic
+        counter service: the durable counter record (written by
+        :class:`FileSealStore` before any snapshot is trusted) primes the
+        new manager, so a stale snapshot is refused across a real process
+        death just as within one.  Priming never lowers the floor.
+        """
+        if counter < 0:
+            raise TEERefusal(f"prime: negative seal counter {counter}")
+        self._latest[component_id] = max(self._latest.get(component_id, 0), counter)
+
     def seal(self, checker: Checker) -> SealedState:
         """Snapshot the checker's protected state."""
         counter = self._latest.get(checker.component_id, 0) + 1
@@ -103,3 +130,102 @@ class SealManager:
             )
         checker._restore_seal_fields(sealed.payload.split(b"|")[2:])
         self._latest[checker.component_id] = max(latest, sealed.seal_counter)
+
+
+class FileSealStore:
+    """Durable sealed snapshots: survive SIGKILL, refuse rollback.
+
+    Two files per component under ``root``:
+
+    * ``component-<id>.seal.json`` - the latest :class:`SealedState`;
+    * ``component-<id>.counter.json`` - the trusted monotonic-counter
+      record (the role SGX delegates to a counter service).  It is
+      written *after* the snapshot, so a crash between the two writes
+      leaves a counter one behind the snapshot - which still unseals -
+      never a counter ahead of every available snapshot.
+
+    Every write is atomic: write a temp file in the same directory,
+    flush + fsync, then :func:`os.replace` over the target and fsync the
+    directory.  A process killed mid-write leaves either the old file or
+    the new one, never a torn half of each.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths --------------------------------------------------------------
+
+    def seal_path(self, component_id: int) -> Path:
+        return self.root / f"component-{component_id}.seal.json"
+
+    def counter_path(self, component_id: int) -> Path:
+        return self.root / f"component-{component_id}.counter.json"
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, sealed: SealedState) -> None:
+        """Persist ``sealed`` and advance the durable counter record."""
+        snapshot = {
+            "component_id": sealed.component_id,
+            "seal_counter": sealed.seal_counter,
+            "payload": sealed.payload.hex(),
+            "mac": sealed.mac.hex(),
+        }
+        self._atomic_write(self.seal_path(sealed.component_id), snapshot)
+        stored = self.load_counter(sealed.component_id)
+        if sealed.seal_counter > stored:
+            self._atomic_write(
+                self.counter_path(sealed.component_id),
+                {"component_id": sealed.component_id, "latest": sealed.seal_counter},
+            )
+
+    def load(self, component_id: int) -> SealedState | None:
+        """Read the latest durable snapshot, or ``None`` if none exists."""
+        path = self.seal_path(component_id)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            return SealedState(
+                component_id=int(data["component_id"]),
+                seal_counter=int(data["seal_counter"]),
+                payload=bytes.fromhex(data["payload"]),
+                mac=bytes.fromhex(data["mac"]),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise TEERefusal(f"durable seal file {path} is corrupt: {exc}") from exc
+
+    def load_counter(self, component_id: int) -> int:
+        """The durable latest-counter record (0 when none was written)."""
+        path = self.counter_path(component_id)
+        if not path.exists():
+            return 0
+        try:
+            data = json.loads(path.read_text())
+            return int(data["latest"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise TEERefusal(f"durable counter file {path} is corrupt: {exc}") from exc
+
+    def prime_manager(self, manager: SealManager, component_id: int) -> None:
+        """Prime ``manager`` with the durable counter floor for a component."""
+        manager.prime(component_id, self.load_counter(component_id))
+
+    # -- internals ----------------------------------------------------------
+
+    def _atomic_write(self, path: Path, payload: dict[str, object]) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        data = json.dumps(payload, sort_keys=True).encode()
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+        # fsync the directory so the rename itself is durable.
+        dir_fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)

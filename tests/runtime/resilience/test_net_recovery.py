@@ -1,0 +1,219 @@
+"""Socket-runtime resilience: crash-restart, fault hooks, clean shutdown.
+
+In-process counterparts of the ``repro net-chaos`` scenario: real
+asyncio TCP sockets on ephemeral localhost ports, with process death
+modelled by closing a runtime and discarding its machine (volatile
+state gone - only the :class:`FileSealStore` files survive, as under
+SIGKILL).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.config import NetConfig
+from repro.core.faults import FaultPlan
+from repro.runtime.asyncio_net import AsyncioRuntime, WallClock, build_machine
+from repro.runtime.framing import encode_frame
+from repro.runtime.resilience.durable import DurableSealer
+from repro.runtime.resilience.transport import FaultDecider
+from repro.tee.sealed import FileSealStore
+
+
+async def start_cluster(n=4, seed=21, stores=None, deciders=None, timeout_ms=500.0):
+    """Boot an n-replica cluster on ephemeral ports; returns the runtimes."""
+    clock = WallClock()
+    runtimes = []
+    for pid in range(n):
+        machine = build_machine(
+            "damysus", pid, n, clock, seed=seed, timeout_ms=timeout_ms,
+            payload_bytes=16, block_size=4,
+        )
+        sealer = None
+        if stores is not None:
+            sealer = DurableSealer(machine, stores[pid])
+            sealer.restore()
+        runtimes.append(
+            AsyncioRuntime(
+                machine,
+                fault_decider=None if deciders is None else deciders[pid],
+                sealer=sealer,
+            )
+        )
+    addresses = {}
+    for pid, runtime in enumerate(runtimes):
+        addresses[pid] = await runtime.start_server()
+    for runtime in runtimes:
+        runtime.set_peers(addresses)
+    for runtime in runtimes:
+        runtime.start_machine()
+    return runtimes, addresses
+
+
+async def wait_commits(runtimes, minimum, timeout_s=30.0, pids=None):
+    pids = list(pids if pids is not None else range(len(runtimes)))
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while asyncio.get_running_loop().time() < deadline:
+        if all(runtimes[p].committed_blocks >= minimum for p in pids):
+            return True
+        await asyncio.sleep(0.02)
+    return False
+
+
+def test_crash_restart_resumes_from_durable_seal(tmp_path):
+    """A replica killed mid-run restarts from its sealed files on the same
+    port, rejoins, and resumes committing at a step no lower than the one
+    it sealed - the in-process mirror of net-chaos kill/restart."""
+
+    async def scenario():
+        stores = [FileSealStore(tmp_path / f"seal-{pid}") for pid in range(4)]
+        runtimes, addresses = await start_cluster(stores=stores)
+        assert await wait_commits(runtimes, 2)
+
+        victim = runtimes[3]
+        sealed_view = victim.machine.checker.step.view
+        port = victim.port
+        await victim.close()  # death: volatile state discarded below
+        del victim
+
+        # Survivors keep committing without the fourth replica.
+        target = max(rt.committed_blocks for rt in runtimes[:3]) + 2
+        assert await wait_commits(runtimes[:3], target)
+
+        # Restart from the durable seal, same port, fresh everything else.
+        clock = WallClock()
+        machine = build_machine(
+            "damysus", 3, 4, clock, seed=21, timeout_ms=500.0,
+            payload_bytes=16, block_size=4,
+        )
+        sealer = DurableSealer(machine, stores[3])
+        assert sealer.restore()
+        assert machine.checker.step.view >= sealed_view  # no rollback
+        reborn = AsyncioRuntime(machine, port=port, sealer=sealer)
+        await reborn.start_server()
+        reborn.set_peers(addresses)
+        reborn.start_machine()
+        runtimes[3] = reborn
+
+        try:
+            assert await wait_commits([reborn], 1)
+        finally:
+            for runtime in runtimes:
+                await runtime.close()
+
+    asyncio.run(scenario())
+
+
+def test_partition_stalls_and_heals_in_process():
+    """A 2/2 partition installed in every sender's decider stalls commits;
+    clearing the rules (the live-reload path) lets them resume."""
+
+    async def scenario():
+        deciders = [
+            FaultDecider(FaultPlan().partition({0, 1}, {2, 3}).rules, seed=5)
+            for _ in range(4)
+        ]
+        # Start already partitioned: nothing must commit.
+        runtimes, _ = await start_cluster(deciders=deciders)
+        try:
+            assert not await wait_commits(runtimes, 1, timeout_s=2.0)
+            assert all(d.counts()["dropped"] > 0 for d in deciders)
+            for decider in deciders:
+                decider.set_rules(())  # heal
+            assert await wait_commits(runtimes, 1)
+        finally:
+            for runtime in runtimes:
+                await runtime.close()
+
+    asyncio.run(scenario())
+
+
+def test_close_leaves_no_pending_tasks_or_sockets():
+    """Graceful shutdown: after close(), the loop holds no stray tasks."""
+
+    async def scenario():
+        runtimes, _ = await start_cluster()
+        assert await wait_commits(runtimes, 1)
+        for runtime in runtimes:
+            await runtime.close()
+        # Give cancelled callbacks one tick to unwind, then audit.
+        await asyncio.sleep(0.05)
+        stray = [
+            task
+            for task in asyncio.all_tasks()
+            if task is not asyncio.current_task() and not task.done()
+        ]
+        assert stray == []
+        for runtime in runtimes:
+            assert runtime._server is None
+            assert not runtime._sender_tasks and not runtime._reader_tasks
+
+    asyncio.run(scenario())
+
+
+def test_malformed_hello_is_rejected_and_server_survives():
+    async def scenario():
+        runtimes, addresses = await start_cluster(n=4)
+        try:
+            host, port = addresses[0]
+            # A stranger sends a garbage hello: wrong magic.
+            _reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_frame(b"i am not a hello"))
+            await writer.drain()
+            await asyncio.sleep(0.2)
+            assert runtimes[0].rejected_connections >= 1
+            writer.close()
+            # The cluster is unharmed: commits still happen.
+            assert await wait_commits(runtimes, 1)
+        finally:
+            for runtime in runtimes:
+                await runtime.close()
+
+    asyncio.run(scenario())
+
+
+def test_oversized_frame_disconnects_instead_of_buffering():
+    async def scenario():
+        runtimes, addresses = await start_cluster(n=4)
+        try:
+            host, port = addresses[0]
+            _reader, writer = await asyncio.open_connection(host, port)
+            # Announce a frame far above the cap; the payload never needs
+            # to arrive - the announcement alone must poison the stream.
+            announce = (runtimes[0].net.max_frame_bytes + 1).to_bytes(4, "little")
+            writer.write(announce)
+            await writer.drain()
+            await asyncio.sleep(0.2)
+            assert runtimes[0].rejected_connections >= 1
+            writer.close()
+            assert await wait_commits(runtimes, 1)
+        finally:
+            for runtime in runtimes:
+                await runtime.close()
+
+    asyncio.run(scenario())
+
+
+@pytest.mark.parametrize("policy", ["drop-oldest", "drop-newest"])
+def test_outbound_overflow_policy(policy):
+    async def scenario():
+        clock = WallClock()
+        machine = build_machine("damysus", 0, 4, clock, seed=1)
+        runtime = AsyncioRuntime(
+            machine, net=NetConfig(max_outbound_queue=4, overflow_policy=policy)
+        )
+        # Pre-seed the queue so no sender task spawns: pure policy test.
+        queue = asyncio.Queue(maxsize=4)
+        runtime._queues[9] = queue
+        frames = [b"frame-%d" % i for i in range(10)]
+        for frame in frames:
+            runtime._enqueue(9, frame)
+        assert runtime.dropped_messages == 6
+        kept = [queue.get_nowait() for _ in range(queue.qsize())]
+        if policy == "drop-oldest":
+            assert kept == frames[-4:]  # freshest survive
+        else:
+            assert kept == frames[:4]  # earliest survive
+        await runtime.close()
+
+    asyncio.run(scenario())

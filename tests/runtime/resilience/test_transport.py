@@ -1,0 +1,125 @@
+"""Tests for the socket-level fault decider: seeded determinism."""
+
+from repro.core.faults import FaultPlan
+from repro.runtime.resilience.transport import (
+    DIGEST_HORIZON,
+    FaultDecider,
+    decision_digest,
+    decision_table,
+)
+
+
+def lossy_rules(prob=0.3):
+    return FaultPlan().lossy_links(prob).rules
+
+
+def drain(decider, frames=200, pids=(0, 1, 2, 3), src=0):
+    """Feed ``frames`` round-robin frames; return the decision kinds."""
+    out = []
+    for seq in range(frames):
+        dst = pids[seq % len(pids)]
+        if dst == src:
+            continue
+        action = decider.decide(src, dst, None, now_ms=0.0)
+        out.append((dst, None if action is None else (action.drop, action.duplicates)))
+    return out
+
+
+def test_same_seed_same_decisions():
+    a = FaultDecider(lossy_rules(), seed=7)
+    b = FaultDecider(lossy_rules(), seed=7)
+    assert drain(a) == drain(b)
+    assert a.counts() == b.counts()
+    assert [r for r in a.records] == [r for r in b.records]
+
+
+def test_different_seed_different_decisions():
+    a = FaultDecider(lossy_rules(0.5), seed=7)
+    b = FaultDecider(lossy_rules(0.5), seed=8)
+    assert drain(a, frames=400) != drain(b, frames=400)
+
+
+def test_decisions_are_per_link_sequence_coordinates():
+    """The k-th frame on a link gets the same fate regardless of traffic
+    interleaving on other links - decisions are a pure function of
+    (seed, src, dst, k)."""
+    a = FaultDecider(lossy_rules(), seed=3)
+    b = FaultDecider(lossy_rules(), seed=3)
+    # a: strictly alternate links; b: all of link 1 first, then link 2.
+    fates_a = {(1, k): a.decide(0, 1, None, 0.0) for k in range(50)}
+    fates_a.update({(2, k): a.decide(0, 2, None, 0.0) for k in range(50)})
+    fates_b = {}
+    for k in range(50):
+        fates_b[(1, k)] = b.decide(0, 1, None, 0.0)
+        fates_b[(2, k)] = b.decide(0, 2, None, 0.0)
+    assert fates_a == fates_b
+
+
+def test_live_rule_reload_keeps_sequence_counters():
+    decider = FaultDecider(lossy_rules(1.0), seed=1)
+    assert decider.decide(0, 1, None, 0.0).drop
+    decider.set_rules(())  # heal
+    assert decider.decide(0, 1, None, 0.0) is None
+    decider.set_rules(lossy_rules(1.0))  # re-inject
+    action = decider.decide(0, 1, None, 0.0)
+    assert action is not None and action.drop
+    # Three frames consumed three sequence numbers on the link.
+    assert decider._next_seq[(0, 1)] == 3
+
+
+def test_partition_rule_cuts_cross_group_frames():
+    rules = FaultPlan().partition({0, 1}, {2, 3}).rules
+    decider = FaultDecider(rules, seed=1)
+    assert decider.decide(0, 2, None, now_ms=10.0).drop  # crosses the cut
+    assert decider.decide(0, 1, None, now_ms=10.0) is None  # same group
+    assert decider.counts()["dropped"] == 1
+
+
+def test_duplicate_and_delay_counters():
+    rules = (
+        FaultPlan()
+        .duplicating_links(1.0)
+        .delaying_links(50.0, delay_prob=1.0)
+        .rules
+    )
+    decider = FaultDecider(rules, seed=5)
+    action = decider.decide(0, 1, None, 0.0)
+    assert action is not None and not action.drop
+    assert action.duplicates >= 1
+    assert action.extra_delay_ms > 0.0
+    counts = decider.counts()
+    assert counts["duplicated"] >= 1 and counts["delayed"] == 1
+
+
+def test_record_cap_truncates_but_keeps_counting():
+    decider = FaultDecider(lossy_rules(1.0), seed=1, max_records=5)
+    for _ in range(10):
+        decider.decide(0, 1, None, 0.0)
+    assert len(decider.records) == 5
+    assert decider.records_truncated == 5
+    assert decider.dropped == 10
+
+
+def test_decision_digest_stable_and_seed_sensitive():
+    rules = FaultPlan().lossy_links(0.1).partition({0, 1}, {2, 3}).rules
+    pids = [0, 1, 2, 3]
+    assert decision_digest(rules, 1, pids) == decision_digest(rules, 1, pids)
+    assert decision_digest(rules, 1, pids) != decision_digest(rules, 2, pids)
+    assert decision_digest(rules, 1, pids) != decision_digest(rules, 1, [0, 1, 2])
+
+
+def test_decision_table_matches_live_decider_for_unwindowed_rules():
+    """For always-on rules the pure table IS what the live path injects."""
+    rules = lossy_rules(0.4)
+    pids = [0, 1]
+    table = {
+        (e.src, e.dst, e.seq): e.kind for e in decision_table(rules, 1, pids)
+    }
+    decider = FaultDecider(rules, seed=1)
+    for seq in range(DIGEST_HORIZON):
+        action = decider.decide(0, 1, None, now_ms=123.0)
+        expected = table[(0, 1, seq)]
+        if action is None:
+            assert expected == "pass"
+        elif action.drop:
+            assert expected == "drop"

@@ -1,0 +1,68 @@
+"""Tests for the liveness watchdog (pure, time injected)."""
+
+from repro.runtime.resilience.watchdog import LivenessWatchdog
+
+
+def test_commits_keep_a_replica_healthy():
+    dog = LivenessWatchdog(stall_after_ms=1_000.0)
+    dog.record_commit(0, 100.0)
+    dog.record_commit(0, 900.0)
+    snap = dog.snapshot(1_500.0)
+    assert snap.healthy
+    assert snap.stalled_pids == ()
+    assert snap.replicas[0].committed_blocks == 2
+
+
+def test_silence_past_the_budget_is_a_stall():
+    dog = LivenessWatchdog(stall_after_ms=1_000.0)
+    dog.record_commit(0, 100.0)
+    dog.record_commit(1, 100.0)
+    dog.record_commit(1, 2_000.0)
+    snap = dog.snapshot(2_500.0)
+    assert not snap.healthy
+    assert snap.stalled_pids == (0,)
+
+
+def test_never_committed_counts_from_first_sighting():
+    dog = LivenessWatchdog(stall_after_ms=500.0)
+    dog.record_alive(3, 0.0)
+    assert dog.snapshot(400.0).healthy
+    assert dog.snapshot(600.0).stalled_pids == (3,)
+
+
+def test_dead_is_reported_separately_not_as_stall():
+    dog = LivenessWatchdog(stall_after_ms=500.0)
+    dog.record_commit(0, 0.0)
+    dog.record_dead(0)
+    snap = dog.snapshot(10_000.0)
+    assert snap.dead_pids == (0,)
+    assert snap.stalled_pids == ()
+    # Revival via a new sighting clears the dead flag.
+    dog.record_alive(0, 10_000.0)
+    assert dog.snapshot(10_100.0).dead_pids == ()
+
+
+def test_explicit_commit_count_overrides_increment():
+    dog = LivenessWatchdog()
+    dog.record_commit(0, 1.0, committed_blocks=41)
+    dog.record_commit(0, 2.0)
+    assert dog.snapshot(3.0).replicas[0].committed_blocks == 42
+
+
+def test_min_committed_ignores_dead_replicas():
+    dog = LivenessWatchdog()
+    dog.record_commit(0, 1.0, committed_blocks=9)
+    dog.record_commit(1, 1.0, committed_blocks=2)
+    dog.record_dead(1)
+    assert dog.snapshot(2.0).min_committed == 9
+
+
+def test_snapshot_serializes_to_plain_json_types():
+    dog = LivenessWatchdog(stall_after_ms=100.0)
+    dog.record_commit(0, 1.0)
+    data = dog.snapshot(50.0).to_dict()
+    assert data["healthy"] is True
+    assert data["replicas"][0]["pid"] == 0
+    import json
+
+    json.dumps(data)  # must be directly serializable

@@ -71,3 +71,90 @@ def test_pending_bytes_tracks_partial_frame():
     partial = encode_frame(b"abcdef")[:-2]
     assert decoder.feed(partial) == []
     assert decoder.pending_bytes == len(partial)
+
+
+# -- hostile input: malformed hellos ----------------------------------------
+
+
+def test_hello_wrong_magic_names_the_reason():
+    with pytest.raises(FramingError, match="wrong magic"):
+        decode_hello(b"xepro-hello\x00" + b"\x01\x00\x00\x00")
+
+
+def test_hello_truncated_before_pid():
+    from repro.runtime.framing import HELLO_MAGIC
+
+    with pytest.raises(FramingError, match="truncated"):
+        decode_hello(HELLO_MAGIC + b"\x01\x02")
+
+
+def test_hello_trailing_bytes_rejected():
+    with pytest.raises(FramingError, match="trailing"):
+        decode_hello(encode_hello(3)[4:] + b"junk")
+
+
+def test_hello_oversized_pid_rejected():
+    from repro.runtime.framing import HELLO_MAGIC, MAX_HELLO_PID
+    import struct
+
+    payload = HELLO_MAGIC + struct.pack("<I", MAX_HELLO_PID + 1)
+    with pytest.raises(FramingError, match="exceeds"):
+        decode_hello(payload)
+    # The bound itself is admitted.
+    assert decode_hello(HELLO_MAGIC + struct.pack("<I", MAX_HELLO_PID)) == MAX_HELLO_PID
+
+
+def test_poisoned_decoder_stays_rejected():
+    decoder = FrameDecoder(max_frame_bytes=8)
+    with pytest.raises(FramingError):
+        decoder.feed(encode_frame(b"x" * 9))
+    # Even innocent bytes are refused: the stream's boundaries are gone.
+    with pytest.raises(FramingError, match="already rejected"):
+        decoder.feed(encode_frame(b"ok"))
+
+
+# -- decoder fuzz: seeded random chunking and garbage -----------------------
+
+
+def test_fuzz_random_chunk_boundaries_never_corrupt_frames():
+    """Any chunking of a valid stream yields exactly the original frames."""
+    from repro.core.rng import RngStream
+
+    rng = RngStream(1234, "framing-fuzz:chunks")
+    payloads = [bytes([rng.randint(0, 255)] * rng.randint(0, 300)) for _ in range(40)]
+    blob = b"".join(encode_frame(p) for p in payloads)
+    for _ in range(25):
+        decoder = FrameDecoder()
+        out = []
+        index = 0
+        while index < len(blob):
+            step = rng.randint(1, 97)
+            out.extend(decoder.feed(blob[index : index + step]))
+            index += step
+        assert out == payloads
+        assert decoder.pending_bytes == 0
+
+
+def test_fuzz_garbage_streams_never_yield_oversized_buffers():
+    """Random garbage either parses as small frames or poisons the decoder.
+
+    Whatever bytes a hostile peer sends, the decoder must never buffer
+    more than one length prefix + cap worth of data - the memory-bound
+    guarantee behind the max-frame-size disconnect.
+    """
+    from repro.core.rng import RngStream
+
+    rng = RngStream(99, "framing-fuzz:garbage")
+    cap = 1024
+    for round_no in range(50):
+        decoder = FrameDecoder(max_frame_bytes=cap)
+        try:
+            for _ in range(20):
+                chunk = bytes(rng.randint(0, 255) for _ in range(rng.randint(1, 200)))
+                for frame in decoder.feed(chunk):
+                    assert len(frame) <= cap
+                assert decoder.pending_bytes <= cap + 4
+        except FramingError:
+            # Poisoned: every further feed must keep refusing.
+            with pytest.raises(FramingError):
+                decoder.feed(b"\x00")

@@ -1,0 +1,140 @@
+"""Tests for the durable seal store: atomicity, counters, rollback floor."""
+
+import json
+
+import pytest
+
+from repro.core.block import genesis_block
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import KeyDirectory
+from repro.errors import TEERefusal
+from repro.tee.checker import Checker
+from repro.tee.sealed import FileSealStore, SealManager
+
+
+@pytest.fixture
+def checker_factory():
+    scheme = HmacScheme(secret=b"seal-store-tests")
+    directory = KeyDirectory(scheme)
+    genesis = genesis_block()
+
+    def make(pid=0):
+        return Checker(pid, scheme, directory, genesis.hash, quorum=2)
+
+    return make
+
+
+def test_save_load_roundtrip(tmp_path, checker_factory):
+    store = FileSealStore(tmp_path)
+    manager = SealManager()
+    checker = checker_factory()
+    checker.tee_sign()
+    sealed = manager.seal(checker)
+    store.save(sealed)
+    assert store.load(checker.component_id) == sealed
+    assert store.load_counter(checker.component_id) == sealed.seal_counter
+
+
+def test_load_missing_component_returns_none(tmp_path):
+    store = FileSealStore(tmp_path)
+    assert store.load(123) is None
+    assert store.load_counter(123) == 0
+
+
+def test_counter_record_never_regresses(tmp_path, checker_factory):
+    store = FileSealStore(tmp_path)
+    manager = SealManager()
+    checker = checker_factory()
+    first = manager.seal(checker)
+    second = manager.seal(checker)
+    store.save(second)
+    store.save(first)  # late write of an older seal
+    # The snapshot file may hold the older seal, but the trusted counter
+    # record keeps the high-water mark - that is what refuses rollback.
+    assert store.load_counter(checker.component_id) == second.seal_counter
+
+
+def test_prime_manager_installs_the_durable_floor(tmp_path, checker_factory):
+    store = FileSealStore(tmp_path)
+    manager = SealManager()
+    checker = checker_factory()
+    old = manager.seal(checker)
+    new = manager.seal(checker)
+    store.save(old)
+    store.save(new)
+
+    # A fresh platform (fresh manager, as after SIGKILL + restart) primed
+    # from the durable record refuses the stale snapshot...
+    fresh_manager = SealManager()
+    store.prime_manager(fresh_manager, checker.component_id)
+    restarted = checker_factory()
+    with pytest.raises(TEERefusal, match="rollback"):
+        fresh_manager.unseal_into(restarted, old)
+    # ...but accepts the latest one.
+    fresh_manager.unseal_into(restarted, new)
+
+
+def test_unprimed_fresh_manager_would_accept_the_rollback(tmp_path, checker_factory):
+    """The control case: without the durable counter record, a fresh
+    manager cannot tell the snapshots apart - which is exactly why
+    ``restore`` primes before unsealing."""
+    manager = SealManager()
+    checker = checker_factory()
+    old = manager.seal(checker)
+    manager.seal(checker)
+    naive = SealManager()  # restart without reading the counter record
+    restarted = checker_factory()
+    naive.unseal_into(restarted, old)  # accepted: the floor was lost
+
+
+def test_corrupt_snapshot_raises_refusal(tmp_path, checker_factory):
+    store = FileSealStore(tmp_path)
+    checker = checker_factory()
+    store.save(SealManager().seal(checker))
+    store.seal_path(checker.component_id).write_text("{not json")
+    with pytest.raises(TEERefusal, match="corrupt"):
+        store.load(checker.component_id)
+
+
+def test_corrupt_counter_raises_refusal(tmp_path, checker_factory):
+    store = FileSealStore(tmp_path)
+    checker = checker_factory()
+    store.save(SealManager().seal(checker))
+    store.counter_path(checker.component_id).write_text('{"latest": "zebra"}')
+    with pytest.raises(TEERefusal, match="corrupt"):
+        store.load_counter(checker.component_id)
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path, checker_factory):
+    store = FileSealStore(tmp_path)
+    manager = SealManager()
+    checker = checker_factory()
+    for _ in range(5):
+        checker.tee_sign()
+        store.save(manager.seal(checker))
+    leftovers = [p.name for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+    assert leftovers == []
+
+
+def test_components_are_isolated(tmp_path, checker_factory):
+    store = FileSealStore(tmp_path)
+    manager = SealManager()
+    a, b = checker_factory(0), checker_factory(1)
+    sealed_a = manager.seal(a)
+    sealed_b = manager.seal(b)
+    store.save(sealed_a)
+    store.save(sealed_b)
+    assert store.load(a.component_id) == sealed_a
+    assert store.load(b.component_id) == sealed_b
+
+
+def test_snapshot_files_are_json_with_counter(tmp_path, checker_factory):
+    """The on-disk format is inspectable: plain JSON naming the counter
+    (operators can audit what a replica will restore)."""
+    store = FileSealStore(tmp_path)
+    checker = checker_factory()
+    sealed = SealManager().seal(checker)
+    store.save(sealed)
+    data = json.loads(store.seal_path(checker.component_id).read_text())
+    assert data["seal_counter"] == sealed.seal_counter
+    assert bytes.fromhex(data["mac"]) == sealed.mac
