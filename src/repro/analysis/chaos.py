@@ -53,6 +53,8 @@ class ChaosReport:
     messages_duplicated: int
     crash_cycles: int
     timeouts_fired: int
+    checkpoint_installs: int = 0
+    catchup_rounds: int = 0
 
     @property
     def ok(self) -> bool:
@@ -70,6 +72,8 @@ class ChaosReport:
             f"timeouts fired       {self.timeouts_fired}",
             f"commits (heal/total) {self.commits_at_heal} / {self.commits_total}",
             f"views after heal     {self.views_committed_after_heal}",
+            f"checkpoint installs  {self.checkpoint_installs}",
+            f"catch-up rounds      {self.catchup_rounds}",
             f"safety               {'OK' if self.safe else 'VIOLATED: ' + str(self.violation)}",
             f"liveness after heal  {'OK' if self.live_after_heal else 'STALLED'}",
         ]
@@ -77,11 +81,19 @@ class ChaosReport:
 
 
 def monotone_prefixes_ok(system: ConsensusSystem) -> bool:
-    """Every replica's executed sequence is a prefix of the canonical chain."""
+    """Every replica's executed sequence is a slice of the canonical chain.
+
+    A replica that installed a certified checkpoint skipped the prefix
+    below it; its recorded sequence must then match the canonical chain
+    starting at its checkpoint offset (offset 0 without state transfer,
+    which degenerates to the plain prefix check).
+    """
     canonical = system.oracle.canonical_chain()
-    return all(
-        seq == canonical[: len(seq)] for seq in system.oracle.sequences.values()
-    )
+    for replica, seq in system.oracle.sequences.items():
+        offset = system.oracle.offset_of(replica)
+        if seq != canonical[offset : offset + len(seq)]:
+            return False
+    return True
 
 
 def standard_chaos_plan(
@@ -200,6 +212,10 @@ def run_chaos(
         messages_duplicated=system.monitor.messages_duplicated,
         crash_cycles=sum(r.recovery_count for r in system.replicas),
         timeouts_fired=sum(r.pacemaker.timeouts_fired for r in system.replicas),
+        checkpoint_installs=sum(
+            1 for r in system.replicas if r.caught_up_via_checkpoint
+        ),
+        catchup_rounds=sum(r.catchup.completed for r in system.replicas),
     )
 
 

@@ -88,10 +88,16 @@ class ReplicatedApp:
         Returns the digest of the longest log's machine.  Raises
         :class:`ProtocolError` on divergence (which consensus safety
         makes impossible).
+
+        A replica that installed a certified checkpoint cannot replay
+        the commands below its horizon; its state is instead vouched for
+        by the certified state root, which must equal the fold a
+        full-log replica computes at the same height.
         """
         digests: dict[int, list[bytes]] = {}
         best: tuple[int, bytes] | None = None
-        for replica in self.system.replicas:
+        full_log = [r for r in self.system.replicas if r.ledger.base_height == 0]
+        for replica in full_log:
             machine, results = self.replay(replica)
             applied = len(results)
             digests.setdefault(applied, []).append(machine.digest())
@@ -102,7 +108,32 @@ class ReplicatedApp:
                 raise ProtocolError(
                     f"state divergence at {applied} applied commands"
                 )
-        assert best is not None
+        reference = full_log or [
+            max(self.system.replicas, key=lambda r: r.ledger.height())
+        ]
+        for replica in self.system.replicas:
+            if replica.ledger.base_height == 0:
+                continue
+            height = replica.ledger.height()
+            expected = next(
+                (
+                    root
+                    for other in reference
+                    if other is not replica
+                    and (root := other.ledger.state_root_at(height)) is not None
+                ),
+                None,
+            )
+            if expected is not None and expected != replica.ledger.state_root:
+                raise ProtocolError(
+                    f"checkpointed replica {replica.pid} state root diverges "
+                    f"at height {height}"
+                )
+        if best is None:
+            # Every replica compacted its log below the checkpoint
+            # horizon: the certified roots (cross-checked above) are the
+            # only digest left to return.
+            return reference[0].ledger.state_root
         return best[1]
 
 

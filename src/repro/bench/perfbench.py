@@ -49,6 +49,10 @@ DEFAULT_HOTPATH = {"protocol": "hotstuff", "f": 20, "views": 6, "payload": 256, 
 #: the caches optimize, so small-f-only grids under-report the win.
 DEFAULT_GRID = {"thresholds": [2, 10, 20], "views": 6, "repetitions": 2, "payload": 256}
 
+#: Catch-up cell: one crash/miss/rejoin cycle on the simulator (see
+#: ``measure_catchup``), sized to finish in a couple of seconds.
+DEFAULT_CATCHUP = {"missed": 150, "interval": 25, "seed": 11}
+
 #: Slowdown factor treated as a regression (generous: CI machines vary).
 DEFAULT_THRESHOLD = 3.0
 
@@ -159,15 +163,68 @@ def measure_grid(
     return out
 
 
+def measure_catchup(params: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Time a crash/miss/rejoin-by-checkpoint cycle on the simulator.
+
+    The robustness counterpart to the throughput cells: a replica sits
+    out ``missed`` views, the survivors certify checkpoints and compact,
+    and the rejoiner must come back inside ``catchup_view_gap`` of the
+    frontier via state transfer.  Records the wall time of the whole
+    cycle plus the simulated rejoin latency.
+    """
+    from repro.costs import CostModel
+
+    p = dict(DEFAULT_CATCHUP)
+    p.update(params or {})
+    config = SystemConfig(
+        protocol="damysus",
+        f=1,
+        payload_bytes=0,
+        block_size=1,
+        seed=p["seed"],
+        timeout_ms=500.0,
+        costs=CostModel.zero(),
+        checkpoint_interval=p["interval"],
+    )
+    t0 = time.perf_counter()
+    system = ConsensusSystem(config)
+    system.start()
+    system.run_until_views(5, max_time_ms=600_000)
+    victim = system.replicas[-1].pid
+    system.crash_replicas([victim])
+    base_views = len(system.monitor.committed_views())
+    system.run_until_views(base_views + p["missed"], max_time_ms=p["missed"] * 10_000.0)
+    system.recover_replicas([victim])
+    recovered = system.replicas[victim]
+    rejoin_t0 = system.sim.now
+    deadline = rejoin_t0 + p["missed"] * 200.0
+    while system.sim.now < deadline:
+        system.sim.run(until=system.sim.now + 500.0)
+        if recovered.view_lag() <= config.catchup_view_gap:
+            break
+    wall = time.perf_counter() - t0
+    if recovered.view_lag() > config.catchup_view_gap or not system.oracle.safe:
+        raise AssertionError("catchup bench scenario failed to rejoin safely")
+    return {
+        "params": p,
+        "wall_seconds": round(wall, 4),
+        "rejoin_sim_ms": round(system.sim.now - rejoin_t0, 1),
+        "replayed_blocks": len(recovered.ledger.executed),
+        "via_checkpoint": recovered.caught_up_via_checkpoint,
+    }
+
+
 def collect_bench(jobs: int = 0, quick: bool = False) -> dict[str, Any]:
     """Full measurement blob for the baseline file."""
     hot_params = dict(DEFAULT_HOTPATH)
     grid_params = dict(DEFAULT_GRID)
+    catch_params = dict(DEFAULT_CATCHUP)
     if quick:
         # Keep f=10 in the quick grid: the caches' win scales with f, and
         # an all-small-f grid would under-report it into gate noise.
         hot_params.update(f=10, views=4)
         grid_params.update(thresholds=[2, 10], views=4, repetitions=1)
+        catch_params.update(missed=60)
     return {
         "meta": {
             "cpus": os.cpu_count() or 1,
@@ -176,6 +233,7 @@ def collect_bench(jobs: int = 0, quick: bool = False) -> dict[str, Any]:
         },
         "hotpath": measure_hotpath(hot_params),
         "grid": measure_grid(grid_params, jobs=jobs),
+        "catchup": measure_catchup(catch_params),
     }
 
 
@@ -231,6 +289,27 @@ def check_bench(
             messages.append(
                 f"FAIL grid {metric}: {cur_s:.2f}s vs baseline {base_s:.2f}s "
                 f"(more than {threshold:g}x slower)"
+            )
+
+    # Catch-up cell: only compared when both sides recorded it, so a
+    # baseline written before the cell existed still checks clean.
+    base_catch = baseline.get("catchup")
+    cur_catch = current.get("catchup")
+    if base_catch is not None and cur_catch is not None:
+        base_s = base_catch["wall_seconds"]
+        cur_s = cur_catch["wall_seconds"]
+        report.drifts.append(Drift("catchup", "rejoin", "wall_seconds", base_s, cur_s))
+        if base_s > 0 and cur_s > base_s * threshold:
+            ok = False
+            messages.append(
+                f"FAIL catchup: {cur_s:.2f}s vs baseline {base_s:.2f}s "
+                f"(more than {threshold:g}x slower)"
+            )
+        if not cur_catch.get("via_checkpoint", False):
+            ok = False
+            messages.append(
+                "FAIL catchup: rejoin happened by full replay, not by "
+                "certified checkpoint transfer"
             )
 
     cache_speedup = current["hotpath"]["cache_speedup"]

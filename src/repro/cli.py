@@ -148,6 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the f crash/recover cycles")
     chaos_p.add_argument("--settle-views", type=int, default=3,
                          help="fresh committed views required after healing")
+    chaos_p.add_argument("--checkpoint-interval", type=int, default=0,
+                         help="certify a checkpoint every N committed blocks "
+                         "(0 = off); lagging replicas rejoin by state transfer")
 
     sub.add_parser("counterexample", help="Section 4: counters are not enough")
 
@@ -168,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="pacemaker base view timeout")
     serve_p.add_argument("--duration", type=float, default=0.0,
                          help="seconds to run (0 = until interrupted)")
+    serve_p.add_argument("--checkpoint-interval", type=int, default=0,
+                         help="certify a checkpoint every N committed blocks "
+                         "(0 = off); must match across the cluster")
     serve_p.add_argument("--seal-dir", default=None, metavar="DIR",
                          help="persist sealed checker state here; restart "
                          "restores it (rollback-refusing)")
@@ -216,6 +222,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the SIGKILL + restart phases")
     nc_p.add_argument("--no-partition", action="store_true",
                       help="skip the partition + heal phases")
+    nc_p.add_argument("--catchup", action="store_true",
+                      help="append the state-transfer cycle: SIGKILL a replica, "
+                      "commit past the checkpoint horizon, restart it, and "
+                      "require rejoin via a certified checkpoint (not replay)")
+    nc_p.add_argument("--checkpoint-interval", type=int, default=0,
+                      help="certify a checkpoint every N committed blocks "
+                      "(0 = off; --catchup defaults it to 25)")
+    nc_p.add_argument("--catchup-commits", type=int, default=100,
+                      help="blocks survivors must commit while the victim is "
+                      "down during --catchup")
     nc_p.add_argument("--run-dir", default=None, metavar="DIR",
                       help="artifact directory (default: fresh temp dir)")
     nc_p.add_argument("--keep-artifacts", action="store_true",
@@ -415,6 +431,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         crashes=not args.no_crash,
         partition=not args.no_partition,
         settle_views=args.settle_views,
+        checkpoint_interval=args.checkpoint_interval,
     )
     print(report.describe())
     return 0 if report.ok else 1
@@ -465,6 +482,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 payload_bytes=args.payload,
                 block_size=args.block_size,
                 timeout_ms=args.timeout_ms,
+                checkpoint_interval=args.checkpoint_interval,
                 seal_dir=args.seal_dir,
                 health_file=args.health_file,
                 health_interval_s=args.health_interval,
@@ -525,6 +543,9 @@ def _cmd_net_chaos(args: argparse.Namespace) -> int:
         timeout_ms=args.timeout_ms,
         kill=not args.no_kill,
         partition=not args.no_partition,
+        catchup=args.catchup,
+        checkpoint_interval=args.checkpoint_interval,
+        catchup_commits=args.catchup_commits,
         run_dir=args.run_dir,
         keep_artifacts=args.keep_artifacts,
     )

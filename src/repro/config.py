@@ -45,6 +45,16 @@ class SystemConfig:
     client_interval_ms: float = 1.0  # per-client submission interval
     client_total_txs: int = 0  # 0 = unlimited
     client_poisson: bool = False  # exponential inter-arrivals vs periodic
+    # -- checkpoints & state transfer ------------------------------------
+    checkpoint_interval: int = 0  # certify a checkpoint every N commits (0 = off)
+    catchup_view_gap: int = 8  # views behind the frontier before catching up
+    sync_chunk_blocks: int = 64  # max blocks per SyncBlocks response
+    sync_min_interval_ms: float = 50.0  # per-peer rate limit when serving sync
+    catchup_timeout_ms: float = 500.0  # initial catch-up retry timeout
+    catchup_backoff: float = 2.0  # exponential factor on catch-up retry
+    catchup_max_timeout_ms: float = 5_000.0  # retry timeout ceiling
+    catchup_jitter: float = 0.25  # +/- fraction of seeded retry jitter
+    catchup_max_retries: int = 25  # give up (and wait for operator) after this
 
     def __post_init__(self) -> None:
         if self.f < 1:
@@ -55,6 +65,22 @@ class SystemConfig:
             raise ConfigError("payload_bytes must be non-negative")
         if not 0.0 <= self.timeout_jitter < 1.0:
             raise ConfigError("timeout_jitter must be in [0, 1)")
+        if self.checkpoint_interval < 0:
+            raise ConfigError("checkpoint_interval must be non-negative")
+        if self.catchup_view_gap < 1:
+            raise ConfigError("catchup_view_gap must be at least 1")
+        if self.sync_chunk_blocks < 1:
+            raise ConfigError("sync_chunk_blocks must be positive")
+        if self.sync_min_interval_ms < 0:
+            raise ConfigError("sync_min_interval_ms must be non-negative")
+        if self.catchup_timeout_ms <= 0 or self.catchup_max_timeout_ms < self.catchup_timeout_ms:
+            raise ConfigError("catch-up timeouts must be positive and ordered")
+        if self.catchup_backoff < 1.0:
+            raise ConfigError("catchup_backoff must be at least 1")
+        if not 0.0 <= self.catchup_jitter < 1.0:
+            raise ConfigError("catchup_jitter must be in [0, 1)")
+        if self.catchup_max_retries < 1:
+            raise ConfigError("catchup_max_retries must be at least 1")
 
 
 #: Overflow policies for the bounded per-peer outbound frame queues.

@@ -521,9 +521,74 @@ def _dec_fast_proposal(dec: Decoder) -> Any:
     return FastProposal(view, block, justify, proof)
 
 
+def _enc_checkpoint(enc: Encoder, ckpt: Any) -> None:
+    enc.i64(ckpt.replica)
+    enc.i64(ckpt.counter)
+    enc.i64(ckpt.height)
+    enc.i64(ckpt.view)
+    enc.hash32(ckpt.block_hash)
+    enc.hash32(ckpt.state_root)
+    _enc_commitment(enc, ckpt.qc)
+    _enc_signature(enc, ckpt.signature)
+
+
+def _dec_checkpoint(dec: Decoder) -> Any:
+    from repro.tee.checkpoint import Checkpoint
+
+    return Checkpoint(
+        replica=dec.i64(),
+        counter=dec.i64(),
+        height=dec.i64(),
+        view=dec.i64(),
+        block_hash=dec.hash32(),
+        state_root=dec.hash32(),
+        qc=_dec_commitment(dec),
+        signature=_dec_signature(dec),
+    )
+
+
+def _enc_sync_request(enc: Encoder, msg: Any) -> None:
+    enc.i64(msg.have_height)
+    enc.i64(msg.have_view)
+
+
+def _dec_sync_request(dec: Decoder) -> Any:
+    from repro.protocols.sync import SyncRequest
+
+    return SyncRequest(dec.i64(), dec.i64())
+
+
+def _enc_sync_checkpoint(enc: Encoder, msg: Any) -> None:
+    _enc_checkpoint(enc, msg.checkpoint)
+
+
+def _dec_sync_checkpoint(dec: Decoder) -> Any:
+    from repro.protocols.sync import SyncCheckpoint
+
+    return SyncCheckpoint(_dec_checkpoint(dec))
+
+
+def _enc_sync_blocks(enc: Encoder, msg: Any) -> None:
+    enc.i64(msg.start_height)
+    enc.u8(1 if msg.done else 0)
+    enc.u32(len(msg.blocks))
+    for block in msg.blocks:
+        _enc_block(enc, block)
+
+
+def _dec_sync_blocks(dec: Decoder) -> Any:
+    from repro.protocols.sync import SyncBlocks
+
+    start_height = dec.i64()
+    done = bool(dec.u8())
+    blocks = tuple(_dec_block(dec) for _ in range(dec.u32()))
+    return SyncBlocks(start_height, blocks, done)
+
+
 def _registry() -> list[tuple[type[Any], Callable[..., None], Callable[..., Any]]]:
     from repro.protocols.chained_damysus import ChainedVote
     from repro.protocols.fast_hotstuff import FastProposal
+    from repro.protocols.sync import SyncBlocks, SyncCheckpoint, SyncRequest
 
     return [
         (NewViewMsg, _enc_new_view, _dec_new_view),
@@ -541,6 +606,9 @@ def _registry() -> list[tuple[type[Any], Callable[..., None], Callable[..., Any]
         (BlockResponse, _enc_block_response, _dec_block_response),
         (ClientRequest, _enc_client_request, _dec_client_request),
         (ClientReply, _enc_client_reply, _dec_client_reply),
+        (SyncRequest, _enc_sync_request, _dec_sync_request),
+        (SyncCheckpoint, _enc_sync_checkpoint, _dec_sync_checkpoint),
+        (SyncBlocks, _enc_sync_blocks, _dec_sync_blocks),
     ]
 
 
@@ -580,6 +648,25 @@ def decode_message(data: bytes) -> Any:
     msg = dec_fn(dec)
     dec.expect_done()
     return msg
+
+
+def encode_checkpoint(ckpt: Any) -> bytes:
+    """Serialize a certified checkpoint standalone (no message tag).
+
+    Used by the durable seal store, which persists the latest certified
+    checkpoint next to the sealed checker snapshot.
+    """
+    enc = Encoder()
+    _enc_checkpoint(enc, ckpt)
+    return enc.bytes()
+
+
+def decode_checkpoint(data: bytes) -> Any:
+    """Parse bytes produced by :func:`encode_checkpoint`."""
+    dec = Decoder(data)
+    ckpt = _dec_checkpoint(dec)
+    dec.expect_done()
+    return ckpt
 
 
 def wire_size_of(payload: Any) -> int:

@@ -17,11 +17,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.hashing import Hash
+from repro.crypto.hashing import Hash, hash_fields
 from repro.errors import ProtocolError, SafetyViolation
 from repro.core.block import Block
 from repro.core.chain import BlockStore
 from repro.core.monitor import ExecutionMonitor, ExecutionRecord
+
+
+def fold_state_root(prev_root: Hash, block_hash: Hash) -> Hash:
+    """Advance the rolling executed-state root by one block.
+
+    The root is a running fold over the executed block hashes, so two
+    replicas hold the same root at height ``h`` iff they executed the
+    same blocks in the same order - across runtimes too, since block
+    hashes are runtime-independent.  Checkpoints certify this root.
+    """
+    return hash_fields(("exec-root", prev_root, block_hash))
 
 
 @dataclass
@@ -48,12 +59,13 @@ class SafetyOracle:
         self.strict = strict
         self._canonical: list[Hash] = []
         self.sequences: dict[int, list[Hash]] = {}
+        self._offsets: dict[int, int] = {}
         self.violations: list[Violation] = []
 
     def record(self, replica: int, block_hash: Hash) -> None:
         """Append ``block_hash`` to ``replica``'s executed sequence."""
         seq = self.sequences.setdefault(replica, [])
-        index = len(seq)
+        index = self._offsets.get(replica, 0) + len(seq)
         seq.append(block_hash)
         if index < len(self._canonical):
             if self._canonical[index] != block_hash:
@@ -61,8 +73,32 @@ class SafetyOracle:
                 self.violations.append(violation)
                 if self.strict:
                     raise SafetyViolation(violation.describe())
-        else:
+        elif index == len(self._canonical):
             self._canonical.append(block_hash)
+        # index beyond the canonical frontier (a checkpoint installed past
+        # everything observed so far) cannot be cross-checked yet; the
+        # prefix check in :meth:`offset_of` consumers still applies once
+        # the canonical chain catches up.
+
+    def install_checkpoint(self, replica: int, height: int, block_hash: Hash) -> None:
+        """``replica`` fast-forwarded to ``height`` via a certified checkpoint.
+
+        The replica's subsequent executions are indexed from ``height``;
+        the checkpointed block itself is cross-checked against the
+        canonical chain when that position is already known.
+        """
+        self._offsets[replica] = height
+        self.sequences[replica] = []
+        index = height - 1
+        if 0 <= index < len(self._canonical) and self._canonical[index] != block_hash:
+            violation = Violation(index, replica, block_hash, self._canonical[index])
+            self.violations.append(violation)
+            if self.strict:
+                raise SafetyViolation(violation.describe())
+
+    def offset_of(self, replica: int) -> int:
+        """Canonical index of ``replica``'s first recorded execution."""
+        return self._offsets.get(replica, 0)
 
     @property
     def safe(self) -> bool:
@@ -90,6 +126,16 @@ class Ledger:
         self.executed: list[Block] = []
         self._executed_hashes: set[Hash] = set()
         self.last_executed_hash: Hash = store.genesis.hash
+        # Checkpoint support: executions below ``base_height`` were either
+        # garbage-collected (compaction) or never replayed locally (state
+        # transfer); ``state_root`` is the rolling fold over every block
+        # this chain has executed, including the pruned prefix.
+        self.base_height = 0
+        self.state_root: Hash = store.genesis.hash
+        #: State root at ``base_height`` - the fold over the pruned (or
+        #: transferred) prefix.  Lets :meth:`state_root_at` recompute
+        #: intermediate roots for any still-retained height.
+        self.base_state_root: Hash = store.genesis.hash
 
     def is_executed(self, block_hash: Hash) -> bool:
         return block_hash in self._executed_hashes
@@ -117,6 +163,7 @@ class Ledger:
         self.executed.append(block)
         self._executed_hashes.add(block.hash)
         self.last_executed_hash = block.hash
+        self.state_root = fold_state_root(self.state_root, block.hash)
         if self.oracle is not None:
             self.oracle.record(self.replica, block.hash)
         if self.monitor is not None:
@@ -135,4 +182,76 @@ class Ledger:
             )
 
     def height(self) -> int:
-        return len(self.executed)
+        return self.base_height + len(self.executed)
+
+    def apply_synced(self, block: Block, now: float) -> None:
+        """Execute one state-transfer block delivered by a peer.
+
+        Unlike :meth:`execute`, no stored path to the block is required -
+        catch-up suffixes chain directly from the installed checkpoint
+        block, which the local store may have never seen.
+        """
+        if self.is_executed(block.hash):
+            return
+        self._execute_one(block, now, block.view)
+
+    def install_checkpoint(self, height: int, block_hash: Hash, state_root: Hash) -> None:
+        """Fast-forward this ledger to a certified checkpoint.
+
+        Only moves forward: installing at or below the current height is
+        a protocol error (stale checkpoints are refused upstream by the
+        TEE-signature check; this guards replica-local misuse).
+        """
+        if height <= self.height():
+            raise ProtocolError(
+                f"install_checkpoint: height {height} not beyond local {self.height()}"
+            )
+        self.executed.clear()
+        self._executed_hashes.add(block_hash)
+        self.base_height = height
+        self.last_executed_hash = block_hash
+        self.state_root = state_root
+        self.base_state_root = state_root
+        if self.oracle is not None:
+            self.oracle.install_checkpoint(self.replica, height, block_hash)
+
+    def executed_since(self, height: int) -> list[Block] | None:
+        """Blocks executed after chain ``height``, oldest first.
+
+        Returns ``None`` when the prefix below ``height`` was compacted
+        away - the caller must hand out a checkpoint instead.
+        """
+        start = height - self.base_height
+        if start < 0:
+            return None
+        return self.executed[start:]
+
+    def compact(self, below_height: int) -> int:
+        """Garbage-collect executed blocks at or below ``below_height``.
+
+        Returns how many blocks were dropped.  The rolling state root and
+        the executed-hash set survive compaction, so execution dedup and
+        checkpoint certification are unaffected.
+        """
+        drop = min(below_height - self.base_height, len(self.executed))
+        if drop <= 0:
+            return 0
+        for block in self.executed[:drop]:
+            self.base_state_root = fold_state_root(self.base_state_root, block.hash)
+        del self.executed[:drop]
+        self.base_height += drop
+        return drop
+
+    def state_root_at(self, height: int) -> Hash | None:
+        """The rolling state root as of chain ``height``.
+
+        ``None`` when the prefix below ``height`` is no longer retained
+        (compacted away below the base).  Used to cross-check a
+        checkpointed peer's certified root against a full-log replica.
+        """
+        if height < self.base_height or height > self.height():
+            return None
+        root = self.base_state_root
+        for block in self.executed[: height - self.base_height]:
+            root = fold_state_root(root, block.hash)
+        return root

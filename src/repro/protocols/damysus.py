@@ -302,6 +302,7 @@ class DamysusReplica(BaseReplica):
         if not self._verify_tee_commitment(phi, expected_sigs=self.quorum):
             return
         self._decided.add(phi.v_prep)
+        self.note_commit_qc(phi)
         block = self.store.get(phi.h_prep)
         if block is not None:
             self.execute_block(block, phi.v_prep)

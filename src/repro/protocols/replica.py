@@ -17,15 +17,19 @@ from repro.core.chain import BlockStore
 from repro.core.block import Block
 from repro.core.clock import Clock
 from repro.core.codec import wire_size_of
+from repro.core.commitment import Commitment
 from repro.core.executor import Ledger, SafetyOracle
 from repro.core.mempool import Mempool
 from repro.core.messages import BlockRequest, BlockResponse, ClientReply, ClientRequest
 from repro.core.monitor import ExecutionMonitor
+from repro.core.phases import Phase
 from repro.core.rng import RngStream
 from repro.errors import MissingBlockError, TEERefusal
 from repro.protocols.pacemaker import Pacemaker, round_robin_leader
+from repro.protocols.sync import CatchUpClient, SyncBlocks, SyncCheckpoint, SyncRequest
 from repro.runtime.effects import Commit
 from repro.runtime.machine import Machine
+from repro.tee.checkpoint import Checkpoint, verify_checkpoint
 from repro.tee.sealed import SealedState, SealManager
 
 #: Cap on buffered future-view messages per replica (Byzantine flood guard).
@@ -161,6 +165,17 @@ class BaseReplica(Machine):
         self._sealed_snapshot: SealedState | None = None
         self.crash_count = 0
         self.recovery_count = 0
+        # Checkpoints & state transfer.  The latest certified checkpoint
+        # (own or installed from a peer) is what this replica serves and
+        # what the durable layer persists; the catch-up client drives the
+        # requester side when behind-detection fires.
+        self.latest_checkpoint: Checkpoint | None = None
+        self.caught_up_via_checkpoint = False
+        self.last_committed_view = 0
+        self.catchup = CatchUpClient(self)
+        self._last_commit_qc: Commitment | None = None
+        self._highest_view_seen = 0
+        self._sync_served_at: dict[int, float] = {}
 
     # -- leader schedule -------------------------------------------------------
 
@@ -241,6 +256,9 @@ class BaseReplica(Machine):
         self._buffered_count = 0
         self._pending_exec.clear()
         self._requested_blocks.clear()
+        self._sync_served_at.clear()
+        self._last_commit_qc = None
+        self.catchup.reset()
         self.reset_protocol_state()
 
     def reset_protocol_state(self) -> None:
@@ -296,6 +314,15 @@ class BaseReplica(Machine):
         if isinstance(payload, BlockResponse):
             self._handle_block_response(sender, payload)
             return
+        if isinstance(payload, SyncRequest):
+            self._handle_sync_request(sender, payload)
+            return
+        if isinstance(payload, SyncCheckpoint):
+            self._handle_sync_checkpoint(sender, payload)
+            return
+        if isinstance(payload, SyncBlocks):
+            self._handle_sync_blocks(sender, payload)
+            return
         view = self.message_view(payload)
         if view is not None:
             if view > self.view:
@@ -315,10 +342,29 @@ class BaseReplica(Machine):
         raise NotImplementedError
 
     def _buffer(self, view: int, sender: int, payload: Any) -> None:
+        if view > self._highest_view_seen:
+            self._highest_view_seen = view
+        self._note_possible_lag()
         if self._buffered_count >= MAX_BUFFERED_MESSAGES:
             return
         self._buffered.setdefault(view, []).append((sender, payload))
         self._buffered_count += 1
+
+    def view_lag(self) -> int:
+        """Views between this replica and the highest view it has heard of."""
+        return max(0, self._highest_view_seen - self.view)
+
+    def _note_possible_lag(self) -> None:
+        """Behind-detection: trigger catch-up when the view gap is too wide.
+
+        Only meaningful with checkpointing on - without peers certifying
+        checkpoints there is nothing to transfer, and the ordinary
+        timeout / new-view path remains the only recovery route.
+        """
+        if self.config.checkpoint_interval <= 0:
+            return
+        if self._highest_view_seen - self.view >= self.config.catchup_view_gap:
+            self.catchup.start()
 
     # -- view advancement -----------------------------------------------------------
 
@@ -330,6 +376,8 @@ class BaseReplica(Machine):
             self._buffered_count -= len(self._buffered[stale])
             del self._buffered[stale]
         self.view = new_view
+        if new_view > self._highest_view_seen:
+            self._highest_view_seen = new_view
         self.pacemaker.start_view(new_view)
         self.prune_state(new_view)
         self.on_view_entered(new_view)
@@ -367,6 +415,9 @@ class BaseReplica(Machine):
     def _on_pacemaker_timeout(self, view: int) -> None:
         if self.crashed or view != self.view:
             return
+        # A timeout while newer-view traffic sits buffered means we are
+        # lagging the cluster, not that the cluster is stuck.
+        self._note_possible_lag()
         self.on_view_timeout(view)
 
     def on_view_timeout(self, view: int) -> None:
@@ -402,7 +453,127 @@ class BaseReplica(Machine):
                         ),
                     )
             self._emit(Commit(executed, view))
+        if newly:
+            self.last_committed_view = max(self.last_committed_view, view)
+            self._maybe_checkpoint()
         return newly
+
+    # -- checkpoints & state transfer -------------------------------------------
+
+    def note_commit_qc(self, qc: Commitment) -> None:
+        """Record the decide-phase quorum commitment backing an execution.
+
+        Protocol subclasses call this just before :meth:`execute_block`;
+        the checker re-verifies the commitment when certifying a
+        checkpoint, so only decide certificates (quorum commitments of
+        pre-commit votes) are worth keeping.
+        """
+        if qc.phase == Phase.PRECOMMIT:
+            self._last_commit_qc = qc
+
+    def _maybe_checkpoint(self) -> None:
+        """Certify a checkpoint every ``checkpoint_interval`` commits.
+
+        The Checker signs (and monotonically stamps) the executed height,
+        state root and decide QC; the executed-block log below the new
+        horizon is then garbage-collected - catch-up peers get the
+        certificate instead of a replay.
+        """
+        interval = self.config.checkpoint_interval
+        if interval <= 0 or self.checker is None:
+            return
+        qc = self._last_commit_qc
+        if qc is None or qc.h_prep != self.ledger.last_executed_hash:
+            return
+        height = self.ledger.height()
+        certified = self.latest_checkpoint.height if self.latest_checkpoint else 0
+        if height - certified < interval:
+            return
+        self.charge_tee(signs=1, verifies=self.quorum)
+        try:
+            checkpoint = self.checker.tee_checkpoint(
+                height, qc.h_prep, self.ledger.state_root, qc
+            )
+        except TEERefusal:
+            return
+        self.latest_checkpoint = checkpoint
+        self.ledger.compact(height)
+
+    def _handle_sync_request(self, sender: int, msg: SyncRequest) -> None:
+        """Serve a lagging peer: checkpoint first, then a bounded chunk.
+
+        Requests are rate-limited per sender so a Byzantine (or merely
+        broken) peer cannot turn state transfer into an amplification
+        attack on an honest replica.
+        """
+        if self.config.checkpoint_interval <= 0 or sender == self.pid:
+            return
+        last = self._sync_served_at.get(sender)
+        if last is not None and self.now - last < self.config.sync_min_interval_ms:
+            return
+        self._sync_served_at[sender] = self.now
+        start_height = msg.have_height
+        checkpoint = self.latest_checkpoint
+        if checkpoint is not None and checkpoint.height > start_height:
+            self.send_charged(sender, SyncCheckpoint(checkpoint))
+            start_height = checkpoint.height
+        suffix = self.ledger.executed_since(start_height)
+        if suffix is None:
+            return  # prefix compacted away and no newer checkpoint to offer
+        chunk = suffix[: self.config.sync_chunk_blocks]
+        self.send_charged(
+            sender,
+            SyncBlocks(start_height, tuple(chunk), done=len(chunk) == len(suffix)),
+        )
+
+    def _handle_sync_checkpoint(self, sender: int, msg: SyncCheckpoint) -> None:
+        if not self.catchup.active:
+            return
+        checkpoint = msg.checkpoint
+        if checkpoint.height <= self.ledger.height():
+            return  # stale: we already hold at least this much state
+        self.charge_verify(self.quorum + 1)
+        try:
+            verify_checkpoint(checkpoint, self.scheme, self.directory, self.quorum)
+        except TEERefusal:
+            return  # forged or malformed: drop it, the retry rotates peers
+        self._install_checkpoint(checkpoint)
+
+    def _install_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Adopt a verified checkpoint: fast-forward ledger and view."""
+        self.ledger.install_checkpoint(
+            checkpoint.height, checkpoint.block_hash, checkpoint.state_root
+        )
+        self.latest_checkpoint = checkpoint
+        self.caught_up_via_checkpoint = True
+        self.last_committed_view = max(self.last_committed_view, checkpoint.view)
+        self._pending_exec.clear()
+        self._requested_blocks.clear()
+        self.catchup.note_progress()
+        self.advance_view(max(self.view, checkpoint.view + 1))
+
+    def _handle_sync_blocks(self, sender: int, msg: SyncBlocks) -> None:
+        if not self.catchup.active:
+            return
+        if msg.start_height != self.ledger.height():
+            return  # out-of-order chunk; the retry timer re-requests
+        applied: Block | None = None
+        for block in msg.blocks:
+            if block.parent_hash != self.ledger.last_executed_hash:
+                return  # broken suffix: drop it, retry against another peer
+            self.store.add(block)
+            self.ledger.apply_synced(block, self.now)
+            self._emit(Commit(block, block.view))
+            applied = block
+        if applied is not None:
+            self.last_committed_view = max(self.last_committed_view, applied.view)
+        if msg.done:
+            self.catchup.finish()
+            if applied is not None:
+                self.advance_view(max(self.view, applied.view + 1))
+        else:
+            self.catchup.note_progress()
+            self.catchup.request_next(sender)
 
     # -- block synchronization -------------------------------------------------
 

@@ -1,0 +1,196 @@
+"""State-transfer catch-up: sans-I/O messages and the requester machine.
+
+A replica that was dead or partitioned for thousands of views cannot
+rejoin by replaying history - peers garbage-collect their executed log
+below the checkpoint horizon.  Instead it runs the catch-up protocol:
+
+1. :class:`SyncRequest` - "I am at height h, view v; bring me forward."
+2. :class:`SyncCheckpoint` - the peer's latest Checker-certified
+   checkpoint, sent when it is ahead of the requester's height.
+3. :class:`SyncBlocks` - a bounded chunk of executed blocks above the
+   requester's (post-checkpoint) height; ``done`` marks the last chunk,
+   otherwise the requester immediately asks the same peer for more.
+
+The requester side lives in :class:`CatchUpClient`: seeded exponential
+backoff with jitter (the sans-I/O sibling of the reconnect backoff in
+:mod:`repro.runtime.asyncio_net`), a retry cap, and deterministic peer
+rotation.  Server-side rate limiting and chunking live in
+:class:`~repro.protocols.replica.BaseReplica`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.block import Block
+from repro.core.messages import MSG_HEADER_BYTES
+from repro.core.rng import RngStream
+from repro.tee.checkpoint import Checkpoint
+
+if TYPE_CHECKING:
+    from repro.protocols.replica import BaseReplica
+    from repro.runtime.machine import MachineTimer
+
+
+@dataclass(frozen=True, slots=True)
+class SyncRequest:
+    """Ask a peer for a checkpoint and/or block suffix beyond our height."""
+
+    have_height: int
+    have_view: int
+
+    msg_type = "sync-request"
+
+    @property
+    def view(self) -> None:
+        return None
+
+    def wire_size(self) -> int:
+        return MSG_HEADER_BYTES + 4 + 4
+
+
+@dataclass(frozen=True, slots=True)
+class SyncCheckpoint:
+    """A peer's latest certified checkpoint (verify before installing)."""
+
+    checkpoint: Checkpoint
+
+    msg_type = "sync-checkpoint"
+
+    @property
+    def view(self) -> None:
+        return None
+
+    def wire_size(self) -> int:
+        return MSG_HEADER_BYTES + self.checkpoint.wire_size()
+
+
+@dataclass(frozen=True, slots=True)
+class SyncBlocks:
+    """One chunk of executed blocks starting just above ``start_height``."""
+
+    start_height: int
+    blocks: tuple[Block, ...]
+    done: bool
+
+    msg_type = "sync-blocks"
+
+    @property
+    def view(self) -> None:
+        return None
+
+    def wire_size(self) -> int:
+        return MSG_HEADER_BYTES + 4 + 1 + sum(b.wire_size() for b in self.blocks)
+
+
+class CatchUpClient:
+    """Requester-side catch-up state machine (one per replica).
+
+    Emits :class:`SyncRequest` effects through its machine and re-arms a
+    retry timer with seeded exponential backoff + jitter; every expiry
+    rotates to the next peer.  ``retries`` is cumulative (surfaced in
+    health snapshots); the per-round attempt count is capped by
+    ``catchup_max_retries``, after which the client gives up until the
+    next behind-detection trigger.
+    """
+
+    def __init__(self, machine: "BaseReplica") -> None:
+        self.machine = machine
+        self._rng = RngStream(machine.config.seed, f"catchup:{machine.pid}")
+        self.active = False
+        self.gave_up = False
+        self.retries = 0
+        self.completed = 0
+        self._attempts = 0
+        self._timeout_ms = machine.config.catchup_timeout_ms
+        self._timer: "MachineTimer | None" = None
+        self._peer_cursor = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin (or re-begin) a catch-up round; no-op while one runs."""
+        if self.active or self.machine.crashed:
+            return
+        self.active = True
+        self.gave_up = False
+        self._attempts = 0
+        self._timeout_ms = self.machine.config.catchup_timeout_ms
+        peers = self._peers()
+        if not peers:
+            self.active = False
+            return
+        self._peer_cursor = self._rng.randint(0, len(peers) - 1)
+        self._send_request()
+
+    def finish(self) -> None:
+        """Catch-up complete: stop retrying."""
+        if self.active:
+            self.completed += 1
+        self.active = False
+        self._cancel_timer()
+
+    def reset(self) -> None:
+        """Crash path: drop all volatile catch-up state."""
+        self.active = False
+        self.gave_up = False
+        self._attempts = 0
+        self._timeout_ms = self.machine.config.catchup_timeout_ms
+        self._cancel_timer()
+
+    # -- progress signals from the replica's sync handlers ------------------
+
+    def note_progress(self) -> None:
+        """Fresh verified data arrived: reset the backoff, keep waiting."""
+        if not self.active:
+            return
+        self._attempts = 0
+        self._timeout_ms = self.machine.config.catchup_timeout_ms
+        self._arm_timer()
+
+    def request_next(self, peer: int) -> None:
+        """Continue a chunked transfer from the peer that just served us."""
+        if not self.active:
+            return
+        machine = self.machine
+        machine.send_charged(peer, SyncRequest(machine.ledger.height(), machine.view))
+        self._arm_timer()
+
+    # -- internals ----------------------------------------------------------
+
+    def _peers(self) -> list[int]:
+        return [p for p in self.machine.replica_pids if p != self.machine.pid]
+
+    def _send_request(self) -> None:
+        machine = self.machine
+        peers = self._peers()
+        peer = peers[self._peer_cursor % len(peers)]
+        self._peer_cursor += 1
+        machine.send_charged(peer, SyncRequest(machine.ledger.height(), machine.view))
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        self._cancel_timer()
+        delay = self._rng.jitter(self._timeout_ms, self.machine.config.catchup_jitter)
+        self._timer = self.machine.set_timer(delay, self._on_timeout)
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_timeout(self) -> None:
+        if not self.active or self.machine.crashed:
+            return
+        self.retries += 1
+        self._attempts += 1
+        if self._attempts >= self.machine.config.catchup_max_retries:
+            self.active = False
+            self.gave_up = True
+            return
+        self._timeout_ms = min(
+            self._timeout_ms * self.machine.config.catchup_backoff,
+            self.machine.config.catchup_max_timeout_ms,
+        )
+        self._send_request()

@@ -129,6 +129,7 @@ class AsyncioRuntime:
         self._timers: dict[int, asyncio.TimerHandle] = {}
         self._delayed: set[asyncio.TimerHandle] = set()
         self._closed = False
+        self._machine_started = False
         # Seeded jitter for reconnect backoff: deterministic per
         # (seed, src, dst), so backoff schedules never share phase
         # across links yet stay reproducible (DET-lint clean).
@@ -157,6 +158,7 @@ class AsyncioRuntime:
         self.peers = {pid: addr for pid, addr in peers.items() if pid != self.machine.pid}
 
     def start_machine(self) -> None:
+        self._machine_started = True
         self.machine.start()
 
     async def close(self) -> None:
@@ -353,6 +355,13 @@ class AsyncioRuntime:
                     if sender is None:
                         sender = decode_hello(frame)
                         continue
+                    if not self._machine_started:
+                        # The process is up (socket bound) but the machine
+                        # has not been started yet - a deliberately held-
+                        # back replica.  Dropping mirrors a dark process:
+                        # consensus retransmits cover the loss.
+                        self.dropped_messages += 1
+                        continue
                     self.machine.on_message(sender, decode_message(frame))
         except (FramingError, CodecError) as exc:
             # Malformed peer stream: disconnect, never buffer or guess.
@@ -412,6 +421,7 @@ def build_machine(
     payload_bytes: int = 128,
     block_size: int = 32,
     timeout_ms: float = 2_000.0,
+    checkpoint_interval: int = 0,
 ) -> BaseReplica:
     """Construct one protocol machine for an ``n``-replica TCP deployment.
 
@@ -428,6 +438,7 @@ def build_machine(
         block_size=block_size,
         timeout_ms=timeout_ms,
         open_loop=True,
+        checkpoint_interval=checkpoint_interval,
     )
     scheme = HmacScheme(secret=f"system-{seed}".encode())
     directory = KeyDirectory(scheme)
@@ -460,6 +471,16 @@ class ClusterReport:
     dropped_messages: int
     #: Per-replica executed block-hash chains (for equivalence checks).
     chains: dict[int, list[str]] = field(default_factory=dict)
+    #: Per-replica rolling execution state roots (cross-runtime digests).
+    state_roots: dict[int, str] = field(default_factory=dict)
+    #: Per-replica ledger heights (checkpoint base + executed suffix).
+    heights: dict[int, int] = field(default_factory=dict)
+    #: Per-replica compaction horizons and the state roots at them, so a
+    #: caller can recompute the rolling root at any retained height.
+    base_heights: dict[int, int] = field(default_factory=dict)
+    base_roots: dict[int, str] = field(default_factory=dict)
+    #: Pids that rejoined by installing a peer's certified checkpoint.
+    caught_up_pids: tuple[int, ...] = ()
 
     @property
     def tx_per_s(self) -> float:
@@ -478,11 +499,18 @@ async def run_local_cluster(
     timeout_ms: float = 2_000.0,
     host: str = "127.0.0.1",
     net: NetConfig | None = None,
+    checkpoint_interval: int = 0,
+    start_delay_s: dict[int, float] | None = None,
 ) -> ClusterReport:
     """Run an ``n``-replica cluster on localhost TCP; report throughput.
 
     Stops after ``duration_s`` seconds, or as soon as every replica has
     committed ``target_blocks`` blocks (when ``target_blocks`` > 0).
+
+    ``start_delay_s`` holds back named pids (seconds) before starting
+    their machines - the servers still bind immediately, so a delayed
+    replica looks cleanly partitioned-from-genesis and must rejoin via
+    state transfer once ``checkpoint_interval`` is on.
     """
     spec = get_spec(protocol)
     f, quorum = _sized_quorum(spec, n)
@@ -498,6 +526,7 @@ async def run_local_cluster(
                 payload_bytes=payload_bytes,
                 block_size=block_size,
                 timeout_ms=timeout_ms,
+                checkpoint_interval=checkpoint_interval,
             ),
             host=host,
             net=net,
@@ -512,18 +541,36 @@ async def run_local_cluster(
     for runtime in runtimes:
         runtime.set_peers(addresses)
     t0 = time.monotonic()
-    for runtime in runtimes:
-        runtime.start_machine()
+    delays = start_delay_s or {}
+    late_tasks: list[asyncio.Task[None]] = []
+
+    async def _start_late(rt: AsyncioRuntime, delay: float) -> None:
+        await asyncio.sleep(delay)
+        rt.start_machine()
+
+    for pid, runtime in enumerate(runtimes):
+        delay = delays.get(pid, 0.0)
+        if delay > 0.0:
+            late_tasks.append(asyncio.ensure_future(_start_late(runtime, delay)))
+        else:
+            runtime.start_machine()
     deadline = t0 + duration_s
     try:
         while time.monotonic() < deadline:
+            # Ledger height counts checkpoint-skipped prefixes too, so a
+            # replica that rejoined by state transfer satisfies the
+            # target without replaying every block.
             if target_blocks > 0 and all(
-                rt.committed_blocks >= target_blocks for rt in runtimes
+                rt.machine.ledger.height() >= target_blocks for rt in runtimes
             ):
                 break
             await asyncio.sleep(0.02)
     finally:
         elapsed = time.monotonic() - t0
+        for task in late_tasks:
+            task.cancel()
+        if late_tasks:
+            await asyncio.gather(*late_tasks, return_exceptions=True)
         for runtime in runtimes:
             await runtime.close()
     return ClusterReport(
@@ -541,6 +588,19 @@ async def run_local_cluster(
             rt.machine.pid: [block.hash.hex() for block in rt.machine.ledger.executed]
             for rt in runtimes
         },
+        state_roots={
+            rt.machine.pid: rt.machine.ledger.state_root.hex() for rt in runtimes
+        },
+        heights={rt.machine.pid: rt.machine.ledger.height() for rt in runtimes},
+        base_heights={
+            rt.machine.pid: rt.machine.ledger.base_height for rt in runtimes
+        },
+        base_roots={
+            rt.machine.pid: rt.machine.ledger.base_state_root.hex() for rt in runtimes
+        },
+        caught_up_pids=tuple(
+            rt.machine.pid for rt in runtimes if rt.machine.caught_up_via_checkpoint
+        ),
     )
 
 
@@ -581,6 +641,7 @@ async def serve_replica(
     payload_bytes: int = 128,
     block_size: int = 32,
     timeout_ms: float = 2_000.0,
+    checkpoint_interval: int = 0,
     net: NetConfig | None = None,
     seal_dir: str | Path | None = None,
     health_file: str | Path | None = None,
@@ -618,6 +679,7 @@ async def serve_replica(
         payload_bytes=payload_bytes,
         block_size=block_size,
         timeout_ms=timeout_ms,
+        checkpoint_interval=checkpoint_interval,
     )
     decider: FaultDecider | None = None
     spec_path: Path | None = None
@@ -671,9 +733,16 @@ async def serve_replica(
             now_ms = clock.now
             watchdog.record_alive(pid, now_ms)
             if blocks > max(last_blocks, 0):
-                watchdog.record_commit(pid, now_ms, blocks)
+                watchdog.record_commit(
+                    pid,
+                    now_ms,
+                    blocks,
+                    committed_view=machine.last_committed_view,
+                    catchup_retries=machine.catchup.retries,
+                )
             last_blocks = blocks
             checker = machine.checker
+            latest_ckpt = machine.latest_checkpoint
             payload = {
                 "pid": pid,
                 "protocol": protocol,
@@ -681,12 +750,26 @@ async def serve_replica(
                 "committed_blocks": blocks,
                 "committed_txs": runtime.committed_txs,
                 "view": machine.view,
+                "last_committed_view": machine.last_committed_view,
+                "view_lag": machine.view_lag(),
+                "ledger_height": machine.ledger.height(),
+                "state_root": machine.ledger.state_root.hex(),
                 "timeouts_fired": machine.pacemaker.timeouts_fired,
                 "timeout_ms": machine.pacemaker.current_timeout_ms,
                 "checker_view": None if checker is None else checker.step.view,
                 "checker_phase": None if checker is None else checker.step.phase.value,
+                "checkpoint_interval": checkpoint_interval,
+                "checkpoint_height": 0 if latest_ckpt is None else latest_ckpt.height,
+                "caught_up_via_checkpoint": machine.caught_up_via_checkpoint,
+                "catchup_active": machine.catchup.active,
+                "catchup_retries": machine.catchup.retries,
+                "catchup_rounds": machine.catchup.completed,
                 "restored_from_seal": restored,
                 "seal_writes": 0 if sealer is None else sealer.seal_writes,
+                "checkpoint_writes": 0 if sealer is None else sealer.checkpoint_writes,
+                "restored_checkpoint_height": (
+                    0 if sealer is None else sealer.restored_checkpoint_height
+                ),
                 "dropped_messages": runtime.dropped_messages,
                 "rejected_connections": runtime.rejected_connections,
                 "faults": {} if decider is None else decider.counts(),

@@ -11,11 +11,20 @@ checker's (view, phase) step advanced.  Restart then restores the
 latest snapshot and primes the seal manager with the durable counter
 record, so presenting a stale snapshot raises
 :class:`~repro.errors.TEERefusal` exactly as the simulator path does.
+
+The latest certified checkpoint rides along: whenever the replica's
+checkpoint height advances, the sealer persists the checkpoint record
+next to the snapshot, and :meth:`restore` reinstalls it (signature and
+quorum re-verified, height checked against the sealed checker's
+monotonic certified height) so a restarted replica resumes from its
+certified horizon instead of replaying the whole chain.
 """
 
 from __future__ import annotations
 
+from repro.errors import TEERefusal
 from repro.protocols.replica import BaseReplica
+from repro.tee.checkpoint import verify_checkpoint
 from repro.tee.sealed import FileSealStore
 
 
@@ -26,8 +35,11 @@ class DurableSealer:
         self.replica = replica
         self.store = store
         self._last_sealed: tuple[int, str] | None = None
+        self._last_ckpt_height = 0
         self.seal_writes = 0
+        self.checkpoint_writes = 0
         self.restored = False
+        self.restored_checkpoint_height = 0
 
     @property
     def enabled(self) -> bool:
@@ -53,29 +65,88 @@ class DurableSealer:
         self.store.prime_manager(self.replica.seal_manager, component_id)
         sealed = self.store.load(component_id)
         if sealed is None:
+            self._restore_checkpoint(component_id)
             return False
         self.replica.restore_tee_state(sealed)  # raises TEERefusal on rollback
         self._last_sealed = self._step_key()
         self.restored = True
+        self._restore_checkpoint(component_id)
         return True
 
+    def _restore_checkpoint(self, component_id: int) -> None:
+        """Reinstall the durable certified checkpoint, if one exists.
+
+        The record is fully re-verified (Checker signature plus the
+        embedded quorum commitment), and its height is checked against
+        the sealed checker's certified height: the checker's monotonic
+        checkpoint counter outlives a checkpoint-file rollback, so an
+        older - however authentic - checkpoint is refused.
+        """
+        checkpoint = self.store.load_checkpoint(component_id)
+        if checkpoint is None:
+            return
+        replica = self.replica
+        verify_checkpoint(
+            checkpoint, replica.scheme, replica.directory, replica.quorum
+        )  # raises TEERefusal on forgery
+        if checkpoint.height < replica.checker.checkpoint_height:
+            raise TEERefusal(
+                f"durable checkpoint rolled back (height {checkpoint.height} < "
+                f"certified {replica.checker.checkpoint_height})"
+            )
+        if checkpoint.height > replica.ledger.height():
+            replica.ledger.install_checkpoint(
+                checkpoint.height, checkpoint.block_hash, checkpoint.state_root
+            )
+        replica.latest_checkpoint = checkpoint
+        replica.last_committed_view = max(
+            replica.last_committed_view, checkpoint.view
+        )
+        # Resume consensus past the checkpointed view; start() runs after
+        # this and opens the pacemaker at the restored view.
+        replica.view = max(replica.view, checkpoint.view + 1)
+        self._last_ckpt_height = checkpoint.height
+        self.restored_checkpoint_height = checkpoint.height
+
     def maybe_seal(self) -> bool:
-        """Persist a snapshot iff the checker step advanced since the last.
+        """Persist a snapshot iff the checker's durable state advanced.
 
         Runs before outbound frames are queued, so the signature a
         restarted replica could try to re-issue is always covered by a
         durable step at least as high - re-signing a lower (view, phase)
-        is impossible by construction.
+        is impossible by construction.  The latest certified checkpoint
+        is persisted under the same call whenever its height advanced
+        (durability before visibility: both writes land before any
+        frame or commit effect is interpreted).
         """
         if not self.enabled:
             return False
+        checkpoint = self.replica.latest_checkpoint
+        ckpt_advanced = (
+            checkpoint is not None and checkpoint.height > self._last_ckpt_height
+        )
+        wrote = False
         key = self._step_key()
-        if key == self._last_sealed:
-            return False
-        sealed = self.replica.seal_tee_state()
-        if sealed is None:  # pragma: no cover - enabled implies a checker
-            return False
-        self.store.save(sealed)
-        self._last_sealed = key
-        self.seal_writes += 1
-        return True
+        # A checkpoint-height advance forces a re-seal even at an unchanged
+        # step: the snapshot carries the checker's monotonic certified
+        # height, and the rollback check on restore is only as fresh as the
+        # last seal that landed.
+        if key != self._last_sealed or ckpt_advanced:
+            sealed = self.replica.seal_tee_state()
+            if sealed is not None:
+                self.store.save(sealed)
+                self._last_sealed = key
+                self.seal_writes += 1
+                wrote = True
+        self._maybe_persist_checkpoint()
+        return wrote
+
+    def _maybe_persist_checkpoint(self) -> None:
+        checkpoint = self.replica.latest_checkpoint
+        if checkpoint is None or checkpoint.height <= self._last_ckpt_height:
+            return
+        self.store.save_checkpoint(
+            self.replica.checker.component_id, checkpoint
+        )
+        self._last_ckpt_height = checkpoint.height
+        self.checkpoint_writes += 1

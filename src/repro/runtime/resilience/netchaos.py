@@ -69,6 +69,7 @@ class NetChaosReport:
     phases: list[PhaseResult] = field(default_factory=list)
     fault_counts: dict[str, int] = field(default_factory=dict)
     run_dir: str = ""
+    checkpoint_interval: int = 0
 
     @property
     def ok(self) -> bool:
@@ -79,6 +80,7 @@ class NetChaosReport:
             f"protocol            {self.protocol} (n={self.n}, seed={self.seed})",
             f"base port           {self.base_port}",
             f"loss probability    {self.loss}",
+            f"checkpoint interval {self.checkpoint_interval or 'off'}",
             f"decision digest     {self.decision_digest}",
             "                    (pure function of seed + fault plan: identical "
             "across same-seed runs)",
@@ -196,6 +198,9 @@ def run_net_chaos(
     timeout_ms: float = 1_000.0,
     kill: bool = True,
     partition: bool = True,
+    catchup: bool = False,
+    checkpoint_interval: int = 0,
+    catchup_commits: int = 100,
     run_dir: str | Path | None = None,
     keep_artifacts: bool = False,
 ) -> NetChaosReport:
@@ -205,9 +210,18 @@ def run_net_chaos(
     and post-heal commits).  Artifacts (per-replica logs, health files,
     seal files, the fault spec) land under ``run_dir`` (a fresh temp
     directory by default, removed on success unless ``keep_artifacts``).
+
+    ``catchup`` appends a state-transfer cycle: the victim is SIGKILLed
+    again, the survivors commit ``catchup_commits`` further blocks (far
+    past the checkpoint horizon), the victim respawns and must rejoin by
+    installing a peer's certified checkpoint - not by replaying the
+    missed blocks - within ``commit_bound_s``.  Requires (and defaults)
+    a positive ``checkpoint_interval``.
     """
     if n < 4:
         raise ConfigError("net-chaos needs n >= 4 (a 2/2 partition and f >= 1)")
+    if catchup and checkpoint_interval <= 0:
+        checkpoint_interval = 25
     owns_dir = run_dir is None
     root = Path(tempfile.mkdtemp(prefix="repro-netchaos-")) if owns_dir else Path(run_dir)
     root.mkdir(parents=True, exist_ok=True)
@@ -250,6 +264,7 @@ def run_net_chaos(
         loss=loss,
         decision_digest=digest,
         run_dir=str(root),
+        checkpoint_interval=checkpoint_interval,
     )
 
     supervisors = []
@@ -265,6 +280,7 @@ def run_net_chaos(
             seed=seed,
             host=host,
             timeout_ms=timeout_ms,
+            checkpoint_interval=checkpoint_interval,
             seal_dir=seal_dir,
             health_file=health_path,
             fault_spec=fault_spec,
@@ -377,6 +393,57 @@ def run_net_chaos(
                 t,
                 healed,
                 f"post-heal commits {before_heal} -> {after_heal}",
+            ):
+                return report
+
+        if catchup:
+            # -- catchup-kill: survivors race past the checkpoint horizon ----
+            t = time.monotonic()
+            fault_spec.write_text(quiet_plan.rules_spec())
+            supervisors[victim].kill()
+            cluster.watchdog.record_dead(victim)
+            base = cluster.committed(survivors)
+            grown = cluster.wait_until(
+                lambda h: all(
+                    int(h.get(p, {}).get("committed_blocks", 0))
+                    >= base.get(p, 0) + catchup_commits
+                    for p in survivors
+                ),
+                commit_bound_s,
+            )
+            after = cluster.committed(survivors)
+            if not phase(
+                "catchup-kill",
+                t,
+                grown,
+                f"SIGKILLed replica {victim}; survivor commits {base} -> {after} "
+                f"(target +{catchup_commits})",
+            ):
+                return report
+
+            # -- catchup: rejoin via certified checkpoint, not replay --------
+            t = time.monotonic()
+            frontier = min(
+                int(h.get("ledger_height", 0))
+                for p, h in cluster.observe().items()
+                if p in survivors
+            )
+            supervisors[victim].spawn()
+            rejoined = cluster.wait_until(
+                lambda h: bool(h.get(victim, {}).get("caught_up_via_checkpoint"))
+                and int(h.get(victim, {}).get("ledger_height", 0)) >= frontier,
+                commit_bound_s,
+            )
+            health = cluster.observe().get(victim, {})
+            if not phase(
+                "catchup",
+                t,
+                rejoined,
+                f"replica {victim} caught_up_via_checkpoint="
+                f"{health.get('caught_up_via_checkpoint')} checkpoint_height="
+                f"{health.get('checkpoint_height')} ledger_height="
+                f"{health.get('ledger_height')} (survivor frontier {frontier}) "
+                f"retries={health.get('catchup_retries')}",
             ):
                 return report
 

@@ -36,6 +36,7 @@ class ReplicaProcessSpec:
     payload_bytes: int = 128
     block_size: int = 32
     timeout_ms: float = 2_000.0
+    checkpoint_interval: int = 0
     seal_dir: Path | None = None
     health_file: Path | None = None
     health_interval_s: float = 0.5
@@ -66,6 +67,8 @@ class ReplicaProcessSpec:
             "--timeout-ms",
             str(self.timeout_ms),
         ]
+        if self.checkpoint_interval > 0:
+            argv += ["--checkpoint-interval", str(self.checkpoint_interval)]
         if self.seal_dir is not None:
             argv += ["--seal-dir", str(self.seal_dir)]
         if self.health_file is not None:

@@ -7,6 +7,12 @@ renders a structured :class:`HealthSnapshot` - the machine-readable
 health surface behind ``repro net-chaos`` and the per-process health
 files ``repro serve --health-file`` writes.
 
+Beyond stall detection, the snapshot reports each replica's
+last-committed view and its *view lag* behind the most advanced replica
+in the cluster, plus the cumulative catch-up retry count - so an
+operator (or the net-chaos gate) can see a replica falling behind before
+it misses its catch-up window entirely.
+
 Time is injected by the caller (the asyncio host passes its wall clock;
 tests pass fixed values), so this module is deterministic and lint-clean.
 """
@@ -26,6 +32,8 @@ class ReplicaHealth:
     committed_blocks: int = 0
     last_commit_ms: float | None = None
     last_seen_ms: float | None = None
+    last_committed_view: int = 0
+    catchup_retries: int = 0
 
     def stalled(self, now_ms: float, stall_after_ms: float) -> bool:
         """True when no commit landed within the stall budget.
@@ -64,6 +72,20 @@ class HealthSnapshot:
         live = [r.committed_blocks for r in self.replicas if r.alive]
         return min(live) if live else 0
 
+    @property
+    def highest_committed_view(self) -> int:
+        """The most advanced committed view anywhere in the cluster."""
+        views = [r.last_committed_view for r in self.replicas]
+        return max(views) if views else 0
+
+    def view_lag_of(self, pid: int) -> int:
+        """Views between ``pid``'s last commit and the cluster frontier."""
+        frontier = self.highest_committed_view
+        for replica in self.replicas:
+            if replica.pid == pid:
+                return max(0, frontier - replica.last_committed_view)
+        return 0
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "at_ms": self.at_ms,
@@ -71,6 +93,7 @@ class HealthSnapshot:
             "healthy": self.healthy,
             "stalled_pids": list(self.stalled_pids),
             "dead_pids": list(self.dead_pids),
+            "highest_committed_view": self.highest_committed_view,
             "replicas": [
                 {
                     "pid": r.pid,
@@ -78,6 +101,9 @@ class HealthSnapshot:
                     "committed_blocks": r.committed_blocks,
                     "last_commit_ms": r.last_commit_ms,
                     "last_seen_ms": r.last_seen_ms,
+                    "last_committed_view": r.last_committed_view,
+                    "view_lag": self.view_lag_of(r.pid),
+                    "catchup_retries": r.catchup_retries,
                 }
                 for r in self.replicas
             ],
@@ -108,7 +134,13 @@ class LivenessWatchdog:
             entry.last_seen_ms = now_ms
 
     def record_commit(
-        self, pid: int, now_ms: float, committed_blocks: int | None = None
+        self,
+        pid: int,
+        now_ms: float,
+        committed_blocks: int | None = None,
+        *,
+        committed_view: int | None = None,
+        catchup_retries: int | None = None,
     ) -> None:
         """A commit landed at ``pid`` at wall time ``now_ms``."""
         entry = self._entry(pid)
@@ -119,6 +151,10 @@ class LivenessWatchdog:
             entry.committed_blocks += 1
         else:
             entry.committed_blocks = committed_blocks
+        if committed_view is not None:
+            entry.last_committed_view = max(entry.last_committed_view, committed_view)
+        if catchup_retries is not None:
+            entry.catchup_retries = catchup_retries
 
     def record_dead(self, pid: int) -> None:
         """The supervisor observed the replica's process exit."""

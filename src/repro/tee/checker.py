@@ -24,6 +24,7 @@ from repro.core.certificate import Accumulator, QuorumCert
 from repro.core.commitment import Commitment, commitment_payload
 from repro.core.phases import Phase, Step, StepRule, initial_step
 from repro.tee.base import TrustedComponent
+from repro.tee.checkpoint import Checkpoint, checkpoint_payload
 
 
 class Checker(TrustedComponent):
@@ -43,6 +44,8 @@ class Checker(TrustedComponent):
         self._prepv = 0
         self._preph = genesis_hash
         self._step = initial_step(self.step_rule)
+        self._ckpt_counter = 0
+        self._ckpt_height = 0
         self.quorum = quorum
 
     # -- read-only views for the host (duplicated outside the TEE, Fig 2a) ---
@@ -60,10 +63,21 @@ class Checker(TrustedComponent):
     def prepared_hash(self) -> Hash:
         return self._preph
 
+    @property
+    def checkpoint_counter(self) -> int:
+        """Monotonic count of checkpoints this component has certified."""
+        return self._ckpt_counter
+
+    @property
+    def checkpoint_height(self) -> int:
+        """Highest executed-chain height this component has certified."""
+        return self._ckpt_height
+
     def storage_bytes(self) -> int:
         """Constant: a step counter plus one (view, hash) pair (Section 2:
         "arguably requires minimal storage")."""
-        return super().storage_bytes() + 4 + 1 + 4 + 32  # view+phase+prepv+preph
+        # view+phase+prepv+preph plus the checkpoint counter and height
+        return super().storage_bytes() + 4 + 1 + 4 + 32 + 8 + 8
 
     # -- sealing (repro.tee.sealed) -------------------------------------------
 
@@ -78,13 +92,21 @@ class Checker(TrustedComponent):
             self._preph.hex().encode(),
             str(self._step.view).encode(),
             self._step.phase.value.encode(),
+            str(self._ckpt_counter).encode(),
+            str(self._ckpt_height).encode(),
         ]
+
+    #: Number of fields :meth:`_seal_fields` emits for the base checker;
+    #: subclasses slice their own suffix relative to this.
+    BASE_SEAL_FIELDS = 6
 
     def _restore_seal_fields(self, fields: list[bytes]) -> None:
         """Restore protected state from an authenticated snapshot."""
         self._prepv = int(fields[0])
         self._preph = bytes.fromhex(fields[1].decode())
         self._step = Step(int(fields[2]), Phase(fields[3].decode()))
+        self._ckpt_counter = int(fields[4])
+        self._ckpt_height = int(fields[5])
 
     # -- internals ------------------------------------------------------------
 
@@ -169,6 +191,45 @@ class Checker(TrustedComponent):
         self._preph = phi.h_prep
         self._prepv = phi.v_prep
         return self._create_unique_sign(phi.h_prep, None, None)
+
+    def tee_checkpoint(
+        self, height: int, block_hash: Hash, state_root: Hash, qc: Commitment
+    ) -> Checkpoint:
+        """Certify an executed-chain checkpoint (state-transfer subsystem).
+
+        ``qc`` must be the decide-phase quorum commitment for
+        ``block_hash``: the checker re-verifies it inside the TEE, so a
+        certificate only ever exists for state the cluster actually
+        committed.  The internal checkpoint counter and height are
+        monotonic - certifying a height at or below the last certified
+        one is refused, so a Byzantine host cannot re-issue
+        fresh-looking certificates for stale state.
+        """
+        self._count_call()
+        if height <= self._ckpt_height:
+            raise TEERefusal(
+                f"TEEcheckpoint: stale height {height} "
+                f"(already certified {self._ckpt_height})"
+            )
+        if qc.h_prep != block_hash or qc.phase != Phase.PRECOMMIT:
+            raise TEERefusal("TEEcheckpoint: commitment does not decide this block")
+        if not self._verify_commitment(qc, expected_sigs=self.quorum):
+            raise TEERefusal("TEEcheckpoint: invalid quorum commitment")
+        self._ckpt_counter += 1
+        self._ckpt_height = height
+        payload = checkpoint_payload(
+            self.replica, self._ckpt_counter, height, qc.v_prep, block_hash, state_root, qc
+        )
+        return Checkpoint(
+            replica=self.replica,
+            counter=self._ckpt_counter,
+            height=height,
+            view=qc.v_prep,
+            block_hash=block_hash,
+            state_root=state_root,
+            qc=qc,
+            signature=self._sign(payload),
+        )
 
 
 class ChainedChecker(Checker):

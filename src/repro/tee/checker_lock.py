@@ -61,9 +61,10 @@ class LockingChecker(Checker):
         ]
 
     def _restore_seal_fields(self, fields: list[bytes]) -> None:
-        super()._restore_seal_fields(fields[:4])
-        self._lockv = int(fields[4])
-        self._lockh = bytes.fromhex(fields[5].decode())
+        base = Checker.BASE_SEAL_FIELDS
+        super()._restore_seal_fields(fields[:base])
+        self._lockv = int(fields[base])
+        self._lockh = bytes.fromhex(fields[base + 1].decode())
 
     # -- TEE interface ----------------------------------------------------------
 

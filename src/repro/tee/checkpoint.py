@@ -1,0 +1,117 @@
+"""TEE-certified checkpoints: portable proofs of executed state.
+
+A replica that was dead or partitioned for thousands of views cannot
+replay history a peer no longer stores.  Instead, peers hand out a
+:class:`Checkpoint`: the executed-chain height, the rolling state root,
+and the quorum commitment that decided the checkpointed block, all
+signed by the peer's local Checker and stamped with a monotonic
+checkpoint counter held *inside* the trusted component.
+
+The trust argument mirrors sealing (rollback protection): the Checker
+only certifies a checkpoint after verifying the decide-phase quorum
+commitment itself, and it refuses to certify a height at or below its
+last certified one, so a Byzantine host cannot mint a fresh-looking
+certificate for stale state.  A receiver verifies two independent
+layers - the Checker signature over the checkpoint payload, and the
+embedded quorum commitment - before installing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.commitment import Commitment
+from repro.core.phases import Phase
+from repro.crypto.hashing import HASH_SIZE, Hash, encode_fields
+from repro.crypto.keys import KeyDirectory
+from repro.crypto.scheme import SIGNATURE_WIRE_SIZE, Signature, SignatureScheme
+from repro.errors import TEERefusal
+
+
+def checkpoint_payload(
+    replica: int,
+    counter: int,
+    height: int,
+    view: int,
+    block_hash: Hash,
+    state_root: Hash,
+    qc: Commitment,
+) -> bytes:
+    """The byte string a Checker signs when certifying a checkpoint.
+
+    Binds the quorum commitment by digest so a host cannot splice the
+    signature onto a different justification.
+    """
+    return encode_fields(
+        (
+            "checkpoint",
+            replica,
+            counter,
+            height,
+            view,
+            block_hash,
+            state_root,
+            qc.digest(),
+        )
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """A Checker-certified snapshot of the executed chain at ``height``."""
+
+    replica: int
+    counter: int
+    height: int
+    view: int
+    block_hash: Hash
+    state_root: Hash
+    qc: Commitment
+    signature: Signature
+
+    def payload(self) -> bytes:
+        return checkpoint_payload(
+            self.replica,
+            self.counter,
+            self.height,
+            self.view,
+            self.block_hash,
+            self.state_root,
+            self.qc,
+        )
+
+    def wire_size(self) -> int:
+        # replica + counter + height + view + two hashes + qc + signature
+        return 4 * 4 + 2 * HASH_SIZE + self.qc.wire_size() + SIGNATURE_WIRE_SIZE
+
+
+def verify_checkpoint(
+    checkpoint: Checkpoint,
+    scheme: SignatureScheme,
+    directory: KeyDirectory,
+    quorum: int,
+) -> None:
+    """Validate a checkpoint received from an untrusted peer.
+
+    Checks both layers - the certifying Checker's signature and the
+    embedded decide-phase quorum commitment - and raises
+    :class:`~repro.errors.TEERefusal` on any forgery or mismatch.
+    """
+    if checkpoint.height < 1:
+        raise TEERefusal("checkpoint: height must be positive")
+    sig = checkpoint.signature
+    if directory.kind_of(sig.signer) != "tee":
+        raise TEERefusal("checkpoint: certifying signer is not a trusted component")
+    if not scheme.verify_cached(checkpoint.payload(), sig):
+        raise TEERefusal("checkpoint: Checker signature does not verify")
+    qc = checkpoint.qc
+    if qc.phase != Phase.PRECOMMIT or qc.h_prep != checkpoint.block_hash:
+        raise TEERefusal("checkpoint: quorum commitment does not decide this block")
+    if qc.v_prep != checkpoint.view:
+        raise TEERefusal("checkpoint: quorum commitment view mismatch")
+    if len(qc.sigs) != quorum:
+        raise TEERefusal("checkpoint: quorum commitment has wrong signature count")
+    if any(directory.kind_of(s.signer) != "tee" for s in qc.sigs):
+        raise TEERefusal("checkpoint: quorum commitment carries untrusted signers")
+    if not qc.verify(scheme):
+        raise TEERefusal("checkpoint: quorum commitment does not verify")

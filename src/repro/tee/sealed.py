@@ -30,8 +30,10 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.codec import CodecError, decode_checkpoint, encode_checkpoint
 from repro.errors import TEERefusal
 from repro.tee.checker import Checker
+from repro.tee.checkpoint import Checkpoint
 
 
 @dataclass(frozen=True)
@@ -162,6 +164,9 @@ class FileSealStore:
     def counter_path(self, component_id: int) -> Path:
         return self.root / f"component-{component_id}.counter.json"
 
+    def checkpoint_path(self, component_id: int) -> Path:
+        return self.root / f"component-{component_id}.checkpoint.json"
+
     # -- persistence --------------------------------------------------------
 
     def save(self, sealed: SealedState) -> None:
@@ -206,6 +211,48 @@ class FileSealStore:
             return int(data["latest"])
         except (ValueError, KeyError, TypeError) as exc:
             raise TEERefusal(f"durable counter file {path} is corrupt: {exc}") from exc
+
+    def save_checkpoint(self, component_id: int, checkpoint: Checkpoint) -> None:
+        """Persist the latest certified checkpoint (atomic, never regresses).
+
+        The checkpoint rides next to the sealed snapshot so a restarted
+        replica resumes from its certified horizon instead of replaying
+        (or re-fetching) the whole chain.  A write for a height at or
+        below the durable one is skipped: the file only ever moves
+        forward, so a crash mid-sequence cannot demote it.
+        """
+        existing = self.load_checkpoint(component_id)
+        if existing is not None and existing.height >= checkpoint.height:
+            return
+        self._atomic_write(
+            self.checkpoint_path(component_id),
+            {
+                "component_id": component_id,
+                "height": checkpoint.height,
+                "encoded": encode_checkpoint(checkpoint).hex(),
+            },
+        )
+
+    def load_checkpoint(self, component_id: int) -> Checkpoint | None:
+        """Read the durable certified checkpoint, or ``None`` if absent.
+
+        The caller must still verify the Checker signature and the
+        embedded quorum commitment (:func:`repro.tee.checkpoint.
+        verify_checkpoint`) - durability is not authenticity.
+        """
+        path = self.checkpoint_path(component_id)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            ckpt = decode_checkpoint(bytes.fromhex(data["encoded"]))
+        except (ValueError, KeyError, TypeError, CodecError) as exc:
+            raise TEERefusal(
+                f"durable checkpoint file {path} is corrupt: {exc}"
+            ) from exc
+        if not isinstance(ckpt, Checkpoint):  # pragma: no cover - decoder invariant
+            raise TEERefusal(f"durable checkpoint file {path} is corrupt")
+        return ckpt
 
     def prime_manager(self, manager: SealManager, component_id: int) -> None:
         """Prime ``manager`` with the durable counter floor for a component."""

@@ -26,6 +26,9 @@ from repro.core.messages import (
 from repro.core.phases import Phase
 from repro.protocols.chained_damysus import ChainedVote
 from repro.protocols.fast_hotstuff import FastProposal
+from repro.protocols.sync import SyncBlocks, SyncCheckpoint, SyncRequest
+from repro.core.codec import decode_checkpoint, encode_checkpoint
+from repro.tee.checkpoint import Checkpoint
 
 
 def sig(signer=3):
@@ -48,6 +51,22 @@ def acc(finalized=True):
 
 def commitment(h=b"\x03" * 32):
     return Commitment(h, 6, b"\x04" * 32, 5, Phase.PREPARE, (sig(7),))
+
+
+def checkpoint():
+    decide = Commitment(
+        b"\x03" * 32, 44, b"\x04" * 32, 43, Phase.PRECOMMIT, (sig(7), sig(8))
+    )
+    return Checkpoint(
+        replica=1,
+        counter=3,
+        height=40,
+        view=44,
+        block_hash=b"\x03" * 32,
+        state_root=b"\x0a" * 32,
+        qc=decide,
+        signature=sig(1_000_001),
+    )
 
 
 def block(justify=None):
@@ -80,7 +99,22 @@ ALL_MESSAGES = [
     BlockResponse(block()),
     ClientRequest(2, tx()),
     ClientReply(0, 2, 9, 12.5),
+    SyncRequest(40, 44),
+    SyncCheckpoint(checkpoint()),
+    SyncBlocks(40, (block(), block()), done=False),
+    SyncBlocks(0, (), done=True),
 ]
+
+
+def test_checkpoint_standalone_roundtrip():
+    ckpt = checkpoint()
+    assert decode_checkpoint(encode_checkpoint(ckpt)) == ckpt
+
+
+def test_checkpoint_standalone_truncation_rejected():
+    data = encode_checkpoint(checkpoint())
+    with pytest.raises(CodecError):
+        decode_checkpoint(data[:-2])
 
 
 @pytest.mark.parametrize("msg", ALL_MESSAGES, ids=lambda m: type(m).__name__)

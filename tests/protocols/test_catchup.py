@@ -1,0 +1,156 @@
+"""Certified checkpoints + state-transfer catch-up on the simulator."""
+
+import pytest
+
+from repro.analysis.chaos import monotone_prefixes_ok
+from repro.core.executor import fold_state_root
+from repro.errors import TEERefusal
+from repro.runtime.sim import ConsensusSystem
+from repro.tee.checkpoint import verify_checkpoint
+from tests.conftest import small_config
+
+
+def canonical_root_at(system, height):
+    """Fold the oracle's canonical chain prefix into a state root."""
+    canonical = system.oracle.canonical_chain()
+    assert height <= len(canonical)
+    root = system.replicas[0].store.genesis.hash
+    for block_hash in canonical[:height]:
+        root = fold_state_root(root, block_hash)
+    return root
+
+
+def test_checkpoints_certified_and_log_compacted():
+    system = ConsensusSystem(small_config("damysus", checkpoint_interval=5))
+    system.start()
+    system.run_until_views(30, max_time_ms=600_000)
+    for replica in system.replicas:
+        ckpt = replica.latest_checkpoint
+        assert ckpt is not None
+        # Certification is publicly verifiable against the directory.
+        verify_checkpoint(ckpt, replica.scheme, replica.directory, replica.quorum)
+        # The block log below the horizon is garbage-collected.
+        assert replica.ledger.base_height == ckpt.height
+        assert len(replica.ledger.executed) == replica.ledger.height() - ckpt.height
+        # The certified root is the fold over the canonical chain.
+        assert ckpt.state_root == canonical_root_at(system, ckpt.height)
+        assert ckpt.block_hash == system.oracle.canonical_chain()[ckpt.height - 1]
+
+
+def test_no_checkpoints_without_interval():
+    system = ConsensusSystem(small_config("damysus"))
+    system.start()
+    system.run_until_views(20, max_time_ms=600_000)
+    for replica in system.replicas:
+        assert replica.latest_checkpoint is None
+        assert replica.ledger.base_height == 0
+
+
+def test_crashed_replica_rejoins_via_checkpoint_transfer():
+    system = ConsensusSystem(
+        small_config("damysus", checkpoint_interval=10, block_size=1)
+    )
+    system.start()
+    system.run_until_views(5, max_time_ms=600_000)
+    victim = system.replicas[-1].pid
+    system.crash_replicas([victim])
+    system.run_until_views(400, max_time_ms=3_000_000)
+    system.recover_replicas([victim])
+    system.run_until_views(480, max_time_ms=6_000_000)
+
+    recovered = system.replicas[victim]
+    assert recovered.caught_up_via_checkpoint
+    assert recovered.catchup.completed >= 1
+    honest = system.replicas[0]
+    # The victim skipped the compacted prefix: it holds a base above 0
+    # and a height in the honest replicas' neighbourhood.
+    assert recovered.ledger.base_height > 0
+    assert recovered.ledger.height() >= honest.ledger.base_height
+    # Digest equality: the victim's rolling root is bit-identical to the
+    # canonical fold at its height (same function both runtimes use).
+    assert recovered.ledger.state_root == canonical_root_at(
+        system, recovered.ledger.height()
+    )
+    assert system.oracle.safe
+    assert monotone_prefixes_ok(system)
+
+
+def test_replica_partitioned_for_10k_views_rejoins():
+    """The acceptance scenario: out for >= 10k views, rejoins by transfer."""
+    system = ConsensusSystem(
+        small_config("damysus", checkpoint_interval=50, block_size=1)
+    )
+    system.start()
+    system.run_until_views(5, max_time_ms=600_000)
+    victim = system.replicas[-1].pid
+    views_before = len(system.monitor.committed_views())
+    system.crash_replicas([victim])
+    system.run_until_views(views_before + 10_000, max_time_ms=50_000_000)
+    assert len(system.monitor.committed_views()) >= views_before + 10_000
+    system.recover_replicas([victim])
+    system.run_until_views(
+        len(system.monitor.committed_views()) + 60, max_time_ms=60_000_000
+    )
+
+    recovered = system.replicas[victim]
+    assert recovered.caught_up_via_checkpoint
+    # It rejoined by transfer, not by replaying 10k blocks: the locally
+    # retained log is a small suffix above the installed checkpoint.
+    assert recovered.ledger.base_height >= 10_000 - 100
+    assert len(recovered.ledger.executed) < 500
+    assert recovered.ledger.state_root == canonical_root_at(
+        system, recovered.ledger.height()
+    )
+    assert recovered.view_lag() <= system.config.catchup_view_gap
+    assert system.oracle.safe
+    assert monotone_prefixes_ok(system)
+
+
+def test_catchup_requester_backs_off_and_gives_up():
+    system = ConsensusSystem(
+        small_config(
+            "damysus",
+            checkpoint_interval=5,
+            catchup_timeout_ms=100.0,
+            catchup_max_retries=4,
+        )
+    )
+    system.start()
+    system.run_until_views(3, max_time_ms=600_000)
+    lagger = system.replicas[0]
+    # Cut the lagger off and ask it to catch up: nobody answers, so the
+    # requester retries with growing (seeded-jittered) timeouts and then
+    # gives up at the cap.
+    others = [r.pid for r in system.replicas if r.pid != lagger.pid]
+    system.crash_replicas(others)
+    lagger.catchup.start()
+    assert lagger.catchup.active
+    system.sim.run(until=system.sim.now + 60_000.0)
+    assert lagger.catchup.gave_up
+    assert not lagger.catchup.active
+    assert lagger.catchup.retries == system.config.catchup_max_retries
+
+
+def test_forged_sync_checkpoint_is_dropped():
+    from dataclasses import replace
+
+    system = ConsensusSystem(
+        small_config("damysus", checkpoint_interval=5, block_size=1)
+    )
+    system.start()
+    system.run_until_views(40, max_time_ms=600_000)
+    donor = system.replicas[0]
+    target = system.replicas[1]
+    ckpt = donor.latest_checkpoint
+    assert ckpt is not None
+    forged = replace(ckpt, height=ckpt.height + 1_000)
+    with pytest.raises(TEERefusal):
+        verify_checkpoint(forged, target.scheme, target.directory, target.quorum)
+    # The replica-side handler swallows the refusal and keeps its state.
+    target.catchup.active = True
+    height_before = target.ledger.height()
+    from repro.protocols.sync import SyncCheckpoint
+
+    target._handle_sync_checkpoint(donor.pid, SyncCheckpoint(forged))
+    assert target.ledger.height() == height_before
+    assert not target.caught_up_via_checkpoint

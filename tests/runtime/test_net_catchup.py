@@ -1,0 +1,105 @@
+"""Socket-runtime catch-up: late starters rejoin via checkpoint transfer.
+
+Real loopback TCP clusters (same machinery as ``test_asyncio_net``), with
+one replica held back at start so the rest of the cluster commits and
+compacts far past it - replaying from genesis is then impossible and the
+late starter can only rejoin through a peer's certified checkpoint.  The
+rolling state roots reported by the runtime are cross-checked pairwise
+and against the simulator, closing the cross-runtime digest loop.
+"""
+
+import asyncio
+
+from repro.config import SystemConfig
+from repro.core.executor import fold_state_root
+from repro.runtime.asyncio_net import run_local_cluster
+from repro.runtime.sim import ConsensusSystem
+
+
+def root_at(report, pid, height):
+    """Recompute ``pid``'s rolling root at a retained height, else None."""
+    base = report.base_heights[pid]
+    if height < base or height > report.heights[pid]:
+        return None
+    root = bytes.fromhex(report.base_roots[pid])
+    for block_hash in report.chains[pid][: height - base]:
+        root = fold_state_root(root, bytes.fromhex(block_hash))
+    return root.hex()
+
+
+def test_late_starter_rejoins_via_checkpoint_on_sockets():
+    report = asyncio.run(
+        run_local_cluster(
+            "damysus",
+            4,
+            seed=9,
+            block_size=4,
+            checkpoint_interval=5,
+            start_delay_s={3: 2.0},
+            duration_s=90.0,
+            target_blocks=40,
+        )
+    )
+    # The cluster only stops once *every* replica - the late starter
+    # included - reaches the target height.
+    assert min(report.heights.values()) >= 40
+    # It got there by installing a certified checkpoint, not by replay:
+    # the survivors compacted the genesis prefix long before it started.
+    assert 3 in report.caught_up_pids
+    assert report.base_heights[3] > 0
+    assert len(report.chains[3]) < report.heights[3]
+    # Digest equivalence at every mutually retained height: any two
+    # replicas that can both recompute a root at some height agree on it
+    # bit-for-bit - including the late starter, whose root derives from
+    # the transferred checkpoint rather than local execution.
+    checked = []
+    pids = sorted(report.heights)
+    for i, pid in enumerate(pids):
+        for other in pids[i + 1 :]:
+            height = min(report.heights[pid], report.heights[other])
+            a, b = root_at(report, pid, height), root_at(report, other, height)
+            if a is not None and b is not None:
+                assert a == b, f"state roots diverge at height {height}"
+                checked.append((pid, other))
+    assert any(3 in pair for pair in checked)
+
+
+def test_cross_runtime_checkpoint_digest_equivalence():
+    """Simulator and socket runtime certify identical rolling roots.
+
+    Same seed and sizing on both runtimes commits the same block chain
+    (pinned by ``test_cross_runtime_equivalence_same_block_hashes``);
+    with checkpointing on, the rolling roots are folds of that chain, so
+    any height both runtimes still retain must carry the same root.
+    """
+    # The sim side keeps the full log (no compaction) and runs well past
+    # the net frontier, so it can recompute the root at *any* height the
+    # net side reports - including the certified compaction horizon.
+    config = SystemConfig(
+        protocol="damysus", f=1, payload_bytes=64, block_size=8, seed=7
+    )
+    system = ConsensusSystem(config)
+    system.run_until_views(20, max_time_ms=240_000)
+    sim_ledger = system.replicas[0].ledger
+
+    report = asyncio.run(
+        run_local_cluster(
+            "damysus",
+            system.num_replicas,
+            seed=7,
+            payload_bytes=64,
+            block_size=8,
+            checkpoint_interval=4,
+            duration_s=30.0,
+            target_blocks=6,
+        )
+    )
+    assert report.base_heights[0] > 0  # the net side really checkpointed
+    assert sim_ledger.height() >= report.heights[0]
+    # The certified horizon root and the tip root both match the sim's
+    # full-log fold bit-for-bit.
+    for h in (report.base_heights[0], report.heights[0]):
+        sim_root = sim_ledger.state_root_at(h)
+        net_root = root_at(report, 0, h)
+        assert sim_root is not None and net_root is not None
+        assert sim_root.hex() == net_root

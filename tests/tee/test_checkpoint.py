@@ -1,0 +1,141 @@
+"""Tests for Checker-certified checkpoints (TEEcheckpoint + verification)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.block import genesis_block
+from repro.core.commitment import c_combine
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import KeyDirectory
+from repro.errors import TEERefusal
+from repro.tee.checker import Checker
+from repro.tee.checkpoint import verify_checkpoint
+from repro.tee.sealed import SealManager
+
+QUORUM = 2  # f = 1 over 2f+1 = 3 replicas
+
+BLOCK_HASH = b"\x0b" * 32
+STATE_ROOT = b"\x0c" * 32
+
+
+@pytest.fixture
+def env():
+    scheme = HmacScheme(secret=b"checkpoint-tests")
+    directory = KeyDirectory(scheme)
+    genesis = genesis_block()
+    checkers = [
+        Checker(pid, scheme, directory, genesis.hash, QUORUM) for pid in range(3)
+    ]
+    return scheme, directory, checkers
+
+
+def decide_qc(env, view=1, block_hash=BLOCK_HASH):
+    """Drive two checkers to a decide certificate (quorum PRECOMMIT)."""
+    from repro.core.phases import Phase
+    from repro.tee.accumulator import AccumulatorService
+
+    scheme, directory, checkers = env
+    accs = AccumulatorService(0, scheme, directory, QUORUM)
+
+    def catch_up(checker):
+        while True:
+            phi = checker.tee_sign()
+            if phi.v_prep == view and phi.phase == Phase.NEW_VIEW:
+                return phi
+
+    nv0 = catch_up(checkers[0])
+    nv1 = catch_up(checkers[1])
+    acc = accs.accumulate([nv0, nv1])
+    phi0 = checkers[0].tee_prepare(block_hash, acc)
+    phi1 = checkers[1].tee_prepare(block_hash, acc)
+    combined = c_combine([phi0, phi1])
+    pcom0 = checkers[0].tee_store(combined)
+    pcom1 = checkers[1].tee_store(combined)
+    return c_combine([pcom0, pcom1])
+
+
+def test_tee_checkpoint_certifies_and_verifies(env):
+    scheme, directory, checkers = env
+    qc = decide_qc(env)
+    ckpt = checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, qc)
+    assert ckpt.replica == 0
+    assert ckpt.counter == 1
+    assert ckpt.height == 10
+    assert ckpt.view == qc.v_prep
+    assert ckpt.block_hash == BLOCK_HASH
+    assert ckpt.state_root == STATE_ROOT
+    assert checkers[0].checkpoint_height == 10
+    assert checkers[0].checkpoint_counter == 1
+    # Any replica can verify it against the public directory.
+    verify_checkpoint(ckpt, scheme, directory, QUORUM)
+
+
+def test_tee_checkpoint_counter_is_monotonic(env):
+    _, _, checkers = env
+    qc = decide_qc(env)
+    checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, qc)
+    # Same or lower height: refused, the monotonic height never rewinds.
+    with pytest.raises(TEERefusal):
+        checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, qc)
+    with pytest.raises(TEERefusal):
+        checkers[0].tee_checkpoint(3, BLOCK_HASH, STATE_ROOT, qc)
+    ckpt = checkers[0].tee_checkpoint(20, BLOCK_HASH, STATE_ROOT, qc)
+    assert ckpt.counter == 2
+    assert checkers[0].checkpoint_height == 20
+
+
+def test_tee_checkpoint_refuses_foreign_qc(env):
+    _, _, checkers = env
+    qc = decide_qc(env)
+    # QC decides a different block than the one being checkpointed.
+    with pytest.raises(TEERefusal):
+        checkers[0].tee_checkpoint(10, b"\x0d" * 32, STATE_ROOT, qc)
+    # Sub-quorum certificate: a single pre-commit vote is not a decide.
+    single = replace(qc, sigs=qc.sigs[:1])
+    with pytest.raises(TEERefusal):
+        checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, single)
+
+
+def test_verify_checkpoint_rejects_tampering(env):
+    scheme, directory, checkers = env
+    qc = decide_qc(env)
+    ckpt = checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, qc)
+    # Height inflated: the Checker signature no longer covers the payload.
+    with pytest.raises(TEERefusal):
+        verify_checkpoint(replace(ckpt, height=50), scheme, directory, QUORUM)
+    # State root swapped: same.
+    with pytest.raises(TEERefusal):
+        verify_checkpoint(
+            replace(ckpt, state_root=b"\x0e" * 32), scheme, directory, QUORUM
+        )
+    # Signature transplanted from another (authentic) checkpoint.
+    other = checkers[0].tee_checkpoint(20, BLOCK_HASH, STATE_ROOT, qc)
+    with pytest.raises(TEERefusal):
+        verify_checkpoint(
+            replace(ckpt, signature=other.signature), scheme, directory, QUORUM
+        )
+
+
+def test_verify_checkpoint_rejects_stripped_quorum(env):
+    scheme, directory, checkers = env
+    qc = decide_qc(env)
+    ckpt = checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, qc)
+    thinned = replace(ckpt, qc=replace(qc, sigs=qc.sigs[:1]))
+    with pytest.raises(TEERefusal):
+        verify_checkpoint(thinned, scheme, directory, QUORUM)
+
+
+def test_checkpoint_state_survives_seal_roundtrip(env):
+    scheme, directory, checkers = env
+    qc = decide_qc(env)
+    checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, qc)
+    manager = SealManager()
+    sealed = manager.seal(checkers[0])
+    fresh = Checker(0, scheme, directory, genesis_block().hash, QUORUM)
+    manager.unseal_into(fresh, sealed)
+    assert fresh.checkpoint_counter == 1
+    assert fresh.checkpoint_height == 10
+    # The restored monotonic floor still refuses stale heights.
+    with pytest.raises(TEERefusal):
+        fresh.tee_checkpoint(5, BLOCK_HASH, STATE_ROOT, qc)
