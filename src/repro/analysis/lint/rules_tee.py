@@ -45,6 +45,10 @@ _TRUSTED_PRIVATE = {
     "_step",
     "_lockv",
     "_lockh",
+    "_ckpt_counter",
+    "_ckpt_height",
+    "_ckpt_hash",
+    "_ckpt_root",
     "_seal_fields",
     "_restore_seal_fields",
     "_create_unique_sign",

@@ -571,6 +571,7 @@ def _dec_sync_checkpoint(dec: Decoder) -> Any:
 def _enc_sync_blocks(enc: Encoder, msg: Any) -> None:
     enc.i64(msg.start_height)
     enc.u8(1 if msg.done else 0)
+    enc.opt(msg.tip_qc, lambda qc: _enc_commitment(enc, qc))
     enc.u32(len(msg.blocks))
     for block in msg.blocks:
         _enc_block(enc, block)
@@ -581,8 +582,9 @@ def _dec_sync_blocks(dec: Decoder) -> Any:
 
     start_height = dec.i64()
     done = bool(dec.u8())
+    tip_qc = dec.opt(lambda: _dec_commitment(dec))
     blocks = tuple(_dec_block(dec) for _ in range(dec.u32()))
-    return SyncBlocks(start_height, blocks, done)
+    return SyncBlocks(start_height, blocks, done, tip_qc)
 
 
 def _registry() -> list[tuple[type[Any], Callable[..., None], Callable[..., Any]]]:

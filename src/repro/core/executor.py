@@ -60,6 +60,13 @@ class SafetyOracle:
         self._canonical: list[Hash] = []
         self.sequences: dict[int, list[Hash]] = {}
         self._offsets: dict[int, int] = {}
+        #: Executions observed beyond the canonical frontier (a replica
+        #: that fast-forwarded via checkpoint runs ahead of everything
+        #: recorded so far).  They are cross-checked against each other
+        #: immediately and spliced into the canonical chain as the
+        #: frontier catches up, so strict-mode detection stays live for
+        #: checkpointed replicas instead of waiting for a post-run sweep.
+        self._ahead: dict[int, Hash] = {}
         self.violations: list[Violation] = []
 
     def record(self, replica: int, block_hash: Hash) -> None:
@@ -67,34 +74,60 @@ class SafetyOracle:
         seq = self.sequences.setdefault(replica, [])
         index = self._offsets.get(replica, 0) + len(seq)
         seq.append(block_hash)
+        self._observe(replica, index, block_hash)
+
+    def _observe(self, replica: int, index: int, block_hash: Hash) -> None:
+        """Cross-check one executed position against everything seen."""
         if index < len(self._canonical):
             if self._canonical[index] != block_hash:
-                violation = Violation(index, replica, block_hash, self._canonical[index])
-                self.violations.append(violation)
-                if self.strict:
-                    raise SafetyViolation(violation.describe())
-        elif index == len(self._canonical):
+                self._flag(index, replica, block_hash, self._canonical[index])
+            return
+        if index > len(self._canonical):
+            held = self._ahead.get(index)
+            if held is None:
+                self._ahead[index] = block_hash
+            elif held != block_hash:
+                self._flag(index, replica, block_hash, held)
+            return
+        # index is exactly the frontier: a buffered ahead-record for this
+        # position was observed first, so it is the canonical claim.
+        held = self._ahead.pop(index, None)
+        if held is not None and held != block_hash:
+            self._canonical.append(held)
+            self._flag(index, replica, block_hash, held)
+        else:
             self._canonical.append(block_hash)
-        # index beyond the canonical frontier (a checkpoint installed past
-        # everything observed so far) cannot be cross-checked yet; the
-        # prefix check in :meth:`offset_of` consumers still applies once
-        # the canonical chain catches up.
+        while (buffered := self._ahead.pop(len(self._canonical), None)) is not None:
+            self._canonical.append(buffered)
+
+    def _flag(self, index: int, replica: int, block_hash: Hash, canonical: Hash) -> None:
+        violation = Violation(index, replica, block_hash, canonical)
+        self.violations.append(violation)
+        if self.strict:
+            raise SafetyViolation(violation.describe())
 
     def install_checkpoint(self, replica: int, height: int, block_hash: Hash) -> None:
         """``replica`` fast-forwarded to ``height`` via a certified checkpoint.
 
         The replica's subsequent executions are indexed from ``height``;
         the checkpointed block itself is cross-checked against the
-        canonical chain when that position is already known.
+        canonical chain (or buffered for the position, when the chain has
+        not reached it yet).
         """
         self._offsets[replica] = height
         self.sequences[replica] = []
         index = height - 1
-        if 0 <= index < len(self._canonical) and self._canonical[index] != block_hash:
-            violation = Violation(index, replica, block_hash, self._canonical[index])
-            self.violations.append(violation)
-            if self.strict:
-                raise SafetyViolation(violation.describe())
+        if index < 0:
+            return
+        if index < len(self._canonical):
+            if self._canonical[index] != block_hash:
+                self._flag(index, replica, block_hash, self._canonical[index])
+            return
+        held = self._ahead.get(index)
+        if held is None:
+            self._ahead[index] = block_hash
+        elif held != block_hash:
+            self._flag(index, replica, block_hash, held)
 
     def offset_of(self, replica: int) -> int:
         """Canonical index of ``replica``'s first recorded execution."""

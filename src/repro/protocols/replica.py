@@ -29,7 +29,7 @@ from repro.protocols.pacemaker import Pacemaker, round_robin_leader
 from repro.protocols.sync import CatchUpClient, SyncBlocks, SyncCheckpoint, SyncRequest
 from repro.runtime.effects import Commit
 from repro.runtime.machine import Machine
-from repro.tee.checkpoint import Checkpoint, verify_checkpoint
+from repro.tee.checkpoint import Checkpoint, verify_checkpoint, verify_decide_qc
 from repro.tee.sealed import SealedState, SealManager
 
 #: Cap on buffered future-view messages per replica (Byzantine flood guard).
@@ -174,8 +174,21 @@ class BaseReplica(Machine):
         self.last_committed_view = 0
         self.catchup = CatchUpClient(self)
         self._last_commit_qc: Commitment | None = None
+        # Highest view this replica trusts the cluster to have reached:
+        # its own view, or a view at least f+1 distinct peers have sent
+        # traffic for (one of them must be honest) - a single Byzantine
+        # peer claiming an absurd view must not drive behind-detection.
         self._highest_view_seen = 0
+        self._peer_view_claims: dict[int, int] = {}
         self._sync_served_at: dict[int, float] = {}
+        # Server side of chunked transfers: next start height expected
+        # from each requester mid-transfer (continuations bypass the
+        # per-sender rate limit so multi-chunk transfers never stall).
+        self._sync_cursor: dict[int, int] = {}
+        # Requester side: verified-but-unexecuted suffix blocks, held
+        # until the final chunk's tip commitment proves the whole suffix
+        # was actually decided by a quorum.
+        self._sync_buffer: list[Block] = []
 
     # -- leader schedule -------------------------------------------------------
 
@@ -257,6 +270,9 @@ class BaseReplica(Machine):
         self._pending_exec.clear()
         self._requested_blocks.clear()
         self._sync_served_at.clear()
+        self._sync_cursor.clear()
+        self._sync_buffer.clear()
+        self._peer_view_claims.clear()
         self._last_commit_qc = None
         self.catchup.reset()
         self.reset_protocol_state()
@@ -342,13 +358,36 @@ class BaseReplica(Machine):
         raise NotImplementedError
 
     def _buffer(self, view: int, sender: int, payload: Any) -> None:
-        if view > self._highest_view_seen:
-            self._highest_view_seen = view
+        self._note_view_claim(sender, view)
         self._note_possible_lag()
         if self._buffered_count >= MAX_BUFFERED_MESSAGES:
             return
         self._buffered.setdefault(view, []).append((sender, payload))
         self._buffered_count += 1
+
+    def _note_view_claim(self, sender: int, view: int) -> None:
+        """Track an *unauthenticated* future-view claim from ``sender``.
+
+        A buffered message's view field costs nothing to fake, so a
+        single peer must never move :attr:`_highest_view_seen` (and with
+        it behind-detection and the health reports).  The watermark only
+        advances to a view that f+1 distinct senders - at least one of
+        them honest - have claimed, i.e. the (f+1)-th largest per-sender
+        claim.
+        """
+        if sender == self.pid or sender not in self.replica_pids:
+            # Own traffic is not a claim; non-replica senders never are.
+            return
+        if view <= self._peer_view_claims.get(sender, 0):
+            return
+        self._peer_view_claims[sender] = view
+        corroborators = self.num_replicas - self.quorum + 1  # f + 1
+        claims = sorted(self._peer_view_claims.values(), reverse=True)
+        if len(claims) < corroborators:
+            return
+        corroborated = claims[corroborators - 1]
+        if corroborated > self._highest_view_seen:
+            self._highest_view_seen = corroborated
 
     def view_lag(self) -> int:
         """Views between this replica and the highest view it has heard of."""
@@ -474,10 +513,13 @@ class BaseReplica(Machine):
     def _maybe_checkpoint(self) -> None:
         """Certify a checkpoint every ``checkpoint_interval`` commits.
 
-        The Checker signs (and monotonically stamps) the executed height,
-        state root and decide QC; the executed-block log below the new
-        horizon is then garbage-collected - catch-up peers get the
-        certificate instead of a replay.
+        The host hands the Checker the hash-chained headers of every
+        block executed since the last certified checkpoint plus the tip's
+        decide QC; the Checker derives the height and folds the state
+        root *inside* the TEE, signs, and monotonically stamps the
+        result.  The executed-block log below the new horizon is then
+        garbage-collected - catch-up peers get the certificate instead
+        of a replay.
         """
         interval = self.config.checkpoint_interval
         if interval <= 0 or self.checker is None:
@@ -485,33 +527,41 @@ class BaseReplica(Machine):
         qc = self._last_commit_qc
         if qc is None or qc.h_prep != self.ledger.last_executed_hash:
             return
-        height = self.ledger.height()
-        certified = self.latest_checkpoint.height if self.latest_checkpoint else 0
-        if height - certified < interval:
+        certified = self.checker.checkpoint_height
+        if self.ledger.height() - certified < interval:
             return
+        suffix = self.ledger.executed_since(certified)
+        if not suffix:
+            return
+        headers = tuple((block.hash, block.parent_hash) for block in suffix)
         self.charge_tee(signs=1, verifies=self.quorum)
         try:
-            checkpoint = self.checker.tee_checkpoint(
-                height, qc.h_prep, self.ledger.state_root, qc
-            )
+            checkpoint = self.checker.tee_checkpoint(headers, qc)
         except TEERefusal:
             return
         self.latest_checkpoint = checkpoint
-        self.ledger.compact(height)
+        self.ledger.compact(checkpoint.height)
 
     def _handle_sync_request(self, sender: int, msg: SyncRequest) -> None:
         """Serve a lagging peer: checkpoint first, then a bounded chunk.
 
-        Requests are rate-limited per sender so a Byzantine (or merely
-        broken) peer cannot turn state transfer into an amplification
-        attack on an honest replica.
+        New transfer sessions are rate-limited per sender so a Byzantine
+        (or merely broken) peer cannot turn state transfer into an
+        amplification attack on an honest replica.  Continuations of an
+        in-progress chunked transfer (the requester asking for the chunk
+        after the one just served) are exempt - otherwise every round
+        trip faster than the rate window would stall the transfer into
+        timeout-paced retries.
         """
         if self.config.checkpoint_interval <= 0 or sender == self.pid:
             return
-        last = self._sync_served_at.get(sender)
-        if last is not None and self.now - last < self.config.sync_min_interval_ms:
-            return
-        self._sync_served_at[sender] = self.now
+        continuation = self._sync_cursor.get(sender) == msg.have_height
+        if not continuation:
+            last = self._sync_served_at.get(sender)
+            if last is not None and self.now - last < self.config.sync_min_interval_ms:
+                return
+            self._sync_served_at[sender] = self.now
+        self._sync_cursor.pop(sender, None)
         start_height = msg.have_height
         checkpoint = self.latest_checkpoint
         if checkpoint is not None and checkpoint.height > start_height:
@@ -520,15 +570,36 @@ class BaseReplica(Machine):
         suffix = self.ledger.executed_since(start_height)
         if suffix is None:
             return  # prefix compacted away and no newer checkpoint to offer
+        qc = self._last_commit_qc
+        if suffix and (qc is None or qc.h_prep != suffix[-1].hash):
+            # Without a decide certificate for the tip the receiver could
+            # not verify the suffix; serve the certified horizon only.
+            suffix = []
         chunk = suffix[: self.config.sync_chunk_blocks]
+        done = len(chunk) == len(suffix)
         self.send_charged(
             sender,
-            SyncBlocks(start_height, tuple(chunk), done=len(chunk) == len(suffix)),
+            SyncBlocks(
+                start_height,
+                tuple(chunk),
+                done=done,
+                tip_qc=qc if done and chunk else None,
+            ),
         )
+        if not done:
+            self._sync_cursor[sender] = start_height + len(chunk)
+
+    def drop_sync_session(self) -> None:
+        """Discard any partially transferred (unexecuted) suffix."""
+        self._sync_buffer.clear()
+
+    def sync_have_height(self) -> int:
+        """Height this replica holds counting buffered transfer blocks."""
+        return self.ledger.height() + len(self._sync_buffer)
 
     def _handle_sync_checkpoint(self, sender: int, msg: SyncCheckpoint) -> None:
-        if not self.catchup.active:
-            return
+        if not self.catchup.active or sender != self.catchup.peer:
+            return  # unsolicited: only the peer being synced from may reply
         checkpoint = msg.checkpoint
         if checkpoint.height <= self.ledger.height():
             return  # stale: we already hold at least this much state
@@ -541,6 +612,15 @@ class BaseReplica(Machine):
 
     def _install_checkpoint(self, checkpoint: Checkpoint) -> None:
         """Adopt a verified checkpoint: fast-forward ledger and view."""
+        if self.checker is not None:
+            # The trusted component re-verifies and adopts the certified
+            # tip, so the monotonic floor also covers installed state (a
+            # stale checkpoint can never rewind it).
+            self.charge_tee(signs=0, verifies=self.quorum + 1)
+            try:
+                self.checker.tee_install_checkpoint(checkpoint)
+            except TEERefusal:
+                return
         self.ledger.install_checkpoint(
             checkpoint.height, checkpoint.block_hash, checkpoint.state_root
         )
@@ -549,31 +629,67 @@ class BaseReplica(Machine):
         self.last_committed_view = max(self.last_committed_view, checkpoint.view)
         self._pending_exec.clear()
         self._requested_blocks.clear()
+        self._sync_buffer.clear()  # any buffered suffix predates the install
         self.catchup.note_progress()
         self.advance_view(max(self.view, checkpoint.view + 1))
 
     def _handle_sync_blocks(self, sender: int, msg: SyncBlocks) -> None:
-        if not self.catchup.active:
-            return
-        if msg.start_height != self.ledger.height():
+        """Buffer a transfer chunk; execute once the tip QC verifies.
+
+        Nothing a peer sends here is taken on faith: the suffix must
+        hash-chain from trusted state (the last executed block or an
+        installed certified checkpoint), and it is executed only when the
+        final chunk carries a verified decide-phase quorum commitment for
+        the suffix tip - which transitively certifies every chained block
+        below it.  A forged suffix therefore never reaches execution.
+        """
+        if not self.catchup.active or sender != self.catchup.peer:
+            return  # unsolicited: only the peer being synced from may reply
+        if msg.start_height != self.sync_have_height():
             return  # out-of-order chunk; the retry timer re-requests
-        applied: Block | None = None
+        prev_hash = (
+            self._sync_buffer[-1].hash
+            if self._sync_buffer
+            else self.ledger.last_executed_hash
+        )
         for block in msg.blocks:
-            if block.parent_hash != self.ledger.last_executed_hash:
+            if block.parent_hash != prev_hash:
+                self.drop_sync_session()
                 return  # broken suffix: drop it, retry against another peer
+            self._sync_buffer.append(block)
+            prev_hash = block.hash
+        if not msg.done:
+            self.catchup.note_progress()
+            self.catchup.request_next(sender)
+            return
+        if self._sync_buffer:
+            self.charge_verify(self.quorum)
+            try:
+                if msg.tip_qc is None:
+                    raise TEERefusal("sync: final chunk carries no tip certificate")
+                verify_decide_qc(
+                    msg.tip_qc,
+                    self._sync_buffer[-1].hash,
+                    self.scheme,
+                    self.directory,
+                    self.quorum,
+                )
+            except TEERefusal:
+                self.drop_sync_session()
+                return  # uncertified suffix: drop it, the retry rotates peers
+            self.note_commit_qc(msg.tip_qc)
+        applied: Block | None = None
+        for block in self._sync_buffer:
             self.store.add(block)
             self.ledger.apply_synced(block, self.now)
             self._emit(Commit(block, block.view))
             applied = block
+        self._sync_buffer.clear()
         if applied is not None:
             self.last_committed_view = max(self.last_committed_view, applied.view)
-        if msg.done:
-            self.catchup.finish()
-            if applied is not None:
-                self.advance_view(max(self.view, applied.view + 1))
-        else:
-            self.catchup.note_progress()
-            self.catchup.request_next(sender)
+        self.catchup.finish()
+        if applied is not None:
+            self.advance_view(max(self.view, applied.view + 1))
 
     # -- block synchronization -------------------------------------------------
 

@@ -8,8 +8,16 @@ below the checkpoint horizon.  Instead it runs the catch-up protocol:
 2. :class:`SyncCheckpoint` - the peer's latest Checker-certified
    checkpoint, sent when it is ahead of the requester's height.
 3. :class:`SyncBlocks` - a bounded chunk of executed blocks above the
-   requester's (post-checkpoint) height; ``done`` marks the last chunk,
+   requester's (post-checkpoint) height; ``done`` marks the last chunk
+   and carries the decide-phase quorum commitment for the suffix tip,
    otherwise the requester immediately asks the same peer for more.
+
+The requester trusts nothing it is handed: checkpoints are verified
+against the certifying Checker signature, and a block suffix is buffered
+until the final chunk, then executed only once the tip commitment
+verifies - the hash chain from a verified starting point plus a quorum
+certificate on the tip transitively covers every block in between.
+Replies are only accepted from the peer currently being synced from.
 
 The requester side lives in :class:`CatchUpClient`: seeded exponential
 backoff with jitter (the sans-I/O sibling of the reconnect backoff in
@@ -24,6 +32,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.block import Block
+from repro.core.commitment import Commitment
 from repro.core.messages import MSG_HEADER_BYTES
 from repro.core.rng import RngStream
 from repro.tee.checkpoint import Checkpoint
@@ -68,11 +77,17 @@ class SyncCheckpoint:
 
 @dataclass(frozen=True, slots=True)
 class SyncBlocks:
-    """One chunk of executed blocks starting just above ``start_height``."""
+    """One chunk of executed blocks starting just above ``start_height``.
+
+    The final chunk (``done``) carries ``tip_qc``, the decide-phase
+    quorum commitment for the last block of the whole suffix; without a
+    verifiable tip certificate the receiver executes nothing.
+    """
 
     start_height: int
     blocks: tuple[Block, ...]
     done: bool
+    tip_qc: Commitment | None = None
 
     msg_type = "sync-blocks"
 
@@ -81,7 +96,10 @@ class SyncBlocks:
         return None
 
     def wire_size(self) -> int:
-        return MSG_HEADER_BYTES + 4 + 1 + sum(b.wire_size() for b in self.blocks)
+        size = MSG_HEADER_BYTES + 4 + 1 + sum(b.wire_size() for b in self.blocks)
+        if self.tip_qc is not None:
+            size += self.tip_qc.wire_size()
+        return size
 
 
 class CatchUpClient:
@@ -102,6 +120,10 @@ class CatchUpClient:
         self.gave_up = False
         self.retries = 0
         self.completed = 0
+        #: The peer currently being synced from; sync replies from any
+        #: other sender are ignored (a Byzantine peer must not be able to
+        #: inject state transfer traffic it was never asked for).
+        self.peer: int | None = None
         self._attempts = 0
         self._timeout_ms = machine.config.catchup_timeout_ms
         self._timer: "MachineTimer | None" = None
@@ -129,12 +151,14 @@ class CatchUpClient:
         if self.active:
             self.completed += 1
         self.active = False
+        self.peer = None
         self._cancel_timer()
 
     def reset(self) -> None:
         """Crash path: drop all volatile catch-up state."""
         self.active = False
         self.gave_up = False
+        self.peer = None
         self._attempts = 0
         self._timeout_ms = self.machine.config.catchup_timeout_ms
         self._cancel_timer()
@@ -150,11 +174,18 @@ class CatchUpClient:
         self._arm_timer()
 
     def request_next(self, peer: int) -> None:
-        """Continue a chunked transfer from the peer that just served us."""
+        """Continue a chunked transfer from the peer that just served us.
+
+        The requested height counts the verified-but-unexecuted blocks
+        buffered for this transfer, so each continuation asks for the
+        chunk after the one just received.
+        """
         if not self.active:
             return
         machine = self.machine
-        machine.send_charged(peer, SyncRequest(machine.ledger.height(), machine.view))
+        machine.send_charged(
+            peer, SyncRequest(machine.sync_have_height(), machine.view)
+        )
         self._arm_timer()
 
     # -- internals ----------------------------------------------------------
@@ -164,9 +195,11 @@ class CatchUpClient:
 
     def _send_request(self) -> None:
         machine = self.machine
+        machine.drop_sync_session()  # a new peer restarts the transfer
         peers = self._peers()
         peer = peers[self._peer_cursor % len(peers)]
         self._peer_cursor += 1
+        self.peer = peer
         machine.send_charged(peer, SyncRequest(machine.ledger.height(), machine.view))
         self._arm_timer()
 
@@ -188,6 +221,8 @@ class CatchUpClient:
         if self._attempts >= self.machine.config.catchup_max_retries:
             self.active = False
             self.gave_up = True
+            self.peer = None
+            self.machine.drop_sync_session()
             return
         self._timeout_ms = min(
             self._timeout_ms * self.machine.config.catchup_backoff,

@@ -94,6 +94,11 @@ class DurableSealer:
                 f"durable checkpoint rolled back (height {checkpoint.height} < "
                 f"certified {replica.checker.checkpoint_height})"
             )
+        if checkpoint.height > replica.checker.checkpoint_height:
+            # A durable checkpoint newer than the sealed floor (e.g. the
+            # seal predates it): the checker re-verifies and adopts the
+            # certified tip so future certifications chain from it.
+            replica.checker.tee_install_checkpoint(checkpoint)
         if checkpoint.height > replica.ledger.height():
             replica.ledger.install_checkpoint(
                 checkpoint.height, checkpoint.block_hash, checkpoint.state_root

@@ -22,9 +22,10 @@ from repro.errors import TEERefusal
 from repro.core.block import Block
 from repro.core.certificate import Accumulator, QuorumCert
 from repro.core.commitment import Commitment, commitment_payload
+from repro.core.executor import fold_state_root
 from repro.core.phases import Phase, Step, StepRule, initial_step
 from repro.tee.base import TrustedComponent
-from repro.tee.checkpoint import Checkpoint, checkpoint_payload
+from repro.tee.checkpoint import Checkpoint, checkpoint_payload, verify_checkpoint
 
 
 class Checker(TrustedComponent):
@@ -46,6 +47,12 @@ class Checker(TrustedComponent):
         self._step = initial_step(self.step_rule)
         self._ckpt_counter = 0
         self._ckpt_height = 0
+        # Certified executed-chain tip: the hash of the last checkpointed
+        # block and the state root folded *inside* the TEE up to it.  A
+        # checkpoint's height and root are derived from these, never taken
+        # from the host.
+        self._ckpt_hash = genesis_hash
+        self._ckpt_root = genesis_hash
         self.quorum = quorum
 
     # -- read-only views for the host (duplicated outside the TEE, Fig 2a) ---
@@ -73,11 +80,22 @@ class Checker(TrustedComponent):
         """Highest executed-chain height this component has certified."""
         return self._ckpt_height
 
+    @property
+    def checkpoint_hash(self) -> Hash:
+        """Hash of the last certified checkpoint block (genesis initially)."""
+        return self._ckpt_hash
+
+    @property
+    def checkpoint_root(self) -> Hash:
+        """TEE-folded state root at the last certified height."""
+        return self._ckpt_root
+
     def storage_bytes(self) -> int:
         """Constant: a step counter plus one (view, hash) pair (Section 2:
         "arguably requires minimal storage")."""
-        # view+phase+prepv+preph plus the checkpoint counter and height
-        return super().storage_bytes() + 4 + 1 + 4 + 32 + 8 + 8
+        # view+phase+prepv+preph plus the checkpoint counter, height, and
+        # certified (tip hash, state root) pair
+        return super().storage_bytes() + 4 + 1 + 4 + 32 + 8 + 8 + 32 + 32
 
     # -- sealing (repro.tee.sealed) -------------------------------------------
 
@@ -94,11 +112,13 @@ class Checker(TrustedComponent):
             self._step.phase.value.encode(),
             str(self._ckpt_counter).encode(),
             str(self._ckpt_height).encode(),
+            self._ckpt_hash.hex().encode(),
+            self._ckpt_root.hex().encode(),
         ]
 
     #: Number of fields :meth:`_seal_fields` emits for the base checker;
     #: subclasses slice their own suffix relative to this.
-    BASE_SEAL_FIELDS = 6
+    BASE_SEAL_FIELDS = 8
 
     def _restore_seal_fields(self, fields: list[bytes]) -> None:
         """Restore protected state from an authenticated snapshot."""
@@ -107,6 +127,8 @@ class Checker(TrustedComponent):
         self._step = Step(int(fields[2]), Phase(fields[3].decode()))
         self._ckpt_counter = int(fields[4])
         self._ckpt_height = int(fields[5])
+        self._ckpt_hash = bytes.fromhex(fields[6].decode())
+        self._ckpt_root = bytes.fromhex(fields[7].decode())
 
     # -- internals ------------------------------------------------------------
 
@@ -193,43 +215,77 @@ class Checker(TrustedComponent):
         return self._create_unique_sign(phi.h_prep, None, None)
 
     def tee_checkpoint(
-        self, height: int, block_hash: Hash, state_root: Hash, qc: Commitment
+        self, headers: "tuple[tuple[Hash, Hash], ...]", qc: Commitment
     ) -> Checkpoint:
         """Certify an executed-chain checkpoint (state-transfer subsystem).
 
-        ``qc`` must be the decide-phase quorum commitment for
-        ``block_hash``: the checker re-verifies it inside the TEE, so a
-        certificate only ever exists for state the cluster actually
-        committed.  The internal checkpoint counter and height are
-        monotonic - certifying a height at or below the last certified
-        one is refused, so a Byzantine host cannot re-issue
-        fresh-looking certificates for stale state.
+        ``headers`` is the ``(block_hash, parent_hash)`` sequence of every
+        block executed since the last certified checkpoint, oldest first;
+        ``qc`` must be the decide-phase quorum commitment for the final
+        header.  The checker verifies the hash chain from its internally
+        stored certified tip and re-verifies the commitment inside the
+        TEE, then *derives* the new height and folds the state root
+        itself - the certificate never attests host-asserted values, so a
+        Byzantine host cannot splice a real decide QC onto a fabricated
+        height or root.  The internal checkpoint counter and height are
+        monotonic, so a host cannot re-issue fresh-looking certificates
+        for stale state either.
         """
         self._count_call()
-        if height <= self._ckpt_height:
-            raise TEERefusal(
-                f"TEEcheckpoint: stale height {height} "
-                f"(already certified {self._ckpt_height})"
-            )
-        if qc.h_prep != block_hash or qc.phase != Phase.PRECOMMIT:
-            raise TEERefusal("TEEcheckpoint: commitment does not decide this block")
+        if not headers:
+            raise TEERefusal("TEEcheckpoint: no executed blocks to certify")
+        tip = self._ckpt_hash
+        root = self._ckpt_root
+        for block_hash, parent_hash in headers:
+            if parent_hash != tip:
+                raise TEERefusal(
+                    "TEEcheckpoint: headers do not chain from the certified tip"
+                )
+            root = fold_state_root(root, block_hash)
+            tip = block_hash
+        height = self._ckpt_height + len(headers)
+        if qc.h_prep != tip or qc.phase != Phase.PRECOMMIT:
+            raise TEERefusal("TEEcheckpoint: commitment does not decide the tip block")
         if not self._verify_commitment(qc, expected_sigs=self.quorum):
             raise TEERefusal("TEEcheckpoint: invalid quorum commitment")
         self._ckpt_counter += 1
         self._ckpt_height = height
+        self._ckpt_hash = tip
+        self._ckpt_root = root
         payload = checkpoint_payload(
-            self.replica, self._ckpt_counter, height, qc.v_prep, block_hash, state_root, qc
+            self.replica, self._ckpt_counter, height, qc.v_prep, tip, root, qc
         )
         return Checkpoint(
             replica=self.replica,
             counter=self._ckpt_counter,
             height=height,
             view=qc.v_prep,
-            block_hash=block_hash,
-            state_root=state_root,
+            block_hash=tip,
+            state_root=root,
             qc=qc,
             signature=self._sign(payload),
         )
+
+    def tee_install_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Adopt another replica's certified checkpoint as the local tip.
+
+        Run during state-transfer catch-up: the checkpoint is fully
+        re-verified inside the TEE (certifying Checker signature plus the
+        embedded decide commitment) and must move the certified height
+        strictly forward, so neither a forged nor a stale checkpoint can
+        rewind the monotonic certified state.  Afterwards the checker's
+        own certifications chain from the installed tip.
+        """
+        self._count_call()
+        if checkpoint.height <= self._ckpt_height:
+            raise TEERefusal(
+                f"TEEinstall: stale checkpoint height {checkpoint.height} "
+                f"(already certified {self._ckpt_height})"
+            )
+        verify_checkpoint(checkpoint, self._scheme, self._directory, self.quorum)
+        self._ckpt_height = checkpoint.height
+        self._ckpt_hash = checkpoint.block_hash
+        self._ckpt_root = checkpoint.state_root
 
 
 class ChainedChecker(Checker):

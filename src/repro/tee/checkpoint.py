@@ -85,6 +85,30 @@ class Checkpoint:
         return 4 * 4 + 2 * HASH_SIZE + self.qc.wire_size() + SIGNATURE_WIRE_SIZE
 
 
+def verify_decide_qc(
+    qc: Commitment,
+    block_hash: Hash,
+    scheme: SignatureScheme,
+    directory: KeyDirectory,
+    quorum: int,
+) -> None:
+    """Validate a decide-phase quorum commitment for ``block_hash``.
+
+    The check every state-transfer artifact bottoms out in: the
+    commitment must be a full-quorum pre-commit certificate, signed
+    exclusively by trusted components, deciding exactly ``block_hash``.
+    Raises :class:`~repro.errors.TEERefusal` on any forgery or mismatch.
+    """
+    if qc.phase != Phase.PRECOMMIT or qc.h_prep != block_hash:
+        raise TEERefusal("decide qc: commitment does not decide this block")
+    if len(qc.sigs) != quorum:
+        raise TEERefusal("decide qc: wrong signature count for a quorum")
+    if any(directory.kind_of(s.signer) != "tee" for s in qc.sigs):
+        raise TEERefusal("decide qc: commitment carries untrusted signers")
+    if not qc.verify(scheme):
+        raise TEERefusal("decide qc: commitment does not verify")
+
+
 def verify_checkpoint(
     checkpoint: Checkpoint,
     scheme: SignatureScheme,
@@ -104,14 +128,8 @@ def verify_checkpoint(
         raise TEERefusal("checkpoint: certifying signer is not a trusted component")
     if not scheme.verify_cached(checkpoint.payload(), sig):
         raise TEERefusal("checkpoint: Checker signature does not verify")
-    qc = checkpoint.qc
-    if qc.phase != Phase.PRECOMMIT or qc.h_prep != checkpoint.block_hash:
-        raise TEERefusal("checkpoint: quorum commitment does not decide this block")
-    if qc.v_prep != checkpoint.view:
+    if checkpoint.qc.v_prep != checkpoint.view:
         raise TEERefusal("checkpoint: quorum commitment view mismatch")
-    if len(qc.sigs) != quorum:
-        raise TEERefusal("checkpoint: quorum commitment has wrong signature count")
-    if any(directory.kind_of(s.signer) != "tee" for s in qc.sigs):
-        raise TEERefusal("checkpoint: quorum commitment carries untrusted signers")
-    if not qc.verify(scheme):
-        raise TEERefusal("checkpoint: quorum commitment does not verify")
+    verify_decide_qc(
+        checkpoint.qc, checkpoint.block_hash, scheme, directory, quorum
+    )

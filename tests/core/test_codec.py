@@ -103,6 +103,7 @@ ALL_MESSAGES = [
     SyncCheckpoint(checkpoint()),
     SyncBlocks(40, (block(), block()), done=False),
     SyncBlocks(0, (), done=True),
+    SyncBlocks(40, (block(),), done=True, tip_qc=commitment()),
 ]
 
 

@@ -122,6 +122,42 @@ def test_oracle_detects_later_divergence():
     assert oracle.violations[0].index == 1
 
 
+def test_oracle_buffers_ahead_records_and_splices_them():
+    """A checkpointed replica runs ahead of the canonical frontier; its
+    executions are held and spliced in once the frontier catches up."""
+    oracle = SafetyOracle(strict=True)
+    oracle.install_checkpoint(1, 2, b"b")  # replica 1 fast-forwards past 2
+    oracle.record(1, b"c")  # index 2, beyond the (empty) canonical chain
+    assert oracle.canonical_chain() == []
+    oracle.record(0, b"a")  # frontier advances; buffered records splice in
+    assert oracle.canonical_chain() == [b"a", b"b", b"c"]
+    oracle.record(0, b"b")  # the slow replica agrees with the spliced run
+    oracle.record(0, b"c")
+    assert oracle.safe
+
+
+def test_oracle_detects_divergence_beyond_frontier():
+    """Two checkpointed replicas disagreeing above the frontier is caught
+    immediately, not silently dropped (strict mode stays live)."""
+    oracle = SafetyOracle(strict=True)
+    oracle.install_checkpoint(1, 2, b"b")
+    oracle.record(1, b"c")  # holds index 2 = c
+    with pytest.raises(SafetyViolation):
+        oracle.install_checkpoint(2, 3, b"x")  # claims index 2 = x
+
+
+def test_oracle_flags_late_replica_against_spliced_records():
+    oracle = SafetyOracle(strict=False)
+    oracle.install_checkpoint(1, 1, b"b")  # holds index 0 = b
+    oracle.record(0, b"a")  # a slow replica disagrees at the frontier
+    assert not oracle.safe
+    [violation] = oracle.violations
+    assert violation.index == 0
+    assert violation.replica == 0
+    # The first-observed (checkpointed) claim became canonical.
+    assert oracle.canonical_chain() == [b"b"]
+
+
 def test_ledger_reports_to_oracle():
     store = BlockStore()
     oracle = SafetyOracle()

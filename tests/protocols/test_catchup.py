@@ -148,9 +148,134 @@ def test_forged_sync_checkpoint_is_dropped():
         verify_checkpoint(forged, target.scheme, target.directory, target.quorum)
     # The replica-side handler swallows the refusal and keeps its state.
     target.catchup.active = True
+    target.catchup.peer = donor.pid
     height_before = target.ledger.height()
     from repro.protocols.sync import SyncCheckpoint
 
     target._handle_sync_checkpoint(donor.pid, SyncCheckpoint(forged))
     assert target.ledger.height() == height_before
     assert not target.caught_up_via_checkpoint
+
+
+def test_uncertified_sync_suffix_is_never_executed():
+    """A forged block suffix - even one chaining perfectly from the
+    victim's last executed block - is refused without a decide QC for
+    its tip (the review's safety scenario)."""
+    from repro.core.block import create_leaf
+    from repro.protocols.sync import SyncBlocks
+
+    system = ConsensusSystem(
+        small_config("damysus", checkpoint_interval=5, block_size=1)
+    )
+    system.start()
+    system.run_until_views(10, max_time_ms=600_000)
+    donor = system.replicas[0]
+    target = system.replicas[1]
+    target.catchup.active = True
+    target.catchup.peer = donor.pid
+    height_before = target.ledger.height()
+    root_before = target.ledger.state_root
+    parent = target.ledger.last_executed_hash
+    forged = []
+    for i in range(3):
+        block = create_leaf(parent, target.view + i + 1, (), created_at=0.0)
+        forged.append(block)
+        parent = block.hash
+    # No certificate at all: nothing executes.
+    target._handle_sync_blocks(
+        donor.pid, SyncBlocks(height_before, tuple(forged), done=True)
+    )
+    assert target.ledger.height() == height_before
+    assert target.ledger.state_root == root_before
+    # An authentic decide QC for a *different* block does not help either.
+    qc = donor._last_commit_qc
+    assert qc is not None and qc.h_prep != forged[-1].hash
+    target._handle_sync_blocks(
+        donor.pid, SyncBlocks(height_before, tuple(forged), done=True, tip_qc=qc)
+    )
+    assert target.ledger.height() == height_before
+    assert target.ledger.state_root == root_before
+
+
+def test_sync_replies_from_wrong_peer_are_ignored():
+    """Only the peer currently being synced from may feed the transfer -
+    even authentic records from a bystander are dropped."""
+    from repro.protocols.sync import SyncBlocks, SyncCheckpoint
+
+    system = ConsensusSystem(
+        small_config("damysus", checkpoint_interval=10, block_size=1)
+    )
+    system.start()
+    system.run_until_views(5, max_time_ms=600_000)
+    victim = system.replicas[-1].pid
+    system.crash_replicas([victim])
+    system.run_until_views(60, max_time_ms=3_000_000)
+    system.recover_replicas([victim])
+    lagger = system.replicas[victim]
+    donor = system.replicas[0]
+    stranger = system.replicas[1]
+    ckpt = stranger.latest_checkpoint
+    assert ckpt is not None and ckpt.height > lagger.ledger.height()
+    lagger.catchup.active = True
+    lagger.catchup.peer = donor.pid
+    # The checkpoint is authentic, but the sender was never asked.
+    lagger._handle_sync_checkpoint(stranger.pid, SyncCheckpoint(ckpt))
+    assert not lagger.caught_up_via_checkpoint
+    lagger._handle_sync_blocks(
+        stranger.pid, SyncBlocks(lagger.sync_have_height(), (), done=True)
+    )
+    assert lagger.catchup.active  # an unsolicited "done" cannot finish it
+    # The same record from the solicited peer installs.
+    lagger._handle_sync_checkpoint(donor.pid, SyncCheckpoint(ckpt))
+    assert lagger.caught_up_via_checkpoint
+    assert lagger.ledger.height() == ckpt.height
+
+
+def test_single_peer_cannot_inflate_view_lag():
+    """The behind-detection watermark needs f+1 distinct senders: one
+    Byzantine peer claiming a huge view moves nothing."""
+    system = ConsensusSystem(
+        small_config("damysus", checkpoint_interval=5, block_size=1)
+    )
+    system.start()
+    system.run_until_views(3, max_time_ms=600_000)
+    replica = system.replicas[0]
+    assert not replica.catchup.active
+    byzantine_view = replica.view + 10_000
+    replica._buffer(byzantine_view, 1, None)
+    assert replica.view_lag() < system.config.catchup_view_gap
+    assert not replica.catchup.active
+    # A second distinct sender corroborates the claim (f+1 = 2 of 3).
+    replica._buffer(byzantine_view, 2, None)
+    assert replica.view_lag() >= 10_000
+    assert replica.catchup.active
+
+
+def test_chunked_transfer_survives_the_rate_limit():
+    """Continuation requests of one chunked session are exempt from the
+    per-sender rate limit: the whole transfer completes inside a single
+    window with no timeout-paced retries."""
+    system = ConsensusSystem(
+        small_config(
+            "damysus",
+            checkpoint_interval=30,
+            block_size=1,
+            sync_chunk_blocks=3,
+            sync_min_interval_ms=120_000.0,
+        )
+    )
+    system.start()
+    system.run_until_views(5, max_time_ms=600_000)
+    victim = system.replicas[-1].pid
+    system.crash_replicas([victim])
+    system.run_until_views(60, max_time_ms=3_000_000)
+    system.recover_replicas([victim])
+    system.run_until_views(80, max_time_ms=6_000_000)
+
+    recovered = system.replicas[victim]
+    assert recovered.caught_up_via_checkpoint
+    assert recovered.catchup.completed >= 1
+    assert recovered.catchup.retries == 0
+    assert recovered.ledger.height() >= 30
+    assert system.oracle.safe
+    assert monotone_prefixes_ok(system)

@@ -16,6 +16,7 @@ from dataclasses import replace
 import pytest
 
 from repro.core.phases import Phase
+from repro.crypto.hashing import hash_fields
 from repro.errors import TEERefusal
 from repro.runtime.asyncio_net import WallClock, build_machine
 from repro.runtime.resilience.durable import DurableSealer
@@ -23,7 +24,17 @@ from repro.tee.accumulator import AccumulatorService
 from repro.tee.sealed import FileSealStore
 
 BLOCK_HASH = b"\x0b" * 32
-STATE_ROOT = b"\x0c" * 32
+
+
+def chain_headers(start_hash, count, tip_hash=BLOCK_HASH, salt=b"a"):
+    """A synthetic ``(block_hash, parent_hash)`` chain ending at ``tip_hash``."""
+    headers = []
+    prev = start_hash
+    for i in range(count):
+        block_hash = tip_hash if i == count - 1 else hash_fields(("tb", salt, i))
+        headers.append((block_hash, prev))
+        prev = block_hash
+    return tuple(headers)
 
 
 def fresh_machine(pid=0, n=3, seed=23, interval=10):
@@ -51,9 +62,19 @@ def decide_qc(machine, helper, view=1):
 
 
 def certify(machine, helper, height, qc=None):
-    """Certify a checkpoint at ``height`` and hand it to the replica."""
+    """Certify a checkpoint at ``height`` and hand it to the replica.
+
+    Headers chain from the checker's current certified tip to a suffix
+    tip of ``BLOCK_HASH`` (which the decide QC certifies).
+    """
     qc = qc if qc is not None else decide_qc(machine, helper)
-    ckpt = machine.checker.tee_checkpoint(height, BLOCK_HASH, STATE_ROOT, qc)
+    checker = machine.checker
+    headers = chain_headers(
+        checker.checkpoint_hash,
+        height - checker.checkpoint_height,
+        salt=height.to_bytes(4, "big"),
+    )
+    ckpt = checker.tee_checkpoint(headers, qc)
     machine.latest_checkpoint = ckpt
     return ckpt, qc
 
@@ -77,7 +98,7 @@ def test_checkpoint_persisted_with_the_seal_and_restored(tmp_path):
     # resumes past the checkpointed view.
     assert reborn.ledger.height() == 10
     assert reborn.ledger.base_height == 10
-    assert reborn.ledger.state_root == STATE_ROOT
+    assert reborn.ledger.state_root == ckpt.state_root
     assert reborn.view >= ckpt.view + 1
     # The restored monotonic floor still refuses stale certifications.
     assert reborn.checker.checkpoint_height == 10
@@ -211,7 +232,11 @@ def test_sigkill_between_seal_and_checkpoint_write(tmp_path, monkeypatch):
     assert reborn.ledger.height() == 0
     assert reborn.checker.checkpoint_height == 10
     with pytest.raises(TEERefusal):
-        reborn.checker.tee_checkpoint(5, BLOCK_HASH, STATE_ROOT, qc)
+        # Re-certifying below the restored floor: a from-genesis suffix no
+        # longer chains from the sealed certified tip.
+        reborn.checker.tee_checkpoint(
+            chain_headers(reborn.store.genesis.hash, 5), qc
+        )
 
 
 def test_forged_checkpoint_file_is_refused_on_restore(tmp_path):

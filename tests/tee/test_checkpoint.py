@@ -6,6 +6,8 @@ import pytest
 
 from repro.core.block import genesis_block
 from repro.core.commitment import c_combine
+from repro.core.executor import fold_state_root
+from repro.crypto.hashing import hash_fields
 from repro.crypto.hmac_scheme import HmacScheme
 from repro.crypto.keys import KeyDirectory
 from repro.errors import TEERefusal
@@ -16,7 +18,24 @@ from repro.tee.sealed import SealManager
 QUORUM = 2  # f = 1 over 2f+1 = 3 replicas
 
 BLOCK_HASH = b"\x0b" * 32
-STATE_ROOT = b"\x0c" * 32
+
+
+def chain_headers(start_hash, count, tip_hash=BLOCK_HASH, salt=b"a"):
+    """A synthetic ``(block_hash, parent_hash)`` chain ending at ``tip_hash``."""
+    headers = []
+    prev = start_hash
+    for i in range(count):
+        block_hash = tip_hash if i == count - 1 else hash_fields(("tb", salt, i))
+        headers.append((block_hash, prev))
+        prev = block_hash
+    return tuple(headers)
+
+
+def folded_root(start_root, headers):
+    root = start_root
+    for block_hash, _ in headers:
+        root = fold_state_root(root, block_hash)
+    return root
 
 
 @pytest.fixture
@@ -58,15 +77,20 @@ def decide_qc(env, view=1, block_hash=BLOCK_HASH):
 def test_tee_checkpoint_certifies_and_verifies(env):
     scheme, directory, checkers = env
     qc = decide_qc(env)
-    ckpt = checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, qc)
+    genesis = genesis_block()
+    headers = chain_headers(genesis.hash, 10)
+    ckpt = checkers[0].tee_checkpoint(headers, qc)
     assert ckpt.replica == 0
     assert ckpt.counter == 1
     assert ckpt.height == 10
     assert ckpt.view == qc.v_prep
     assert ckpt.block_hash == BLOCK_HASH
-    assert ckpt.state_root == STATE_ROOT
+    # The state root is folded inside the TEE from the header chain - the
+    # host never supplies it.
+    assert ckpt.state_root == folded_root(genesis.hash, headers)
     assert checkers[0].checkpoint_height == 10
     assert checkers[0].checkpoint_counter == 1
+    assert checkers[0].checkpoint_hash == BLOCK_HASH
     # Any replica can verify it against the public directory.
     verify_checkpoint(ckpt, scheme, directory, QUORUM)
 
@@ -74,33 +98,57 @@ def test_tee_checkpoint_certifies_and_verifies(env):
 def test_tee_checkpoint_counter_is_monotonic(env):
     _, _, checkers = env
     qc = decide_qc(env)
-    checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, qc)
-    # Same or lower height: refused, the monotonic height never rewinds.
+    genesis = genesis_block()
+    headers = chain_headers(genesis.hash, 10)
+    checkers[0].tee_checkpoint(headers, qc)
+    # Replaying the same suffix cannot re-certify: it no longer chains
+    # from the certified tip, so the monotonic state never rewinds.
     with pytest.raises(TEERefusal):
-        checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, qc)
+        checkers[0].tee_checkpoint(headers, qc)
     with pytest.raises(TEERefusal):
-        checkers[0].tee_checkpoint(3, BLOCK_HASH, STATE_ROOT, qc)
-    ckpt = checkers[0].tee_checkpoint(20, BLOCK_HASH, STATE_ROOT, qc)
+        checkers[0].tee_checkpoint((), qc)
+    more = chain_headers(BLOCK_HASH, 10, salt=b"b")
+    ckpt = checkers[0].tee_checkpoint(more, qc)
     assert ckpt.counter == 2
+    assert ckpt.height == 20
     assert checkers[0].checkpoint_height == 20
+
+
+def test_tee_checkpoint_refuses_unchained_headers(env):
+    """Headers must hash-chain from the certified tip: a host cannot have
+    the TEE attest a height or root for blocks it never linked."""
+    _, _, checkers = env
+    qc = decide_qc(env)
+    genesis = genesis_block()
+    headers = chain_headers(genesis.hash, 10)
+    broken = headers[:5] + headers[6:]  # gap in the parent links
+    with pytest.raises(TEERefusal):
+        checkers[0].tee_checkpoint(broken, qc)
+    # Starting from a non-certified hash is refused too.
+    with pytest.raises(TEERefusal):
+        checkers[0].tee_checkpoint(chain_headers(b"\x0f" * 32, 10), qc)
 
 
 def test_tee_checkpoint_refuses_foreign_qc(env):
     _, _, checkers = env
     qc = decide_qc(env)
-    # QC decides a different block than the one being checkpointed.
+    genesis = genesis_block()
+    # QC decides a different block than the suffix tip being checkpointed.
     with pytest.raises(TEERefusal):
-        checkers[0].tee_checkpoint(10, b"\x0d" * 32, STATE_ROOT, qc)
+        checkers[0].tee_checkpoint(
+            chain_headers(genesis.hash, 10, tip_hash=b"\x0d" * 32), qc
+        )
     # Sub-quorum certificate: a single pre-commit vote is not a decide.
     single = replace(qc, sigs=qc.sigs[:1])
     with pytest.raises(TEERefusal):
-        checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, single)
+        checkers[0].tee_checkpoint(chain_headers(genesis.hash, 10), single)
 
 
 def test_verify_checkpoint_rejects_tampering(env):
     scheme, directory, checkers = env
     qc = decide_qc(env)
-    ckpt = checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, qc)
+    genesis = genesis_block()
+    ckpt = checkers[0].tee_checkpoint(chain_headers(genesis.hash, 10), qc)
     # Height inflated: the Checker signature no longer covers the payload.
     with pytest.raises(TEERefusal):
         verify_checkpoint(replace(ckpt, height=50), scheme, directory, QUORUM)
@@ -110,7 +158,7 @@ def test_verify_checkpoint_rejects_tampering(env):
             replace(ckpt, state_root=b"\x0e" * 32), scheme, directory, QUORUM
         )
     # Signature transplanted from another (authentic) checkpoint.
-    other = checkers[0].tee_checkpoint(20, BLOCK_HASH, STATE_ROOT, qc)
+    other = checkers[0].tee_checkpoint(chain_headers(BLOCK_HASH, 10, salt=b"b"), qc)
     with pytest.raises(TEERefusal):
         verify_checkpoint(
             replace(ckpt, signature=other.signature), scheme, directory, QUORUM
@@ -120,22 +168,58 @@ def test_verify_checkpoint_rejects_tampering(env):
 def test_verify_checkpoint_rejects_stripped_quorum(env):
     scheme, directory, checkers = env
     qc = decide_qc(env)
-    ckpt = checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, qc)
+    ckpt = checkers[0].tee_checkpoint(chain_headers(genesis_block().hash, 10), qc)
     thinned = replace(ckpt, qc=replace(qc, sigs=qc.sigs[:1]))
     with pytest.raises(TEERefusal):
         verify_checkpoint(thinned, scheme, directory, QUORUM)
 
 
+def test_tee_install_checkpoint_adopts_certified_tip(env):
+    """A recovering replica's checker verifies and adopts a peer
+    checkpoint; its own certifications then chain from the installed tip."""
+    scheme, directory, checkers = env
+    qc = decide_qc(env)
+    genesis = genesis_block()
+    ckpt = checkers[0].tee_checkpoint(chain_headers(genesis.hash, 10), qc)
+    checkers[2].tee_install_checkpoint(ckpt)
+    assert checkers[2].checkpoint_height == 10
+    assert checkers[2].checkpoint_hash == BLOCK_HASH
+    assert checkers[2].checkpoint_root == ckpt.state_root
+    # Certifying past the installed horizon chains from the peer's tip.
+    more = chain_headers(BLOCK_HASH, 5, salt=b"c")
+    newer = checkers[2].tee_checkpoint(more, qc)
+    assert newer.height == 15
+    assert newer.state_root == folded_root(ckpt.state_root, more)
+
+
+def test_tee_install_checkpoint_refuses_forged_or_stale(env):
+    _, _, checkers = env
+    qc = decide_qc(env)
+    genesis = genesis_block()
+    ckpt = checkers[0].tee_checkpoint(chain_headers(genesis.hash, 10), qc)
+    # Forged: the fabricated height voids the Checker signature.
+    with pytest.raises(TEERefusal):
+        checkers[2].tee_install_checkpoint(replace(ckpt, height=1_000))
+    # Stale: an authentic checkpoint at or below the certified height.
+    checkers[2].tee_install_checkpoint(ckpt)
+    with pytest.raises(TEERefusal):
+        checkers[2].tee_install_checkpoint(ckpt)
+
+
 def test_checkpoint_state_survives_seal_roundtrip(env):
     scheme, directory, checkers = env
     qc = decide_qc(env)
-    checkers[0].tee_checkpoint(10, BLOCK_HASH, STATE_ROOT, qc)
+    genesis = genesis_block()
+    ckpt = checkers[0].tee_checkpoint(chain_headers(genesis.hash, 10), qc)
     manager = SealManager()
     sealed = manager.seal(checkers[0])
-    fresh = Checker(0, scheme, directory, genesis_block().hash, QUORUM)
+    fresh = Checker(0, scheme, directory, genesis.hash, QUORUM)
     manager.unseal_into(fresh, sealed)
     assert fresh.checkpoint_counter == 1
     assert fresh.checkpoint_height == 10
-    # The restored monotonic floor still refuses stale heights.
+    assert fresh.checkpoint_hash == BLOCK_HASH
+    assert fresh.checkpoint_root == ckpt.state_root
+    # The restored monotonic floor still refuses stale certifications: a
+    # replayed from-genesis suffix no longer chains from the tip.
     with pytest.raises(TEERefusal):
-        fresh.tee_checkpoint(5, BLOCK_HASH, STATE_ROOT, qc)
+        fresh.tee_checkpoint(chain_headers(genesis.hash, 5), qc)
