@@ -1,0 +1,47 @@
+"""``repro analyze``: whole-program dataflow analysis.
+
+Where ``repro lint`` checks per-file syntactic invariants, this package
+builds a symbol table and call graph over the whole tree
+(:mod:`.graph`) and runs three interprocedural rule families on top:
+
+* ``TAINT00x`` - host-influenced data crossing the TEE trust boundary
+  without passing a registered verifier (:mod:`.rules_taint`); the
+  family that re-detects the PR-6 ``tee_checkpoint`` bug, where
+  host-supplied ``height``/``state_root`` were certified unverified;
+* ``PURE00x`` - transitive effect-purity: nondeterminism or I/O
+  reachable through the call graph from a ``Machine`` entry point
+  (:mod:`.rules_pure`);
+* ``ASYNC00x`` - await-race hazards in the asyncio runtime
+  (:mod:`.rules_async`).
+
+Suppression (``# repro-analyze: ignore[RULE]``) and baselines share the
+lint engine's machinery (:mod:`repro.analysis.engine`), so both tools
+behave identically around a finding.
+"""
+
+from repro.analysis.dataflow.base import (
+    BASELINE_DEFAULT,
+    Finding,
+    all_analyze_rule_ids,
+    format_findings_json,
+    format_findings_text,
+    load_baseline,
+    run_analyze,
+    write_baseline,
+)
+from repro.analysis.dataflow import (  # noqa: F401  (register rules)
+    rules_async,
+    rules_pure,
+    rules_taint,
+)
+
+__all__ = [
+    "BASELINE_DEFAULT",
+    "Finding",
+    "all_analyze_rule_ids",
+    "format_findings_json",
+    "format_findings_text",
+    "load_baseline",
+    "run_analyze",
+    "write_baseline",
+]

@@ -1,0 +1,50 @@
+"""Registry and entry point for ``repro analyze``.
+
+Mirrors :mod:`repro.analysis.lint.engine`: the generic machinery lives
+in :mod:`repro.analysis.engine`, this module owns the analyze-specific
+registry and defaults.  Rule modules import their vocabulary from here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import (  # noqa: F401  (re-exported rule vocabulary)
+    FileContext,
+    Finding,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    RuleRegistry,
+    dotted_name,
+    format_findings_json,
+    format_findings_text,
+    in_package,
+    load_baseline,
+    module_name,
+    run_rules,
+    write_baseline,
+)
+
+#: Default baseline location, resolved against the current directory.
+BASELINE_DEFAULT = ".repro-analyze-baseline.json"
+
+_REGISTRY = RuleRegistry("repro analyze")
+REGISTRY = _REGISTRY.rules
+
+register = _REGISTRY.register
+
+
+def all_analyze_rule_ids() -> list[str]:
+    return _REGISTRY.ids()
+
+
+def run_analyze(
+    paths: Sequence[Path | str],
+    *,
+    rules: Sequence[str] | None = None,
+    baseline: set[str] | None = None,
+) -> list[Finding]:
+    """Run the dataflow analyses over ``paths``; return surviving findings."""
+    return run_rules(paths, _REGISTRY, rules=rules, baseline=baseline)

@@ -1,0 +1,252 @@
+"""Intra-function taint propagation for the TAINT rule family.
+
+The model is deliberately small and flow-insensitive: per function, a
+fixpoint over local names.  A name is *tainted* when its value may carry
+host-influenced data (a source parameter or anything derived from one
+through assignments, dataclass construction, attribute access or
+arbitrary calls).  A name is *sanitized* - and stays clean through the
+fixpoint - when the function provably verified it:
+
+* it was passed to (or was the receiver of) a registered verifier call
+  (``verify_checkpoint``, ``_verify_commitment``, ...), or
+* it was pinned by an **equality** comparison inside a guard that
+  raises.  Only ``==``/``!=`` count: an ordering comparison constrains a
+  value without authenticating it - ``height <= self._ckpt_height`` is
+  exactly the check the PR-6 ``tee_checkpoint`` bug hid behind.
+
+Sanitization closes over simple name aliases in both directions:
+``tip = block_hash`` followed by a check of ``tip`` clears
+``block_hash`` too (the checked value *is* the parameter), and a copy
+of a checked name is itself checked.
+
+Neutral builtins (``len``, ``int``, ``isinstance``...) produce untainted
+values: ``self._height + len(headers)`` derives a count from tainted
+input, not the input itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow.graph import FunctionInfo, scoped_statements
+
+#: Calls whose result carries no taint from their arguments.  Kept
+#: deliberately tiny: only pure *shape* queries qualify.  Conversions
+#: (``int``, ``str``) and selections (``max``, ``sorted``) preserve host
+#: influence - ``int(msg.height)`` is still the host's height.
+NEUTRAL_CALLS = {
+    "len", "isinstance", "issubclass", "type", "hasattr", "callable", "id",
+}
+
+#: The registered verifier catalog: a call to any of these sanitizes its
+#: arguments and receiver.  Kept in one place so the docs, the TAINT
+#: rules, and the suppression story all point at the same list.
+VERIFIERS = frozenset({
+    "verify",  # Commitment.verify / Accumulator.verify / QuorumCert.verify
+    "verify_cached",
+    "verify_qc",
+    "verify_checkpoint",
+    "verify_decide_qc",
+    "verify_commitment",
+    "_verify_commitment",
+    "_verify_accumulator",
+    "_verify_chained_certificate",
+    "_verify_working",
+    "_check_new_view_commitment",
+    "_check_report",
+})
+
+
+def expr_roots(node: ast.AST) -> set[str]:
+    """Local names whose taint the expression's value could carry."""
+    roots: set[str] = set()
+
+    def visit(sub: ast.AST) -> None:
+        if isinstance(sub, ast.Call):
+            name = _call_name(sub)
+            if name in NEUTRAL_CALLS:
+                return
+            if isinstance(sub.func, ast.Attribute):
+                visit(sub.func.value)  # method result carries receiver taint
+            for arg in sub.args:
+                visit(arg)
+            for kw in sub.keywords:
+                visit(kw.value)
+            return
+        if isinstance(sub, ast.Attribute):
+            visit(sub.value)
+            return
+        if isinstance(sub, ast.Name):
+            roots.add(sub.id)
+            return
+        for child in ast.iter_child_nodes(sub):
+            visit(child)
+
+    visit(node)
+    roots.discard("self")
+    roots.discard("cls")
+    return roots
+
+
+def _call_name(call: ast.Call) -> str | None:
+    """Last segment of the called name (``x.y.f(...)`` -> ``f``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+@dataclass
+class CallSite:
+    """One call expression, pre-digested for taint checks."""
+
+    node: ast.Call
+    name: str
+    #: Root names of the receiver expression (``self.checker.f(...)`` -> set()).
+    recv_roots: set[str]
+    #: Root-name sets per positional argument.
+    arg_roots: list[set[str]]
+    #: Root-name sets per keyword argument.
+    kwarg_roots: dict[str, set[str]]
+
+
+@dataclass
+class FunctionFlow:
+    """The taint-relevant events of one function body."""
+
+    fn: FunctionInfo
+    #: ``(target names, value root names)`` per assignment/for-target.
+    assigns: list[tuple[set[str], set[str]]] = field(default_factory=list)
+    #: Simple ``x = y`` aliases (both plain names).
+    aliases: list[tuple[str, str]] = field(default_factory=list)
+    #: ``self.attr = value`` writes: ``(attr, value roots, node)``.
+    attr_writes: list[tuple[str, set[str], ast.AST]] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    #: Names cleared by verifier calls and equality guards (alias-closed).
+    sanitized: set[str] = field(default_factory=set)
+
+    @classmethod
+    def build(cls, fn: FunctionInfo, verifiers: frozenset[str] = VERIFIERS) -> "FunctionFlow":
+        flow = cls(fn)
+        for node in scoped_statements(fn.node):
+            flow._collect(node, verifiers)
+        flow._close_aliases()
+        return flow
+
+    # -- collection --------------------------------------------------------
+
+    def _collect(self, node: ast.AST, verifiers: frozenset[str]) -> None:
+        if isinstance(node, ast.Assign):
+            roots = expr_roots(node.value)
+            for target in node.targets:
+                self._collect_target(target, node.value, roots, node)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._collect_target(node.target, node.value, expr_roots(node.value), node)
+        elif isinstance(node, ast.AugAssign):
+            roots = expr_roots(node.value)
+            if isinstance(node.target, ast.Name):
+                roots = roots | {node.target.id}  # x += y reads x too
+                self.assigns.append(({node.target.id}, roots))
+            else:
+                self._collect_target(node.target, node.value, roots, node)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._collect_target(node.target, node.iter, expr_roots(node.iter), node)
+        elif isinstance(node, ast.Call):
+            self._collect_call(node, verifiers)
+        elif isinstance(node, (ast.If, ast.Assert)):
+            self._collect_guard(node)
+        elif isinstance(node, (ast.withitem,)) and node.optional_vars is not None:
+            self._collect_target(
+                node.optional_vars, node.context_expr, expr_roots(node.context_expr), node
+            )
+
+    def _collect_target(
+        self, target: ast.expr, value: ast.expr, roots: set[str], stmt: ast.AST
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.assigns.append(({target.id}, roots))
+            if isinstance(value, ast.Name):
+                self.aliases.append((target.id, value.id))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self._collect_target(inner, value, roots, stmt)
+        elif isinstance(target, ast.Attribute):
+            recv = target.value
+            if isinstance(recv, ast.Name) and recv.id in ("self", "cls"):
+                self.attr_writes.append((target.attr, roots, target))
+
+    def _collect_call(self, node: ast.Call, verifiers: frozenset[str]) -> None:
+        name = _call_name(node)
+        if name is None:
+            return
+        recv_roots: set[str] = set()
+        if isinstance(node.func, ast.Attribute):
+            recv_roots = expr_roots(node.func.value)
+        site = CallSite(
+            node=node,
+            name=name,
+            recv_roots=recv_roots,
+            arg_roots=[expr_roots(arg) for arg in node.args],
+            kwarg_roots={
+                kw.arg: expr_roots(kw.value)
+                for kw in node.keywords
+                if kw.arg is not None
+            },
+        )
+        self.calls.append(site)
+        if name in verifiers:
+            self.sanitized |= recv_roots
+            for roots in site.arg_roots:
+                self.sanitized |= roots
+            for roots in site.kwarg_roots.values():
+                self.sanitized |= roots
+
+    def _collect_guard(self, node: ast.If | ast.Assert) -> None:
+        """Equality comparisons in a raising guard (or assert) sanitize."""
+        if isinstance(node, ast.If):
+            if not any(isinstance(stmt, ast.Raise) for stmt in node.body):
+                return
+            test = node.test
+        else:
+            test = node.test
+        for sub in ast.walk(test):
+            if not isinstance(sub, ast.Compare):
+                continue
+            if not all(isinstance(op, (ast.Eq, ast.NotEq)) for op in sub.ops):
+                continue
+            self.sanitized |= expr_roots(sub.left)
+            for comparator in sub.comparators:
+                self.sanitized |= expr_roots(comparator)
+
+    def _close_aliases(self) -> None:
+        """Close sanitization over ``x = y`` aliases, both directions."""
+        changed = True
+        while changed:
+            changed = False
+            for target, source in self.aliases:
+                if target in self.sanitized and source not in self.sanitized:
+                    self.sanitized.add(source)
+                    changed = True
+                if source in self.sanitized and target not in self.sanitized:
+                    self.sanitized.add(target)
+                    changed = True
+
+    # -- taint fixpoint ----------------------------------------------------
+
+    def tainted(self, sources: set[str]) -> set[str]:
+        """Names reachable from ``sources`` minus everything sanitized."""
+        tainted = set(sources) - self.sanitized
+        changed = True
+        while changed:
+            changed = False
+            for targets, roots in self.assigns:
+                if roots & tainted:
+                    fresh = targets - self.sanitized - tainted
+                    if fresh:
+                        tainted |= fresh
+                        changed = True
+        return tainted

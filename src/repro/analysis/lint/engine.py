@@ -1,263 +1,52 @@
 """Rule engine for ``repro lint``.
 
-The engine parses every target file once, hands the AST to per-file
-rules, then hands the full parsed project to project-wide rules (which
-need cross-file knowledge, e.g. "is this message type dispatched in any
-protocol module?").  Findings carry a stable rule id, location and fix
-hint; they can be silenced per line with ``# repro-lint: ignore[RULE]``
-(or a bare ``ignore`` for all rules), per file with
-``# repro-lint: skip-file``, or per finding via a committed JSON
-baseline.
+The generic machinery - parsing, findings, suppression, baselines,
+selection, formatting - lives in :mod:`repro.analysis.engine`, shared
+with ``repro analyze``.  This module owns the lint-specific pieces: the
+lint rule registry and the ``run_lint`` entry point.  Rule modules keep
+importing their vocabulary (``Rule``, ``FileContext``, ``register``...)
+from here.
 """
 
 from __future__ import annotations
 
-import ast
-import json
-import re
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Sequence
+
+from repro.analysis.engine import (  # noqa: F401  (re-exported rule vocabulary)
+    FileContext,
+    Finding,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    RuleRegistry,
+    dotted_name,
+    format_findings_json,
+    format_findings_text,
+    in_package,
+    iter_python_files,
+    load_baseline,
+    module_name,
+    parse_files,
+    receiver_tokens,
+    run_rules,
+    write_baseline,
+)
 
 #: Default baseline location, resolved against the current directory.
 BASELINE_DEFAULT = ".repro-lint-baseline.json"
 
-_IGNORE_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([A-Za-z0-9,\s]+)\])?")
-_SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
+#: The lint analyzer's rule set.  Populated by the ``register`` decorator
+#: when the rule modules import; ``REGISTRY`` keeps the historical
+#: name-to-rule mapping view.
+_REGISTRY = RuleRegistry("repro lint")
+REGISTRY = _REGISTRY.rules
 
-
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation at a specific source location."""
-
-    rule_id: str
-    path: str
-    line: int
-    col: int
-    message: str
-    hint: str = ""
-
-    def key(self) -> str:
-        """Stable identity used by the baseline file."""
-        return f"{self.path}::{self.rule_id}::{self.line}"
-
-    def render(self) -> str:
-        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
-        if self.hint:
-            text += f"\n    hint: {self.hint}"
-        return text
-
-    def to_json(self) -> dict[str, object]:
-        return {
-            "rule": self.rule_id,
-            "path": self.path,
-            "line": self.line,
-            "col": self.col,
-            "message": self.message,
-            "hint": self.hint,
-        }
-
-
-class FileContext:
-    """One parsed source file plus the metadata rules need."""
-
-    def __init__(self, path: Path, rel: str, module: str, source: str) -> None:
-        self.path = path
-        self.rel = rel
-        self.module = module
-        self.source = source
-        self.lines = source.splitlines()
-        self.tree = ast.parse(source, filename=rel)
-        self.skip_file = any(_SKIP_FILE_RE.search(line) for line in self.lines[:5])
-
-    def finding(
-        self, rule: "Rule", node: ast.AST, message: str, hint: str | None = None
-    ) -> Finding:
-        return Finding(
-            rule_id=rule.rule_id,
-            path=self.rel,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0) + 1,
-            message=message,
-            hint=rule.hint if hint is None else hint,
-        )
-
-    def suppressed(self, finding: Finding) -> bool:
-        """True if the finding's physical line carries an ignore comment."""
-        if not 1 <= finding.line <= len(self.lines):
-            return False
-        match = _IGNORE_RE.search(self.lines[finding.line - 1])
-        if match is None:
-            return False
-        rules = match.group(1)
-        if rules is None:
-            return True  # bare "ignore": all rules
-        return finding.rule_id in {r.strip().upper() for r in rules.split(",")}
-
-
-class ProjectContext:
-    """Every parsed file of one lint run, indexed for project rules."""
-
-    def __init__(self, files: Sequence[FileContext]) -> None:
-        self.files = list(files)
-        self.by_module = {ctx.module: ctx for ctx in self.files}
-
-    def in_package(self, package: str) -> list[FileContext]:
-        prefix = package + "."
-        return [
-            ctx
-            for ctx in self.files
-            if ctx.module == package or ctx.module.startswith(prefix)
-        ]
-
-
-class Rule:
-    """A per-file rule; subclasses override :meth:`check_file`."""
-
-    rule_id = "RULE000"
-    title = ""
-    hint = ""
-
-    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
-        return iter(())
-
-
-class ProjectRule(Rule):
-    """A rule that needs the whole parsed project at once."""
-
-    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
-        return iter(())
-
-
-#: All registered rules, by id.  Populated by the ``register`` decorator
-#: when the rule modules import.
-REGISTRY: dict[str, Rule] = {}
-
-
-def register(rule_cls: type[Rule]) -> type[Rule]:
-    """Class decorator: instantiate and register a rule."""
-    rule = rule_cls()
-    if rule.rule_id in REGISTRY:
-        raise ValueError(f"duplicate rule id {rule.rule_id}")
-    REGISTRY[rule.rule_id] = rule
-    return rule_cls
+register = _REGISTRY.register
 
 
 def all_rule_ids() -> list[str]:
-    return sorted(REGISTRY)
-
-
-# -- helpers shared by rule modules -------------------------------------------
-
-
-def module_name(path: Path) -> str:
-    """Dotted module path, inferred from ``__init__.py`` package markers.
-
-    Walking up the directory tree (rather than relying on a ``src`` root
-    passed in) makes the linter work identically on the real tree and on
-    fixture trees tests build under a temp directory.
-    """
-    parts = [] if path.stem == "__init__" else [path.stem]
-    parent = path.parent
-    while (parent / "__init__.py").exists():
-        parts.insert(0, parent.name)
-        parent = parent.parent
-    return ".".join(parts) if parts else path.stem
-
-
-def in_package(module: str, package: str) -> bool:
-    return module == package or module.startswith(package + ".")
-
-
-def dotted_name(node: ast.AST) -> str | None:
-    """Flatten ``a.b.c`` attribute chains to a dotted string."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def receiver_tokens(node: ast.AST) -> set[str]:
-    """Every name and attribute label appearing in a receiver expression."""
-    tokens: set[str] = set()
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Attribute):
-            tokens.add(sub.attr)
-        elif isinstance(sub, ast.Name):
-            tokens.add(sub.id)
-    return tokens
-
-
-# -- file collection -----------------------------------------------------------
-
-
-def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
-    for path in paths:
-        if path.is_file() and path.suffix == ".py":
-            yield path
-        elif path.is_dir():
-            for sub in sorted(path.rglob("*.py")):
-                if "__pycache__" not in sub.parts:
-                    yield sub
-
-
-def _relative_label(path: Path) -> str:
-    try:
-        return path.resolve().relative_to(Path.cwd()).as_posix()
-    except ValueError:
-        return path.as_posix()
-
-
-def parse_files(paths: Iterable[Path]) -> tuple[list[FileContext], list[Finding]]:
-    """Parse every target; syntax errors become PARSE000 findings."""
-    contexts: list[FileContext] = []
-    errors: list[Finding] = []
-    for path in iter_python_files(paths):
-        rel = _relative_label(path)
-        source = path.read_text(encoding="utf-8")
-        try:
-            ctx = FileContext(path, rel, module_name(path), source)
-        except SyntaxError as exc:
-            errors.append(
-                Finding(
-                    rule_id="PARSE000",
-                    path=rel,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
-                    message=f"file does not parse: {exc.msg}",
-                )
-            )
-            continue
-        if not ctx.skip_file:
-            contexts.append(ctx)
-    return contexts, errors
-
-
-# -- baseline ------------------------------------------------------------------
-
-
-def load_baseline(path: Path | str) -> set[str]:
-    """Finding keys waived by the committed baseline (empty if absent)."""
-    baseline_path = Path(path)
-    if not baseline_path.exists():
-        return set()
-    data = json.loads(baseline_path.read_text(encoding="utf-8"))
-    return set(data.get("findings", []))
-
-
-def write_baseline(path: Path | str, findings: Sequence[Finding]) -> None:
-    payload = {
-        "version": 1,
-        "findings": sorted(finding.key() for finding in findings),
-    }
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-
-
-# -- entry point ---------------------------------------------------------------
+    return _REGISTRY.ids()
 
 
 def run_lint(
@@ -269,45 +58,7 @@ def run_lint(
     """Lint ``paths`` and return surviving findings, sorted by location.
 
     ``rules`` restricts the run to the given rule ids; ``baseline`` is a
-    set of finding keys to drop (see :func:`load_baseline`).
+    set of finding keys to drop (see
+    :func:`repro.analysis.engine.load_baseline`).
     """
-    selected: list[Rule] = []
-    for rule_id in rules if rules is not None else all_rule_ids():
-        rule = REGISTRY.get(rule_id.upper())
-        if rule is None:
-            raise KeyError(
-                f"unknown rule {rule_id!r}; known: {', '.join(all_rule_ids())}"
-            )
-        selected.append(rule)
-
-    contexts, findings = parse_files(Path(p) for p in paths)
-    project = ProjectContext(contexts)
-    for rule in selected:
-        if isinstance(rule, ProjectRule):
-            raw: Iterable[Finding] = rule.check_project(project)
-        else:
-            raw = (f for ctx in contexts for f in rule.check_file(ctx))
-        for finding in raw:
-            ctx = next((c for c in contexts if c.rel == finding.path), None)
-            if ctx is not None and ctx.suppressed(finding):
-                continue
-            findings.append(finding)
-
-    if baseline:
-        findings = [f for f in findings if f.key() not in baseline]
-    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))
-
-
-def format_findings_text(findings: Sequence[Finding]) -> str:
-    if not findings:
-        return "repro lint: no findings"
-    lines = [finding.render() for finding in findings]
-    lines.append(f"repro lint: {len(findings)} finding(s)")
-    return "\n".join(lines)
-
-
-def format_findings_json(findings: Sequence[Finding]) -> str:
-    return json.dumps(
-        {"count": len(findings), "findings": [f.to_json() for f in findings]},
-        indent=2,
-    )
+    return run_rules(paths, _REGISTRY, rules=rules, baseline=baseline)

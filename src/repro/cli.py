@@ -15,6 +15,8 @@ Commands:
 * ``net-chaos`` - multi-process chaos: SIGKILL + restart-from-sealed-state
   and a live partition/heal, asserting commits resume within a bound;
 * ``lint`` - run the AST invariant linter (TEE boundaries, determinism);
+* ``analyze`` - whole-program dataflow analysis (TEE taint tracking,
+  transitive effect purity, asyncio await-race detection);
 * ``protocols`` - list the implemented protocols and their properties.
 """
 
@@ -34,6 +36,11 @@ from repro.analysis.lint import (
     write_baseline,
 )
 from repro.analysis.counterexample import run_checker_scenario, run_counter_scenario
+from repro.analysis.dataflow import (
+    all_analyze_rule_ids,
+    run_analyze,
+)
+from repro.analysis.dataflow import BASELINE_DEFAULT as ANALYZE_BASELINE_DEFAULT
 from repro.bench.experiments import fig6, fig7, fig8, fig9, table1_experiment
 from repro.bench.reporting import format_table
 from repro.config import SystemConfig
@@ -266,6 +273,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="list rule ids and exit",
     )
 
+    analyze_p = sub.add_parser(
+        "analyze",
+        help="whole-program dataflow analysis: TEE taint, effect purity, "
+        "await races",
+    )
+    analyze_p.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to analyze (default: src)",
+    )
+    analyze_p.add_argument(
+        "--rule", action="append", dest="rules", metavar="ID",
+        help="restrict to the given rule id(s), e.g. --rule TAINT002",
+    )
+    analyze_p.add_argument("--format", choices=["text", "json"], default="text")
+    analyze_p.add_argument(
+        "--baseline", default=ANALYZE_BASELINE_DEFAULT,
+        help=f"baseline of waived findings (default: {ANALYZE_BASELINE_DEFAULT})",
+    )
+    analyze_p.add_argument(
+        "--no-baseline", action="store_true",
+        help="report findings even if the baseline waives them",
+    )
+    analyze_p.add_argument(
+        "--write-baseline", action="store_true",
+        help="waive every current finding by rewriting the baseline",
+    )
+    analyze_p.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit",
+    )
+
     sub.add_parser("protocols", help="list implemented protocols")
     return parser
 
@@ -459,6 +496,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule_id in all_analyze_rule_ids():
+            print(rule_id)
+        return 0
+    baseline = None if args.no_baseline else load_baseline(args.baseline)
+    try:
+        findings = run_analyze(args.paths, rules=args.rules, baseline=baseline)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"baseline: waived {len(findings)} finding(s) in {args.baseline}")
+        return 0
+    if args.format == "json":
+        print(format_findings_json(findings))
+    else:
+        print(format_findings_text(findings, prog="repro analyze"))
+    return 1 if findings else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -601,6 +660,7 @@ def main(argv: list[str] | None = None) -> int:
         "net-chaos": _cmd_net_chaos,
         "counterexample": _cmd_counterexample,
         "lint": _cmd_lint,
+        "analyze": _cmd_analyze,
         "protocols": _cmd_protocols,
     }[args.command]
     return handler(args)

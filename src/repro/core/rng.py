@@ -28,7 +28,7 @@ class RngStream:
 
     def __init__(self, master_seed: int, name: str) -> None:
         self.name = name
-        self._rng = random.Random(derive_seed(master_seed, name))
+        self._rng = random.Random(derive_seed(master_seed, name))  # noqa: S311 - deterministic simulation stream, not cryptography
 
     def uniform(self, lo: float, hi: float) -> float:
         """Uniform float in [lo, hi]."""

@@ -11,6 +11,8 @@ Use :class:`~repro.protocols.system.ConsensusSystem` to build and run a
 whole deployment from a :class:`~repro.config.SystemConfig`.
 """
 
+from typing import Any
+
 from repro.protocols.chained_damysus import ChainedDamysusReplica
 from repro.protocols.chained_hotstuff import ChainedHotStuffReplica
 from repro.protocols.client import Client
@@ -23,7 +25,7 @@ from repro.protocols.registry import PROTOCOL_ORDER, SPECS, ProtocolSpec, get_sp
 from repro.protocols.replica import BaseReplica, QuorumCollector
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     # Lazy (PEP 562): the system builder lives with the simulator runtime
     # now, and importing a protocol module must not drag the simulator in.
     if name in ("ConsensusSystem", "RunResult"):

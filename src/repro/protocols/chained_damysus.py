@@ -56,7 +56,7 @@ class ChainedDamysusReplica(BaseReplica):
 
     protocol_name = "chained-damysus"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.checker = self._make_checker()
         self.acc_service = AccumulatorService(
@@ -93,7 +93,7 @@ class ChainedDamysusReplica(BaseReplica):
 
     # -- helpers --------------------------------------------------------------------
 
-    def _just_of(self, block: Block):
+    def _just_of(self, block: Block) -> QuorumCert | Accumulator:
         if block.justify is not None:
             return block.justify
         return genesis_qc(self.store.genesis.hash)

@@ -29,7 +29,7 @@ class ChainedHotStuffReplica(BaseReplica):
 
     protocol_name = "chained-hotstuff"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         bottom = genesis_qc(self.store.genesis.hash)
         self.high_qc = bottom  # highest known certificate (generic QC)

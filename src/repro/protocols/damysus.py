@@ -37,7 +37,7 @@ class DamysusReplica(BaseReplica):
     protocol_name = "damysus"
     step_rule = StepRule.BASIC
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.checker = self._make_checker()
         self.acc_service = AccumulatorService(

@@ -36,7 +36,7 @@ class DamysusAReplica(BaseReplica):
 
     protocol_name = "damysus-a"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.acc_service = QCAccumulatorService(
             self.pid,

@@ -38,7 +38,7 @@ class DamysusCReplica(DamysusReplica):
     protocol_name = "damysus-c"
     nv_kind = KIND_NEW_VIEW
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.acc_service = None  # Damysus-C has no accumulator component
         self._com_votes = QuorumCollector(self.quorum)

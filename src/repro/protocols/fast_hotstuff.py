@@ -62,7 +62,7 @@ class FastHotStuffReplica(BaseReplica):
 
     protocol_name = "fast-hotstuff"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.prepare_qc = genesis_qc(self.store.genesis.hash)
         self._new_views = QuorumCollector(self.quorum)

@@ -12,11 +12,12 @@ block or are justified at a higher view than the lock.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
+from repro.crypto.scheme import Signature
 from repro.crypto.threshold import ThresholdScheme, is_group_signature
 from repro.errors import VerificationError
-from repro.core.block import create_leaf
+from repro.core.block import Block, create_leaf
 from repro.core.certificate import QuorumCert, genesis_qc, vote_payload
 from repro.core.messages import NewViewMsg, ProposalMsg, QCMsg, VoteMsg
 from repro.core.phases import Phase
@@ -34,7 +35,7 @@ class HotStuffReplica(BaseReplica):
 
     protocol_name = "hotstuff"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         bottom = genesis_qc(self.store.genesis.hash)
         self.prepare_qc = bottom  # latest prepared block's certificate
@@ -116,7 +117,9 @@ class HotStuffReplica(BaseReplica):
         self.charge_verify(len(qc.sigs))
         return qc.verify(self.scheme, self.quorum)
 
-    def _make_qc(self, view: int, phase: Phase, block_hash: bytes, sigs) -> QuorumCert:
+    def _make_qc(
+        self, view: int, phase: Phase, block_hash: bytes, sigs: Sequence[Signature]
+    ) -> QuorumCert:
         if self.threshold is not None:
             payload = vote_payload(view, phase, block_hash)
             # Shares were verified on arrival; the TEE-free combine
@@ -171,7 +174,7 @@ class HotStuffReplica(BaseReplica):
 
     # -- backup: SafeNode and voting ---------------------------------------------------
 
-    def _safe_node(self, block, justify: QuorumCert) -> bool:
+    def _safe_node(self, block: Block, justify: QuorumCert) -> bool:
         """Paper Section 3: extends the lock, or justified above the lock."""
         extends_locked = self.store.is_ancestor(self.locked_qc.block_hash, block.hash)
         return extends_locked or justify.view > self.locked_qc.view

@@ -29,6 +29,7 @@ from repro.protocols.pacemaker import Pacemaker, round_robin_leader
 from repro.protocols.sync import CatchUpClient, SyncBlocks, SyncCheckpoint, SyncRequest
 from repro.runtime.effects import Commit
 from repro.runtime.machine import Machine
+from repro.tee.checker import Checker
 from repro.tee.checkpoint import Checkpoint, verify_checkpoint, verify_decide_qc
 from repro.tee.sealed import SealedState, SealManager
 
@@ -49,11 +50,11 @@ class QuorumCollector:
 
     def __init__(self, threshold: int) -> None:
         self.threshold = threshold
-        self._items: dict[Any, list] = {}
-        self._dedup: dict[Any, set] = {}
-        self._done: set = set()
+        self._items: dict[Any, list[Any]] = {}
+        self._dedup: dict[Any, set[Any]] = {}
+        self._done: set[Any] = set()
 
-    def add(self, key: Any, item: Any, dedup_id: Any) -> list | None:
+    def add(self, key: Any, item: Any, dedup_id: Any) -> list[Any] | None:
         if key in self._done:
             return None
         seen = self._dedup.setdefault(key, set())
@@ -110,7 +111,7 @@ class BaseReplica(Machine):
 
     #: The replica's Checker trusted component, if the protocol has one.
     #: Protocols that set it must implement ``_make_checker()``.
-    checker = None
+    checker: Checker | None = None
 
     def __init__(  # noqa: PLR0913 - wiring point for the whole stack
         self,
@@ -259,7 +260,7 @@ class BaseReplica(Machine):
         # node got; rejoin no earlier than that view.
         self.view = max(self.view, self.checker.step.view)
 
-    def _make_checker(self):
+    def _make_checker(self) -> Checker:
         """Build a fresh checker instance; TEE-bearing subclasses override."""
         raise NotImplementedError
 
@@ -437,7 +438,7 @@ class BaseReplica(Machine):
         """
 
     @staticmethod
-    def _prune_view_sets(min_view: int, *sets: set) -> None:
+    def _prune_view_sets(min_view: int, *sets: set[Any]) -> None:
         """Drop integer view entries below ``min_view`` from each set."""
         for entries in sets:
             stale = {

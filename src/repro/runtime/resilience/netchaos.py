@@ -120,7 +120,7 @@ def _find_free_base_port(n: int, host: str) -> int:
             finally:
                 for holder in holders:
                     holder.close()
-        except OSError:
+        except OSError:  # noqa: S112 - port range in use; probe the next base
             continue
         return base
     raise ConfigError(f"could not find {n} consecutive free ports on {host}")

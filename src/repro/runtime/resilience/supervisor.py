@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 import signal
-import subprocess
+import subprocess  # noqa: S404 - process supervision is this module's purpose
 import sys
 import time
 from dataclasses import dataclass, field
@@ -119,7 +119,7 @@ class ReplicaSupervisor:
                 env["PYTHONPATH"] = src_root + os.pathsep + existing
         else:
             env["PYTHONPATH"] = src_root
-        self._process = subprocess.Popen(
+        self._process = subprocess.Popen(  # noqa: S603 - argv is the supervisor's own replica command, not user input
             self.spec.argv(),
             stdout=stdout,  # type: ignore[arg-type]
             stderr=subprocess.STDOUT,

@@ -13,7 +13,12 @@ import pytest
 
 from repro.config import SystemConfig
 from repro.errors import ConfigError
-from repro.runtime.asyncio_net import _sized_quorum, build_machine, run_local_cluster
+from repro.runtime.asyncio_net import (
+    AsyncioRuntime,
+    _sized_quorum,
+    build_machine,
+    run_local_cluster,
+)
 from repro.runtime.sim import ConsensusSystem
 from repro.protocols.registry import get_spec
 
@@ -90,6 +95,39 @@ def test_sized_quorum_tracks_extra_replicas():
 def test_sized_quorum_rejects_tiny_clusters():
     with pytest.raises(ConfigError):
         _sized_quorum(get_spec("hotstuff"), 3)  # 3f+1 needs n >= 4
+
+
+def test_concurrent_close_is_safe():
+    """Regression: ``close()`` used to read task/server registries, await
+    the gather, then clear them - so a concurrent ``close()`` (or a reader
+    registered during the gather) raced the stale teardown.  Both callers
+    must now complete and leave no server or tracked tasks behind.
+    """
+
+    async def scenario():
+        runtime = AsyncioRuntime(build_machine("damysus", 0, 4, _FixedClock()))
+        host, port = await runtime.start_server()
+        reader, writer = await asyncio.open_connection(host, port)
+        await asyncio.sleep(0.05)  # let the server register its reader task
+        await asyncio.gather(runtime.close(), runtime.close())
+        assert runtime._server is None
+        assert runtime._sender_tasks == {}
+        assert runtime._reader_tasks == set()
+        writer.close()
+        return True
+
+    assert asyncio.run(scenario())
+
+
+def test_close_is_reentrant_after_completion():
+    async def scenario():
+        runtime = AsyncioRuntime(build_machine("damysus", 0, 4, _FixedClock()))
+        await runtime.start_server()
+        await runtime.close()
+        await runtime.close()  # second teardown finds nothing left
+        return runtime._server is None
+
+    assert asyncio.run(scenario())
 
 
 def test_build_machine_registers_all_peer_identities():
