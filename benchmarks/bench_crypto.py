@@ -2,17 +2,23 @@
 
 Unlike the figure benchmarks (which measure *simulated* time), these
 time the actual Python implementations: the from-scratch Schnorr scheme
-over both parameter sets, the HMAC simulation scheme, and the canonical
-field encoding that underlies every signature payload.
+over both parameter sets, the HMAC simulation scheme, the canonical
+field encoding that underlies every signature payload, and the three
+ways a 2f+1-signature quorum certificate can be checked - per signature,
+jointly via the batch equation, and sharded across worker processes.
 """
 
 import pytest
 
 from repro.crypto.hashing import encode_fields, hash_fields
 from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.pool import VerifyPool, available_cpus
 from repro.crypto.schnorr import GROUP_2048, GROUP_TEST, SchnorrScheme
 
 MESSAGE = b"damysus-benchmark-message"
+
+#: Fault thresholds matching the paper's figures; quorum size is 2f+1.
+QUORUM_THRESHOLDS = (2, 10, 20)
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +65,47 @@ def test_schnorr_verify_2048(benchmark, schnorr_2048):
 def test_hmac_sign(benchmark, hmac_scheme):
     sig = benchmark(lambda: hmac_scheme.sign(1, MESSAGE))
     assert hmac_scheme.verify(MESSAGE, sig)
+
+
+@pytest.fixture(scope="module")
+def qc_pairs():
+    """One quorum certificate's worth of pairs per fault threshold."""
+    pairs_by_f = {}
+    for f in QUORUM_THRESHOLDS:
+        k = 2 * f + 1
+        scheme = SchnorrScheme(GROUP_2048)
+        for signer in range(k):
+            scheme.keygen(signer)
+        pairs_by_f[f] = (
+            scheme,
+            [(MESSAGE, scheme.sign(signer, MESSAGE)) for signer in range(k)],
+        )
+    return pairs_by_f
+
+
+@pytest.mark.parametrize("f", QUORUM_THRESHOLDS)
+def test_qc_verify_per_sig(benchmark, qc_pairs, f):
+    scheme, pairs = qc_pairs[f]
+    outcomes = benchmark(lambda: [scheme.verify(m, sig) for m, sig in pairs])
+    assert all(outcomes)
+
+
+@pytest.mark.parametrize("f", QUORUM_THRESHOLDS)
+def test_qc_verify_batch(benchmark, qc_pairs, f):
+    scheme, pairs = qc_pairs[f]
+    outcomes = benchmark(lambda: scheme.verify_many(pairs))
+    assert all(outcomes)
+
+
+@pytest.mark.parametrize("f", QUORUM_THRESHOLDS)
+def test_qc_verify_sharded(benchmark, qc_pairs, f):
+    if available_cpus() < 2:
+        pytest.skip("sharded verification needs at least 2 cores")
+    scheme, pairs = qc_pairs[f]
+    with VerifyPool(scheme, jobs=0, chunk=8) as pool:
+        pool.verify_many(pairs[:1])  # absorb worker start-up cost
+        outcomes = benchmark(lambda: pool.verify_many(pairs))
+    assert all(outcomes)
 
 
 def test_field_encoding(benchmark):

@@ -45,6 +45,10 @@ NEUTRAL_CALLS = {
 VERIFIERS = frozenset({
     "verify",  # Commitment.verify / Accumulator.verify / QuorumCert.verify
     "verify_cached",
+    "verify_many",
+    "verify_many_cached",
+    "verify_batch",
+    "verify_all",
     "verify_qc",
     "verify_checkpoint",
     "verify_decide_qc",

@@ -12,6 +12,13 @@ Two measurements feed ``BENCH_baseline.json``:
   end-to-end win; on a multi-core runner it multiplies the cache and
   parallel factors.
 
+Three crypto-pipeline cells ride along: **batch_verify** (per-signature
+vs joint Schnorr verification of a quorum certificate, gated at
+``MIN_BATCH_SPEEDUP``), **codec** (encode/decode round-trips of a
+realistic proposal, drift-gated), and **parallel_verify** (the sharded
+``VerifyPool`` vs in-process verification; skipped - not failed - on
+single-core machines).
+
 ``check_bench`` reuses :mod:`repro.analysis.regression`'s drift
 machinery (:class:`Drift` / :class:`RegressionReport`) to diff a fresh
 measurement against the committed baseline.  Wall-clock numbers on
@@ -25,7 +32,6 @@ than flaking.
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 import time
 from typing import Any
@@ -52,6 +58,23 @@ DEFAULT_GRID = {"thresholds": [2, 10, 20], "views": 6, "repetitions": 2, "payloa
 #: Catch-up cell: one crash/miss/rejoin cycle on the simulator (see
 #: ``measure_catchup``), sized to finish in a couple of seconds.
 DEFAULT_CATCHUP = {"missed": 150, "interval": 25, "seed": 11}
+
+#: Batch-verification cell: per-signature vs joint Schnorr verification
+#: of a 2f+1-signature quorum certificate at the paper's f values.
+DEFAULT_BATCH_VERIFY = {"thresholds": [2, 10, 20], "seed": 5}
+
+#: Codec cell: encode/decode round-trips of a realistic proposal
+#: (block of transactions plus a full quorum certificate).
+DEFAULT_CODEC = {"rounds": 400, "block_size": 32, "payload": 128, "f": 2}
+
+#: Parallel-verification cell: the sharded :class:`VerifyPool` against
+#: in-process verification of the same pairs (skipped below 2 cores).
+DEFAULT_PARALLEL_VERIFY = {"pairs": 24, "seed": 9}
+
+#: The algebraic batch equation must keep paying at quorum size: joint
+#: verification of a 2f+1-signature certificate at the largest measured
+#: f has to be at least this much faster than per-signature checking.
+MIN_BATCH_SPEEDUP = 2.0
 
 #: Slowdown factor treated as a regression (generous: CI machines vary).
 DEFAULT_THRESHOLD = 3.0
@@ -214,26 +237,177 @@ def measure_catchup(params: dict[str, Any] | None = None) -> dict[str, Any]:
     }
 
 
+def measure_batch_verify(params: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Per-signature vs batch Schnorr verification of quorum certificates.
+
+    The quorum-certificate shape: 2f+1 distinct signers over one
+    message.  ``verify_many`` checks the whole set with one random-
+    linear-combination equation (one shared multi-exponentiation)
+    instead of 2f+1 independent verifications; this cell records the
+    measured speedup per f and asserts the outcomes are identical.
+    """
+    from repro.crypto.schnorr import GROUP_2048, SchnorrScheme
+
+    p = dict(DEFAULT_BATCH_VERIFY)
+    p.update(params or {})
+    message = f"batch-verify-cell-{p['seed']}".encode()
+    cells: list[dict[str, Any]] = []
+    max_speedup = 0.0
+    for f in p["thresholds"]:
+        k = 2 * f + 1
+        scheme = SchnorrScheme(GROUP_2048)
+        for signer in range(k):
+            scheme.keygen(signer)
+        pairs = [(message, scheme.sign(signer, message)) for signer in range(k)]
+        start = time.perf_counter()
+        per_sig = [scheme.verify(m, sig) for m, sig in pairs]
+        per_sig_s = time.perf_counter() - start
+        start = time.perf_counter()
+        batched = scheme.verify_many(pairs)
+        batch_s = time.perf_counter() - start
+        if per_sig != batched or not all(batched):
+            raise AssertionError(f"batch verification diverged at f={f}")
+        speedup = round(per_sig_s / batch_s, 3) if batch_s > 0 else 0.0
+        max_speedup = max(max_speedup, speedup)
+        cells.append(
+            {
+                "f": f,
+                "sigs": k,
+                "per_sig_s": round(per_sig_s, 4),
+                "batch_s": round(batch_s, 4),
+                "speedup": speedup,
+            }
+        )
+    return {"params": p, "cells": cells, "max_speedup": round(max_speedup, 3)}
+
+
+def measure_codec(params: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Encode/decode throughput for a realistic proposal message."""
+    from repro.core.block import create_leaf, genesis_block
+    from repro.core.certificate import QuorumCert, vote_payload
+    from repro.core.codec import decode_message, encode_message
+    from repro.core.mempool import Transaction
+    from repro.core.messages import ProposalMsg
+    from repro.core.phases import Phase
+    from repro.crypto.hmac_scheme import HmacScheme
+
+    p = dict(DEFAULT_CODEC)
+    p.update(params or {})
+    quorum = 2 * p["f"] + 1
+    scheme = HmacScheme(secret=b"codec-cell")
+    for signer in range(quorum):
+        scheme.keygen(signer)
+    txs = tuple(
+        Transaction(client_id=0, tx_id=i, payload_bytes=p["payload"])
+        for i in range(p["block_size"])
+    )
+    block = create_leaf(genesis_block().hash, 1, txs)
+    payload = vote_payload(1, Phase.PREPARE, block.hash)
+    qc = QuorumCert(
+        1,
+        block.hash,
+        Phase.PREPARE,
+        tuple(scheme.sign(signer, payload) for signer in range(quorum)),
+    )
+    msg = ProposalMsg(1, block, qc)
+    rounds = p["rounds"]
+    start = time.perf_counter()
+    for _ in range(rounds):
+        wire = encode_message(msg)
+    encode_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(rounds):
+        decoded = decode_message(wire)
+    decode_s = time.perf_counter() - start
+    if decoded != msg:
+        raise AssertionError("codec round-trip diverged")
+    return {
+        "params": p,
+        "wire_bytes": len(wire),
+        "encode_per_sec": round(rounds / encode_s, 1) if encode_s > 0 else 0.0,
+        "decode_per_sec": round(rounds / decode_s, 1) if decode_s > 0 else 0.0,
+        "wall_seconds": round(encode_s + decode_s, 4),
+    }
+
+
+def measure_parallel_verify(
+    params: dict[str, Any] | None = None, jobs: int = 0
+) -> dict[str, Any]:
+    """Sharded :class:`VerifyPool` vs in-process verification.
+
+    Returns ``{"skipped": reason}`` on machines with fewer than two
+    cores - a single worker can only add IPC overhead, so the gate
+    treats the cell as not-applicable rather than failed there.
+    Outcomes must be bit-identical to sequential verification.
+    """
+    from repro.crypto.pool import VerifyPool, available_cpus, resolve_verify_jobs
+    from repro.crypto.schnorr import GROUP_2048, SchnorrScheme
+
+    p = dict(DEFAULT_PARALLEL_VERIFY)
+    p.update(params or {})
+    cpus = available_cpus()
+    if cpus < 2:
+        return {"params": p, "skipped": f"only {cpus} cpu(s) available"}
+    effective = min(resolve_verify_jobs(jobs), 4)
+    scheme = SchnorrScheme(GROUP_2048)
+    signers = max(4, min(p["pairs"], 8))
+    for signer in range(signers):
+        scheme.keygen(signer)
+    pairs = []
+    for i in range(p["pairs"]):
+        message = f"parallel-cell-{p['seed']}-{i}".encode()
+        pairs.append((message, scheme.sign(i % signers, message)))
+    start = time.perf_counter()
+    sequential = scheme.verify_many(pairs)
+    sequential_s = time.perf_counter() - start
+    with VerifyPool(scheme, jobs=effective, chunk=4) as pool:
+        pool.verify_many(pairs[:2])  # absorb worker start-up cost
+        start = time.perf_counter()
+        sharded = pool.verify_many(pairs)
+        sharded_s = time.perf_counter() - start
+    if sharded != sequential:
+        raise AssertionError("sharded verification diverged from sequential")
+    return {
+        "params": p,
+        "jobs": effective,
+        "sequential_s": round(sequential_s, 4),
+        "sharded_s": round(sharded_s, 4),
+        "speedup": round(sequential_s / sharded_s, 3) if sharded_s > 0 else 0.0,
+    }
+
+
 def collect_bench(jobs: int = 0, quick: bool = False) -> dict[str, Any]:
     """Full measurement blob for the baseline file."""
+    from repro.crypto.pool import available_cpus
+
     hot_params = dict(DEFAULT_HOTPATH)
     grid_params = dict(DEFAULT_GRID)
     catch_params = dict(DEFAULT_CATCHUP)
+    batch_params = dict(DEFAULT_BATCH_VERIFY)
+    codec_params = dict(DEFAULT_CODEC)
     if quick:
         # Keep f=10 in the quick grid: the caches' win scales with f, and
         # an all-small-f grid would under-report it into gate noise.
+        # Same for batch verification - its win grows with quorum size.
         hot_params.update(f=10, views=4)
         grid_params.update(thresholds=[2, 10], views=4, repetitions=1)
         catch_params.update(missed=60)
+        batch_params.update(thresholds=[2, 10])
+        codec_params.update(rounds=150)
     return {
         "meta": {
-            "cpus": os.cpu_count() or 1,
+            # Honest core count: sched_getaffinity when available (a CI
+            # container may be pinned to fewer cores than the host has).
+            "cpus": available_cpus(),
             "quick": quick,
             "schema": 1,
         },
         "hotpath": measure_hotpath(hot_params),
         "grid": measure_grid(grid_params, jobs=jobs),
         "catchup": measure_catchup(catch_params),
+        "batch_verify": measure_batch_verify(batch_params),
+        "codec": measure_codec(codec_params),
+        "parallel_verify": measure_parallel_verify(jobs=jobs),
     }
 
 
@@ -264,7 +438,10 @@ def check_bench(
     * hot-path events/sec dropped by more than ``threshold``x;
     * grid wall-clock grew by more than ``threshold``x;
     * the cache win vanished (cache_speedup below ``MIN_CACHE_SPEEDUP``);
-    * total grid speedup below what this machine's cores require.
+    * total grid speedup below what this machine's cores require;
+    * batch verification below ``MIN_BATCH_SPEEDUP`` at quorum size;
+    * codec throughput or sharded verification ``threshold``x slower
+      (the parallel cell is skipped, not failed, below 2 cores).
     """
     report = RegressionReport()
     messages: list[str] = []
@@ -311,6 +488,73 @@ def check_bench(
                 "FAIL catchup: rejoin happened by full replay, not by "
                 "certified checkpoint transfer"
             )
+
+    # Crypto-pipeline cells: like catchup, compared only when both sides
+    # recorded them, so a pre-pipeline baseline still checks clean.
+    base_batch = baseline.get("batch_verify")
+    cur_batch = current.get("batch_verify")
+    if cur_batch is not None:
+        max_speedup = cur_batch["max_speedup"]
+        if base_batch is not None:
+            report.drifts.append(
+                Drift(
+                    "batch_verify",
+                    "schnorr-qc",
+                    "max_speedup",
+                    base_batch["max_speedup"],
+                    max_speedup,
+                )
+            )
+        if max_speedup < MIN_BATCH_SPEEDUP:
+            ok = False
+            messages.append(
+                f"FAIL batch_verify: speedup {max_speedup:.2f}x < "
+                f"{MIN_BATCH_SPEEDUP:g}x at quorum size - the joint "
+                "verification equation stopped paying"
+            )
+
+    base_codec = baseline.get("codec")
+    cur_codec = current.get("codec")
+    if base_codec is not None and cur_codec is not None:
+        for metric in ("encode_per_sec", "decode_per_sec"):
+            base_rate = base_codec[metric]
+            cur_rate = cur_codec[metric]
+            report.drifts.append(Drift("codec", "proposal", metric, base_rate, cur_rate))
+            if base_rate > 0 and cur_rate < base_rate / threshold:
+                ok = False
+                messages.append(
+                    f"FAIL codec {metric}: {cur_rate:.0f}/s vs baseline "
+                    f"{base_rate:.0f}/s (more than {threshold:g}x slower)"
+                )
+
+    # Parallel verification needs a second core to demonstrate anything;
+    # a skipped cell is not-applicable, never a failure.
+    cur_par = current.get("parallel_verify")
+    if cur_par is not None:
+        if "skipped" in cur_par:
+            messages.append(f"skip parallel_verify: {cur_par['skipped']}")
+        else:
+            base_par = baseline.get("parallel_verify")
+            if base_par is not None and "skipped" not in base_par:
+                report.drifts.append(
+                    Drift(
+                        "parallel_verify",
+                        "pool",
+                        "sharded_s",
+                        base_par["sharded_s"],
+                        cur_par["sharded_s"],
+                    )
+                )
+                if (
+                    base_par["sharded_s"] > 0
+                    and cur_par["sharded_s"] > base_par["sharded_s"] * threshold
+                ):
+                    ok = False
+                    messages.append(
+                        f"FAIL parallel_verify: {cur_par['sharded_s']:.2f}s vs "
+                        f"baseline {base_par['sharded_s']:.2f}s "
+                        f"(more than {threshold:g}x slower)"
+                    )
 
     cache_speedup = current["hotpath"]["cache_speedup"]
     if cache_speedup < MIN_CACHE_SPEEDUP:

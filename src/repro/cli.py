@@ -191,6 +191,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--fault-spec", default=None, metavar="PATH",
                          help="FaultPlan rules_spec JSON applied to outbound "
                          "frames; re-read when its mtime changes")
+    serve_p.add_argument("--verify-jobs", type=int, default=None, metavar="N",
+                         help="worker processes for inbound signature "
+                         "verification (0 = one per core, 1 = inline)")
 
     net_p = sub.add_parser(
         "net-bench", help="run a localhost TCP cluster and report committed tx/s"
@@ -205,6 +208,9 @@ def build_parser() -> argparse.ArgumentParser:
     net_p.add_argument("--block-size", type=int, default=32, help="txs per block")
     net_p.add_argument("--timeout-ms", type=float, default=2_000.0,
                        help="pacemaker base view timeout")
+    net_p.add_argument("--verify-jobs", type=int, default=None, metavar="N",
+                       help="worker processes for inbound signature "
+                       "verification (0 = one per core, 1 = inline)")
 
     nc_p = sub.add_parser(
         "net-chaos",
@@ -546,6 +552,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 health_file=args.health_file,
                 health_interval_s=args.health_interval,
                 fault_spec=args.fault_spec,
+                verify_jobs=args.verify_jobs,
             )
         )
     except KeyboardInterrupt:
@@ -573,6 +580,7 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
             payload_bytes=args.payload,
             block_size=args.block_size,
             timeout_ms=args.timeout_ms,
+            verify_jobs=args.verify_jobs,
         )
     )
     print(f"protocol           {report.protocol}")
@@ -585,6 +593,8 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
     print(f"messages / bytes   {report.messages_sent} / {report.bytes_sent}")
     if report.dropped_messages:
         print(f"dropped frames     {report.dropped_messages}")
+    if report.prechecked_sigs:
+        print(f"prechecked sigs    {report.prechecked_sigs} (off event loop)")
     return 0 if report.committed_blocks > 0 else 1
 
 

@@ -11,12 +11,19 @@ Format: little-endian fixed-width integers, length-prefixed variable
 fields, one leading type tag per message.  Transaction payloads are
 zero-filled to their declared size (their content is abstract, Section 5,
 but their bytes must exist on a real wire).
+
+The encoder writes into one preallocated, doubling ``bytearray`` through
+precompiled :class:`struct.Struct` instances (``pack_into``), and the
+decoder reads with ``unpack_from`` against a single position cursor - no
+per-field bytes objects on either side.  Every malformed-input failure
+surfaces as :class:`CodecError`; ``struct.error``/``IndexError``/
+``UnicodeDecodeError`` never escape this module.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable
+from typing import Any, Callable, Protocol, runtime_checkable
 
 from repro import perf
 from repro.crypto.hashing import HASH_SIZE, Hash
@@ -48,45 +55,115 @@ class CodecError(ProtocolError):
     """Malformed bytes on the wire."""
 
 
-class Encoder:
-    """Append-only byte writer."""
+@runtime_checkable
+class Serializer(Protocol):
+    """Anything that turns messages into bytes and back (snippet-3 shape).
 
-    def __init__(self) -> None:
-        self._parts: list[bytes] = []
+    The runtimes depend on this protocol rather than on the module
+    functions, so tests and alternative wire formats can substitute their
+    own implementation.
+    """
+
+    def serialize(self, msg: Any) -> bytes: ...
+
+    def deserialize(self, data: bytes) -> Any: ...
+
+
+# Precompiled wire-primitive structs: compiling the format string once
+# and using pack_into/unpack_from avoids both the format-cache lookup and
+# the per-field bytes object of struct.pack/unpack.
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+class Encoder:
+    """Append-only byte writer over one preallocated, doubling buffer."""
+
+    __slots__ = ("_buf", "_pos")
+
+    def __init__(self, reserve: int = 256) -> None:
+        self._buf = bytearray(reserve if reserve > 16 else 16)
+        self._pos = 0
+
+    def _ensure(self, need: int) -> None:
+        buf = self._buf
+        shortfall = self._pos + need - len(buf)
+        if shortfall > 0:
+            # Grow at least geometrically; the extension is zero-filled,
+            # which pad() below relies on.
+            buf.extend(b"\x00" * (shortfall if shortfall > len(buf) else len(buf)))
 
     def bytes(self) -> bytes:
-        return b"".join(self._parts)
+        return bytes(memoryview(self._buf)[: self._pos])
 
     def u8(self, value: int) -> "Encoder":
-        self._parts.append(struct.pack("<B", value))
+        self._ensure(1)
+        try:
+            _U8.pack_into(self._buf, self._pos, value)
+        except struct.error as exc:
+            raise CodecError(f"u8 out of range: {value}") from exc
+        self._pos += 1
         return self
 
     def u32(self, value: int) -> "Encoder":
-        self._parts.append(struct.pack("<I", value))
+        self._ensure(4)
+        try:
+            _U32.pack_into(self._buf, self._pos, value)
+        except struct.error as exc:
+            raise CodecError(f"u32 out of range: {value}") from exc
+        self._pos += 4
         return self
 
     def i64(self, value: int) -> "Encoder":
-        self._parts.append(struct.pack("<q", value))
+        self._ensure(8)
+        try:
+            _I64.pack_into(self._buf, self._pos, value)
+        except struct.error as exc:
+            raise CodecError(f"i64 out of range: {value}") from exc
+        self._pos += 8
         return self
 
     def f64(self, value: float) -> "Encoder":
-        self._parts.append(struct.pack("<d", value))
+        self._ensure(8)
+        _F64.pack_into(self._buf, self._pos, value)
+        self._pos += 8
         return self
 
     def raw(self, data: bytes) -> "Encoder":
-        self._parts.append(data)
+        n = len(data)
+        self._ensure(n)
+        pos = self._pos
+        self._buf[pos : pos + n] = data
+        self._pos = pos + n
+        return self
+
+    def pad(self, n: int) -> "Encoder":
+        """Append ``n`` zero bytes without materializing them.
+
+        The buffer region past the cursor is always zero (fresh
+        allocations and growth extensions are zero-filled, and the cursor
+        never moves backwards), so skipping ahead *is* writing zeros.
+        """
+        self._ensure(n)
+        self._pos += n
         return self
 
     def var_bytes(self, data: bytes) -> "Encoder":
-        self.u32(len(data))
-        self._parts.append(data)
+        n = len(data)
+        self._ensure(4 + n)
+        pos = self._pos
+        buf = self._buf
+        _U32.pack_into(buf, pos, n)
+        buf[pos + 4 : pos + 4 + n] = data
+        self._pos = pos + 4 + n
         return self
 
     def hash32(self, value: Hash) -> "Encoder":
         if len(value) != HASH_SIZE:
             raise CodecError(f"hash must be {HASH_SIZE} bytes")
-        self._parts.append(value)
-        return self
+        return self.raw(value)
 
     def opt(self, value: Any, write: Callable[[Any], Any]) -> "Encoder":
         if value is None:
@@ -99,39 +176,74 @@ class Encoder:
     def string(self, value: str) -> "Encoder":
         return self.var_bytes(value.encode())
 
+    def patch_u32(self, offset: int, value: int) -> "Encoder":
+        """Overwrite a previously written u32 (frame-header back-patching)."""
+        if offset + 4 > self._pos:
+            raise CodecError("patch offset past the write cursor")
+        _U32.pack_into(self._buf, offset, value)
+        return self
+
 
 class Decoder:
-    """Bounds-checked byte reader."""
+    """Bounds-checked byte reader: one cursor, ``unpack_from``, no slices
+    except for variable-length payloads the caller keeps."""
+
+    __slots__ = ("_data", "_len", "_pos")
 
     def __init__(self, data: bytes) -> None:
         self._data = data
         self._pos = 0
+        self._len = len(data)
 
     def _take(self, n: int) -> bytes:
-        if self._pos + n > len(self._data):
+        pos = self._pos
+        end = pos + n
+        if end > self._len:
             raise CodecError("truncated message")
-        out = self._data[self._pos : self._pos + n]
-        self._pos += n
-        return out
+        self._pos = end
+        return self._data[pos:end]
+
+    def skip(self, n: int) -> None:
+        """Advance past ``n`` bytes without materializing them."""
+        end = self._pos + n
+        if end > self._len:
+            raise CodecError("truncated message")
+        self._pos = end
 
     def done(self) -> bool:
-        return self._pos == len(self._data)
+        return self._pos == self._len
 
     def expect_done(self) -> None:
         if not self.done():
-            raise CodecError(f"{len(self._data) - self._pos} trailing bytes")
+            raise CodecError(f"{self._len - self._pos} trailing bytes")
 
     def u8(self) -> int:
-        return struct.unpack("<B", self._take(1))[0]
+        pos = self._pos
+        if pos >= self._len:
+            raise CodecError("truncated message")
+        self._pos = pos + 1
+        return self._data[pos]
 
     def u32(self) -> int:
-        return struct.unpack("<I", self._take(4))[0]
+        pos = self._pos
+        if pos + 4 > self._len:
+            raise CodecError("truncated message")
+        self._pos = pos + 4
+        return int(_U32.unpack_from(self._data, pos)[0])
 
     def i64(self) -> int:
-        return struct.unpack("<q", self._take(8))[0]
+        pos = self._pos
+        if pos + 8 > self._len:
+            raise CodecError("truncated message")
+        self._pos = pos + 8
+        return int(_I64.unpack_from(self._data, pos)[0])
 
     def f64(self) -> float:
-        return struct.unpack("<d", self._take(8))[0]
+        pos = self._pos
+        if pos + 8 > self._len:
+            raise CodecError("truncated message")
+        self._pos = pos + 8
+        return float(_F64.unpack_from(self._data, pos)[0])
 
     def var_bytes(self) -> bytes:
         return self._take(self.u32())
@@ -143,7 +255,11 @@ class Decoder:
         return read() if self.u8() else None
 
     def string(self) -> str:
-        return self.var_bytes().decode()
+        raw = self.var_bytes()
+        try:
+            return raw.decode()
+        except UnicodeDecodeError as exc:
+            raise CodecError("invalid utf-8 in string field") from exc
 
 
 # -- component codecs ----------------------------------------------------------
@@ -187,7 +303,7 @@ def _enc_transaction(enc: Encoder, tx: Transaction) -> None:
     enc.i64(tx.tx_id)
     enc.u32(tx.payload_bytes)
     enc.f64(tx.submitted_at)
-    enc.raw(b"\x00" * tx.payload_bytes)  # abstract payload, real bytes
+    enc.pad(tx.payload_bytes)  # abstract payload, real (zero) bytes
 
 
 def _dec_transaction(dec: Decoder) -> Transaction:
@@ -195,7 +311,7 @@ def _dec_transaction(dec: Decoder) -> Transaction:
     tx_id = dec.i64()
     payload_bytes = dec.u32()
     submitted_at = dec.f64()
-    dec._take(payload_bytes)  # discard the abstract payload
+    dec.skip(payload_bytes)  # discard the abstract payload
     return Transaction(client_id, tx_id, payload_bytes, submitted_at)
 
 
@@ -626,6 +742,15 @@ def _ensure_tables() -> None:
         _BY_TAG[tag] = dec_fn
 
 
+def _reserve_for(msg: Any) -> int:
+    """Initial encoder buffer size: the declared wire size plus slack.
+
+    ``wire_size()`` tracks the real encoding closely (the test suite
+    enforces it), so one allocation usually covers the whole message.
+    """
+    return wire_size_of(msg) + 128
+
+
 def encode_message(msg: Any) -> bytes:
     """Serialize any protocol message to bytes (leading type tag)."""
     _ensure_tables()
@@ -633,9 +758,29 @@ def encode_message(msg: Any) -> bytes:
     if entry is None:
         raise CodecError(f"no codec for {type(msg).__name__}")
     tag, enc_fn = entry
-    enc = Encoder()
+    enc = Encoder(reserve=_reserve_for(msg))
     enc.u8(tag)
     enc_fn(enc, msg)
+    return enc.bytes()
+
+
+def encode_message_framed(msg: Any) -> bytes:
+    """Length-prefixed frame: u32-le body length, then tag + body.
+
+    Header and bulk share one encoder buffer - the 4-byte header is
+    reserved up front and back-patched once the body length is known, so
+    framing a message never concatenates two large byte strings.
+    """
+    _ensure_tables()
+    entry = _BY_TYPE.get(type(msg))
+    if entry is None:
+        raise CodecError(f"no codec for {type(msg).__name__}")
+    tag, enc_fn = entry
+    enc = Encoder(reserve=_reserve_for(msg) + 4)
+    enc.u32(0)  # header placeholder
+    enc.u8(tag)
+    enc_fn(enc, msg)
+    enc.patch_u32(0, enc._pos - 4)
     return enc.bytes()
 
 
@@ -669,6 +814,16 @@ def decode_checkpoint(data: bytes) -> Any:
     ckpt = _dec_checkpoint(dec)
     dec.expect_done()
     return ckpt
+
+
+class MessageSerializer:
+    """The default :class:`Serializer`: tag-dispatched binary codec."""
+
+    def serialize(self, msg: Any) -> bytes:
+        return encode_message(msg)
+
+    def deserialize(self, data: bytes) -> Any:
+        return decode_message(data)
 
 
 def wire_size_of(payload: Any) -> int:

@@ -1,0 +1,176 @@
+"""Process-sharded signature verification.
+
+Pure-Python big-int crypto holds the GIL, so batch verification alone
+cannot use more than one core.  This module shards verification jobs
+across a ``ProcessPoolExecutor``: each worker process rebuilds a
+*verifying clone* of the signature scheme from a picklable
+:meth:`~repro.crypto.scheme.SignatureScheme.replication_spec` (public or
+MAC keys only - Schnorr private exponents never cross the process
+boundary, and re-running keygen per worker would cost a full-size
+exponentiation per signer), then checks chunks of ``(message,
+signature)`` pairs with the scheme's own batch path.
+
+Determinism contract (mirroring :mod:`repro.bench.parallel`): chunks are
+submitted in input order and results are concatenated in that same
+order, and verification is a pure function of the replicated key
+directory, so :meth:`VerifyPool.verify_many` returns *byte-identical*
+outcomes to the in-process sequential path for any worker count.
+``jobs <= 1`` never spawns processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Mapping, Sequence, cast
+
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.scheme import Signature, SignatureScheme, VerifyPair
+from repro.crypto.schnorr import SchnorrGroup, SchnorrScheme
+from repro.errors import CryptoError
+
+#: Pairs shipped per worker job.  Large enough to amortize pickling and
+#: task dispatch, small enough to spread a 2f+1 certificate over cores.
+DEFAULT_CHUNK = 16
+
+#: The picklable wire form of one verify job item.
+WireItem = tuple[bytes, int, bytes, str]
+
+
+def available_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware)."""
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        return len(cast("set[int]", getaffinity(0)))
+    return os.cpu_count() or 1
+
+
+def resolve_verify_jobs(jobs: int) -> int:
+    """Normalize a ``--verify-jobs`` value: 0 means "all cores"."""
+    if jobs < 0:
+        raise CryptoError(f"verify jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return available_cpus()
+    return jobs
+
+
+def build_scheme(spec: Mapping[str, object]) -> SignatureScheme:
+    """Rebuild a verifying scheme clone from a replication spec."""
+    kind = spec.get("kind")
+    if kind == HmacScheme.name:
+        scheme = HmacScheme(secret=cast(bytes, spec["secret"]))
+        for signer in cast("list[int]", spec["signers"]):
+            scheme.keygen(signer)
+        return scheme
+    if kind == SchnorrScheme.name:
+        name, p, g = cast("tuple[str, int, int]", spec["group"])
+        public = cast("dict[int, int]", spec["public"])
+        return SchnorrScheme.verification_only(SchnorrGroup(name, p, g), public)
+    raise CryptoError(f"unknown scheme replication spec: {kind!r}")
+
+
+# Per-worker scheme clone, installed once by the pool initializer so the
+# key directory is replicated per process, not per job.
+_worker_scheme: SignatureScheme | None = None
+
+
+def _init_worker(spec: Mapping[str, object]) -> None:
+    global _worker_scheme
+    _worker_scheme = build_scheme(spec)
+
+
+def _verify_chunk(items: Sequence[WireItem]) -> list[bool]:
+    """Verify one chunk in a worker; module-level so it pickles."""
+    scheme = _worker_scheme
+    if scheme is None:  # pragma: no cover - initializer always ran
+        raise CryptoError("verify worker used before initialization")
+    pairs = [
+        (message, Signature(signer=signer, data=data, scheme=tag))
+        for message, signer, data, tag in items
+    ]
+    return scheme.verify_many(pairs)
+
+
+def _to_wire(pairs: Sequence[VerifyPair]) -> list[WireItem]:
+    return [(message, sig.signer, sig.data, sig.scheme) for message, sig in pairs]
+
+
+class VerifyPool:
+    """Shard signature verification across worker processes.
+
+    With ``jobs <= 1`` the pool degrades to an in-process verifying
+    clone (still built from the replication spec, so tests exercise the
+    same rebuild path on single-core machines).
+    """
+
+    def __init__(
+        self,
+        scheme: SignatureScheme,
+        jobs: int = 0,
+        chunk: int = DEFAULT_CHUNK,
+    ) -> None:
+        self.jobs = resolve_verify_jobs(jobs)
+        self.chunk = max(1, chunk)
+        self._spec = scheme.replication_spec()
+        self._pool: ProcessPoolExecutor | None = None
+        self._local: SignatureScheme | None = None
+        if self.jobs > 1:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self._spec,),
+            )
+        else:
+            self._local = build_scheme(self._spec)
+
+    # -- submission ------------------------------------------------------------
+
+    def _submit(self, pairs: Sequence[VerifyPair]) -> list[Future[list[bool]]]:
+        pool = self._pool
+        if pool is None:  # pragma: no cover - callers check first
+            raise CryptoError("verify pool is not sharded")
+        wire = _to_wire(pairs)
+        return [
+            pool.submit(_verify_chunk, wire[start : start + self.chunk])
+            for start in range(0, len(wire), self.chunk)
+        ]
+
+    def verify_many(self, pairs: Sequence[VerifyPair]) -> list[bool]:
+        """Per-pair outcomes, identical to the sequential scheme's."""
+        if not pairs:
+            return []
+        if self._local is not None:
+            return self._local.verify_many(list(pairs))
+        outcomes: list[bool] = []
+        # Results merge in submission order: bit-identical to sequential.
+        for future in self._submit(pairs):
+            outcomes.extend(future.result())
+        return outcomes
+
+    async def verify_many_async(self, pairs: Sequence[VerifyPair]) -> list[bool]:
+        """Like :meth:`verify_many` without blocking the event loop."""
+        if self._local is not None or not pairs:
+            return self.verify_many(pairs)
+        loop = asyncio.get_running_loop()
+        futures = [
+            asyncio.wrap_future(future, loop=loop) for future in self._submit(pairs)
+        ]
+        chunks = await asyncio.gather(*futures)
+        outcomes: list[bool] = []
+        for chunk in chunks:
+            outcomes.extend(chunk)
+        return outcomes
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "VerifyPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -8,12 +8,26 @@ Schemes are stateful objects holding a key directory: ``keygen`` registers
 a signer, ``sign`` requires that signer's private key, and ``verify`` only
 needs the public directory.  Protocol code never touches key material
 directly; TEEs hold private keys internally.
+
+Beyond single-signature ``verify``, schemes expose a batch surface:
+
+* :meth:`SignatureScheme.verify_many` checks a list of independent
+  ``(message, signature)`` pairs and returns per-pair outcomes;
+* :meth:`SignatureScheme.verify_batch` checks many signatures over one
+  shared message (the quorum-certificate shape) and returns a single bool.
+
+Subclasses override ``verify_many`` when they have a genuinely cheaper
+joint check (Schnorr's random-linear-combination equation, HMAC's fused
+single pass); the base class falls back to per-signature verification.
+Batch verification never changes *results*: a failing batch falls back to
+per-signature checks so the caller learns exactly which signer was bad.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro import perf
 
@@ -45,10 +59,13 @@ class Signature:
         return SIGNATURE_WIRE_SIZE
 
 
-#: Entries kept in a scheme's verification memo before it is reset.  The
-#: cap only bounds memory; a reset never changes results because every
-#: entry is recomputable from its key.
+#: Entries kept in a scheme's verification memo before eviction kicks in.
+#: The cap only bounds memory; eviction never changes results because
+#: every entry is recomputable from its key.
 _VERIFY_CACHE_MAX = 1 << 18
+
+#: A pair accepted by :meth:`SignatureScheme.verify_many`.
+VerifyPair = tuple[bytes, Signature]
 
 
 class SignatureScheme:
@@ -77,6 +94,40 @@ class SignatureScheme:
         """Check ``signature`` over ``message`` against the public directory."""
         raise NotImplementedError
 
+    # -- batch surface ---------------------------------------------------------
+
+    def verify_many(self, pairs: Sequence[VerifyPair]) -> list[bool]:
+        """Check independent ``(message, signature)`` pairs; one bool each.
+
+        The base implementation is a plain loop.  Subclasses override it
+        with an algebraic or fused batch check; overrides must return
+        exactly the same outcomes as the loop (a failed joint check falls
+        back to per-pair verification to identify the bad signature).
+        """
+        return [self.verify(message, sig) for message, sig in pairs]
+
+    def verify_batch(self, message: bytes, sigs: Sequence[Signature]) -> bool:
+        """Check many signatures over one shared message (the QC shape)."""
+        return all(self.verify_many([(message, sig) for sig in sigs]))
+
+    # -- memo ------------------------------------------------------------------
+
+    def _evict_oldest(self) -> None:
+        """Drop the oldest half of the memo (FIFO: dicts keep insertion order).
+
+        A full ``clear()`` here caused a latency cliff: the next quorum
+        certificate re-verified every signature at once.  Halving keeps
+        the hot (recent) entries resident while bounding memory.
+        """
+        cache = self._verify_cache
+        for key in list(itertools.islice(cache, len(cache) // 2)):
+            del cache[key]
+
+    def _remember(self, key: tuple[int, bytes, bytes], outcome: bool) -> None:
+        if len(self._verify_cache) >= _VERIFY_CACHE_MAX:
+            self._evict_oldest()
+        self._verify_cache[key] = outcome
+
     def verify_cached(self, message: bytes, signature: Signature) -> bool:
         """:meth:`verify`, memoized by ``(signer, message, sig bytes)``."""
         if not perf.caches_enabled():
@@ -84,24 +135,79 @@ class SignatureScheme:
         key = (signature.signer, message, signature.data)
         cached = self._verify_cache.get(key)
         if cached is None:
-            if len(self._verify_cache) >= _VERIFY_CACHE_MAX:
-                self._verify_cache.clear()
             cached = self.verify(message, signature)
-            self._verify_cache[key] = cached
+            self._remember(key, cached)
         return cached
+
+    def cached_verification(self, message: bytes, signature: Signature) -> bool | None:
+        """Probe the memo without computing: the outcome, or ``None`` on miss."""
+        return self._verify_cache.get((signature.signer, message, signature.data))
+
+    def prime_verification(
+        self, pairs: Iterable[VerifyPair], outcomes: Iterable[bool]
+    ) -> None:
+        """Install externally computed outcomes into the memo.
+
+        Used by the process worker pool: workers verify against a
+        replicated public-key directory (verification is a pure function
+        of the key directory, so worker results are identical to local
+        ones), and the event-loop thread primes its memo with them.
+        """
+        if not perf.caches_enabled():
+            return
+        for (message, sig), outcome in zip(pairs, outcomes):
+            self._remember((sig.signer, message, sig.data), outcome)
 
     def _forget_cached_verifications(self) -> None:
         """Drop memoized outcomes; called whenever the key directory changes."""
         self._verify_cache.clear()
 
-    def verify_all(self, message: bytes, signatures: list[Signature]) -> bool:
-        """Verify a list of signatures over the same message.
+    def verify_many_cached(self, pairs: Sequence[VerifyPair]) -> list[bool]:
+        """:meth:`verify_many` with the memo consulted and updated per pair.
+
+        Cache hits drop out of the batch; only the misses enter the joint
+        check, and their outcomes are remembered for the next caller.
+        """
+        if not perf.caches_enabled():
+            return self.verify_many(pairs)
+        cache = self._verify_cache
+        outcomes: list[bool | None] = []
+        misses: list[tuple[int, VerifyPair]] = []
+        for index, (message, sig) in enumerate(pairs):
+            cached = cache.get((sig.signer, message, sig.data))
+            if cached is None:
+                misses.append((index, (message, sig)))
+            outcomes.append(cached)
+        if misses:
+            fresh = self.verify_many([pair for _, pair in misses])
+            for (index, (message, sig)), outcome in zip(misses, fresh):
+                self._remember((sig.signer, message, sig.data), outcome)
+                outcomes[index] = outcome
+        return [bool(outcome) for outcome in outcomes]
+
+    # -- quorum helper ---------------------------------------------------------
+
+    def verify_all(self, message: bytes, signatures: Sequence[Signature]) -> bool:
+        """Verify signatures over the same message, via the batch fast path.
 
         Also enforces the quorum-certificate requirement that all
-        signatures come from *distinct* signers.
+        signatures come from *distinct* signers.  Outcomes are memoized
+        per signature, so the next replica validating the same quorum
+        certificate skips the crypto entirely.
         """
         signers = {sig.signer for sig in signatures}
         if len(signers) != len(signatures):
             return False
-        verify = self.verify_cached
-        return all(verify(message, sig) for sig in signatures)
+        if not perf.caches_enabled():
+            return self.verify_batch(message, signatures)
+        return all(self.verify_many_cached([(message, sig) for sig in signatures]))
+
+    # -- worker-pool replication -----------------------------------------------
+
+    def replication_spec(self) -> dict[str, object]:
+        """A picklable description from which a *verifying* clone can be built.
+
+        The spec carries only what verification needs (public keys or MAC
+        keys); see :func:`repro.crypto.pool.build_scheme`.
+        """
+        raise NotImplementedError

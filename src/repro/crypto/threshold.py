@@ -67,16 +67,23 @@ class ThresholdScheme:
     # -- combination ----------------------------------------------------------------
 
     def combine(self, message: bytes, shares: list[Signature]) -> Signature:
-        """Verify >= threshold distinct member shares; emit the group signature."""
+        """Verify >= threshold distinct member shares; emit the group signature.
+
+        Membership and distinctness are checked first; the shares then
+        verify jointly through the base scheme's batch path (they all
+        sign the same message - the quorum-certificate shape).
+        """
         signers: set[int] = set()
         for share in shares:
             if share.signer not in self.members:
                 raise VerificationError(f"share from non-member {share.signer}")
             if share.signer in signers:
                 raise VerificationError(f"duplicate share from {share.signer}")
-            if not self.base.verify(message, share):
-                raise VerificationError(f"invalid share from {share.signer}")
             signers.add(share.signer)
+        outcomes = self.base.verify_many([(message, share) for share in shares])
+        for share, outcome in zip(shares, outcomes):
+            if not outcome:
+                raise VerificationError(f"invalid share from {share.signer}")
         if len(signers) < self.threshold:
             raise VerificationError(
                 f"only {len(signers)} valid shares, need {self.threshold}"

@@ -20,6 +20,7 @@ from typing import Callable
 
 _caches_enabled: bool = True
 _clearers: list[Callable[[], None]] = []
+_verify_jobs: int = 1
 
 
 def caches_enabled() -> bool:
@@ -47,3 +48,25 @@ def clear_caches() -> None:
     """Empty every registered memo table."""
     for clearer in _clearers:
         clearer()
+
+
+def verify_jobs() -> int:
+    """Process count for sharded signature verification (default: 1).
+
+    ``1`` keeps every verification inline on the calling thread; ``0``
+    means "one worker per available core"; ``n > 1`` pins the worker
+    count.  The asyncio runtime consults this when no explicit
+    ``verify_jobs`` argument is given, so ``repro perf`` and the CLI can
+    flip multi-core verification on without threading a parameter
+    through every call site.  Like the memo switch, the setting cannot
+    change results - sharded verification is bit-identical to inline.
+    """
+    return _verify_jobs
+
+
+def set_verify_jobs(jobs: int) -> None:
+    """Set the default verification worker count (see :func:`verify_jobs`)."""
+    if jobs < 0:
+        raise ValueError(f"verify jobs must be >= 0, got {jobs}")
+    global _verify_jobs
+    _verify_jobs = jobs

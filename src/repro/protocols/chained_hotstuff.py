@@ -151,6 +151,8 @@ class ChainedHotStuffReplica(BaseReplica):
         block = msg.block
         justify = self._just_of(block)
         self.charge_verify(len(justify.sigs) + 1)
+        # QC verification routes through the scheme's batch path
+        # (verify_all -> verify_many): one joint check for 2f+1 sigs.
         if not justify.verify(self.scheme, self.quorum):
             return
         if not self.scheme.verify_cached(

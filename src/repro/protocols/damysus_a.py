@@ -157,10 +157,15 @@ class DamysusAReplica(BaseReplica):
         self.charge_verify(2)  # accumulator signature + leader signature
         if self.directory.kind_of(acc.signature.signer) != "tee":
             return
-        if not acc.verify(self.scheme):
-            return
-        if not self.scheme.verify_cached(
-            proposal_a_payload(msg.view, msg.block.hash), msg.leader_sig
+        # Both checks ride one batch call: different payloads, one joint
+        # verification (the cross-message verify_many shape).
+        if not all(
+            self.scheme.verify_many_cached(
+                [
+                    (acc.signed_payload(), acc.signature),
+                    (proposal_a_payload(msg.view, msg.block.hash), msg.leader_sig),
+                ]
+            )
         ):
             return
         if not msg.block.extends(acc.prep_hash):

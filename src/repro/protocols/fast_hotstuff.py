@@ -181,7 +181,13 @@ class FastHotStuffReplica(BaseReplica):
     # -- backups -----------------------------------------------------------------------------
 
     def _proof_valid(self, msg: FastProposal) -> bool:
-        """Check the aggregate proof of an unhappy-path proposal."""
+        """Check the aggregate proof of an unhappy-path proposal.
+
+        Structural checks run first (they are free and reject most bad
+        proofs); the 2f+1 report signatures are then checked jointly via
+        the scheme's batch path - each report signs a different payload,
+        which is exactly the cross-message shape ``verify_many`` handles.
+        """
         proof = msg.proof or ()
         if len(proof) != self.quorum:
             return False
@@ -190,10 +196,6 @@ class FastHotStuffReplica(BaseReplica):
         justify_seen = False
         for report in proof:
             if report.view != msg.view:
-                return False
-            if not self.scheme.verify_cached(
-                new_view_a_payload(report.view, report.justify), report.sender_sig
-            ):
                 return False
             if report.sender_sig.signer in signers:
                 return False
@@ -205,7 +207,16 @@ class FastHotStuffReplica(BaseReplica):
                 and report.justify.block_hash == msg.justify.block_hash
             ):
                 justify_seen = True
-        return justify_seen
+        if not justify_seen:
+            return False
+        return all(
+            self.scheme.verify_many_cached(
+                [
+                    (new_view_a_payload(report.view, report.justify), report.sender_sig)
+                    for report in proof
+                ]
+            )
+        )
 
     def _handle_proposal(self, sender: int, msg: FastProposal) -> None:
         if sender != self.leader_of(msg.view):

@@ -115,6 +115,8 @@ class HotStuffReplica(BaseReplica):
             self.charge_verify(2)
             return self.threshold.verify_group(qc.signed_payload(), qc.sigs[0])
         self.charge_verify(len(qc.sigs))
+        # List certificates verify through the scheme's batch path
+        # (verify_all -> verify_many): one joint check for 2f+1 sigs.
         return qc.verify(self.scheme, self.quorum)
 
     def _make_qc(

@@ -47,11 +47,13 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import perf
 from repro.config import NetConfig, SystemConfig
 from repro.core.codec import CodecError, decode_message, encode_message
 from repro.core.rng import RngStream
 from repro.crypto.hmac_scheme import HmacScheme
 from repro.crypto.keys import KeyDirectory
+from repro.crypto.pool import VerifyPool, resolve_verify_jobs
 from repro.errors import ConfigError, TEERefusal
 from repro.protocols.registry import ProtocolSpec, get_spec
 from repro.protocols.replica import BaseReplica
@@ -71,6 +73,7 @@ from repro.runtime.framing import (
     encode_frame,
     encode_hello,
 )
+from repro.runtime.precheck import signature_checks
 from repro.runtime.resilience.durable import DurableSealer
 from repro.runtime.resilience.transport import FaultDecider
 from repro.runtime.resilience.watchdog import LivenessWatchdog
@@ -113,6 +116,7 @@ class AsyncioRuntime:
         net: NetConfig | None = None,
         fault_decider: FaultDecider | None = None,
         sealer: DurableSealer | None = None,
+        verify_pool: VerifyPool | None = None,
     ) -> None:
         self.machine = machine
         machine.runtime = self
@@ -121,6 +125,12 @@ class AsyncioRuntime:
         self.net = net or NetConfig()
         self.fault_decider = fault_decider
         self.sealer = sealer
+        # Optional multi-core signature pre-verification: inbound frames
+        # have their signatures checked in worker processes before the
+        # machine sees them, priming the scheme's memo (pure, so results
+        # are bit-identical to inline verification).  Shared across the
+        # runtimes of a local cluster; the creator owns close().
+        self.verify_pool = verify_pool
         self.peers: dict[int, tuple[str, int]] = {}
         self._server: asyncio.Server | None = None
         self._queues: dict[int, asyncio.Queue[bytes]] = {}
@@ -139,6 +149,7 @@ class AsyncioRuntime:
         self.sent_bytes = 0
         self.dropped_messages = 0  # outbound queue overflow (either policy)
         self.rejected_connections = 0  # malformed hello / framing violations
+        self.prechecked_sigs = 0  # signatures verified off the event loop
         self.committed_blocks = 0
         self.committed_txs = 0
         self.commit_event = asyncio.Event()
@@ -367,7 +378,10 @@ class AsyncioRuntime:
                         # consensus retransmits cover the loss.
                         self.dropped_messages += 1
                         continue
-                    self.machine.on_message(sender, decode_message(frame))
+                    payload = decode_message(frame)
+                    if self.verify_pool is not None:
+                        await self._precheck(payload)
+                    self.machine.on_message(sender, payload)
         except (FramingError, CodecError) as exc:
             # Malformed peer stream: disconnect, never buffer or guess.
             self.rejected_connections += 1
@@ -386,6 +400,30 @@ class AsyncioRuntime:
             writer.close()
             with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
+
+    async def _precheck(self, payload: object) -> None:
+        """Verify ``payload``'s signatures in the worker pool, priming the memo.
+
+        Only pairs not already memoized are shipped to workers; the
+        outcomes are primed into the scheme's verification cache so the
+        machine's own ``verify_cached`` / ``verify_many_cached`` calls
+        hit it.  The protocol still performs every check it performed
+        before - this moves the algebra off the event loop, it never
+        skips or weakens a verification.
+        """
+        if self.verify_pool is None:
+            return
+        scheme = self.machine.scheme
+        pending = [
+            pair
+            for pair in signature_checks(payload)
+            if scheme.cached_verification(pair[0], pair[1]) is None
+        ]
+        if not pending:
+            return
+        outcomes = await self.verify_pool.verify_many_async(pending)
+        scheme.prime_verification(pending, outcomes)
+        self.prechecked_sigs += len(pending)
 
     # -- timers ------------------------------------------------------------
 
@@ -474,6 +512,8 @@ class ClusterReport:
     messages_sent: int
     bytes_sent: int
     dropped_messages: int
+    #: Signatures verified off the event loop by the shared VerifyPool.
+    prechecked_sigs: int = 0
     #: Per-replica executed block-hash chains (for equivalence checks).
     chains: dict[int, list[str]] = field(default_factory=dict)
     #: Per-replica rolling execution state roots (cross-runtime digests).
@@ -506,6 +546,7 @@ async def run_local_cluster(
     net: NetConfig | None = None,
     checkpoint_interval: int = 0,
     start_delay_s: dict[int, float] | None = None,
+    verify_jobs: int | None = None,
 ) -> ClusterReport:
     """Run an ``n``-replica cluster on localhost TCP; report throughput.
 
@@ -516,27 +557,37 @@ async def run_local_cluster(
     their machines - the servers still bind immediately, so a delayed
     replica looks cleanly partitioned-from-genesis and must rejoin via
     state transfer once ``checkpoint_interval`` is on.
+
+    ``verify_jobs`` shards inbound signature verification across worker
+    processes (0 = one per core, 1 = inline, ``None`` = the
+    :func:`repro.perf.verify_jobs` default).  All runtimes share one
+    pool - every replica holds the same key material - and results are
+    bit-identical to inline verification.
     """
     spec = get_spec(protocol)
     f, quorum = _sized_quorum(spec, n)
     clock = WallClock()
-    runtimes = [
-        AsyncioRuntime(
-            build_machine(
-                protocol,
-                pid,
-                n,
-                clock,
-                seed=seed,
-                payload_bytes=payload_bytes,
-                block_size=block_size,
-                timeout_ms=timeout_ms,
-                checkpoint_interval=checkpoint_interval,
-            ),
-            host=host,
-            net=net,
+    jobs = resolve_verify_jobs(
+        perf.verify_jobs() if verify_jobs is None else verify_jobs
+    )
+    machines = [
+        build_machine(
+            protocol,
+            pid,
+            n,
+            clock,
+            seed=seed,
+            payload_bytes=payload_bytes,
+            block_size=block_size,
+            timeout_ms=timeout_ms,
+            checkpoint_interval=checkpoint_interval,
         )
         for pid in range(n)
+    ]
+    pool = VerifyPool(machines[0].scheme, jobs=jobs) if jobs > 1 else None
+    runtimes = [
+        AsyncioRuntime(machine, host=host, net=net, verify_pool=pool)
+        for machine in machines
     ]
     # Phase 1: bind every server on an ephemeral port; phase 2: exchange
     # the real addresses.  No fixed ports, so parallel CI runs never race.
@@ -578,6 +629,8 @@ async def run_local_cluster(
             await asyncio.gather(*late_tasks, return_exceptions=True)
         for runtime in runtimes:
             await runtime.close()
+        if pool is not None:
+            pool.close()
     return ClusterReport(
         protocol=protocol,
         num_replicas=n,
@@ -589,6 +642,7 @@ async def run_local_cluster(
         messages_sent=sum(rt.sent_messages for rt in runtimes),
         bytes_sent=sum(rt.sent_bytes for rt in runtimes),
         dropped_messages=sum(rt.dropped_messages for rt in runtimes),
+        prechecked_sigs=sum(rt.prechecked_sigs for rt in runtimes),
         chains={
             rt.machine.pid: [block.hash.hex() for block in rt.machine.ledger.executed]
             for rt in runtimes
@@ -652,6 +706,7 @@ async def serve_replica(
     health_file: str | Path | None = None,
     health_interval_s: float = 0.5,
     fault_spec: str | Path | None = None,
+    verify_jobs: int | None = None,
 ) -> AsyncioRuntime:
     """Run one replica of a fixed-port deployment (``repro serve``).
 
@@ -671,6 +726,9 @@ async def serve_replica(
     * ``fault_spec`` - a :meth:`~repro.core.faults.FaultPlan.rules_spec`
       file applied to outbound frames, re-read whenever its mtime
       changes (live partition/heal without restarting processes).
+    * ``verify_jobs`` - shard inbound signature verification across
+      worker processes (0 = one per core, 1 = inline, ``None`` = the
+      :func:`repro.perf.verify_jobs` default); bit-identical results.
     """
     if not 0 <= pid < n:
         raise ConfigError(f"pid {pid} outside cluster of {n} replicas")
@@ -715,6 +773,10 @@ async def serve_replica(
                 pid,
                 machine.checker.step.view,
             )
+    jobs = resolve_verify_jobs(
+        perf.verify_jobs() if verify_jobs is None else verify_jobs
+    )
+    pool = VerifyPool(machine.scheme, jobs=jobs) if jobs > 1 else None
     runtime = AsyncioRuntime(
         machine,
         host=host,
@@ -722,6 +784,7 @@ async def serve_replica(
         net=net,
         fault_decider=decider,
         sealer=sealer,
+        verify_pool=pool,
     )
     await runtime.start_server()
     runtime.set_peers({peer: (host, base_port + peer) for peer in range(n)})
@@ -777,6 +840,7 @@ async def serve_replica(
                 ),
                 "dropped_messages": runtime.dropped_messages,
                 "rejected_connections": runtime.rejected_connections,
+                "prechecked_sigs": runtime.prechecked_sigs,
                 "faults": {} if decider is None else decider.counts(),
                 "watchdog": watchdog.snapshot(now_ms).to_dict(),
             }
@@ -819,4 +883,6 @@ async def serve_replica(
         if aux_tasks:
             await asyncio.gather(*aux_tasks, return_exceptions=True)
         await runtime.close()
+        if pool is not None:
+            pool.close()
     return runtime

@@ -1,0 +1,179 @@
+"""Signature extraction for off-event-loop pre-verification.
+
+The asyncio runtime can hand inbound messages to a
+:class:`~repro.crypto.pool.VerifyPool` before the protocol machine sees
+them.  This module knows, per message type, which ``(payload,
+signature)`` pairs the replica will eventually verify; the pool checks
+them in worker processes and the runtime primes the scheme's
+verification memo with the outcomes, so the protocol's own
+``verify_cached`` / ``verify_many_cached`` calls become cache hits
+instead of modular exponentiations on the event loop.
+
+Pre-checking is sound by construction: signature verification is a pure
+function of the replicated key directory, so a memo primed from a
+worker's outcome is indistinguishable from one computed inline - the
+protocol still performs every check it performed before, byte-identical
+in result.  It is also best-effort: a message type this module does not
+cover simply yields no pairs and verifies inline, exactly as before.
+
+Two kinds of signatures are deliberately skipped:
+
+* threshold *group* signatures (they verify under a group secret the
+  base scheme cannot evaluate - see :mod:`repro.crypto.threshold`);
+* genesis certificates (never signature-checked by any protocol).
+
+Signatures the protocol reconstructs payloads for out of its own state
+(e.g. the Damysus ``BlockProposal`` leader commitment, rebuilt by
+backups from the proposed block) are likewise left to the inline path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.scheme import Signature, VerifyPair
+from repro.crypto.threshold import is_group_signature
+from repro.core.block import Block
+from repro.core.certificate import Accumulator, QuorumCert, vote_payload
+from repro.core.commitment import Commitment
+from repro.core.messages import (
+    BlockProposal,
+    ChainedProposal,
+    CommitmentMsg,
+    NewViewAMsg,
+    NewViewMsg,
+    ProposalAMsg,
+    ProposalMsg,
+    QCMsg,
+    VoteMsg,
+)
+from repro.core.phases import Phase
+from repro.protocols.chained_damysus import ChainedVote
+from repro.protocols.fast_hotstuff import FastProposal
+from repro.protocols.sync import SyncBlocks, SyncCheckpoint
+from repro.tee.accumulator import new_view_a_payload
+
+__all__ = ["signature_checks"]
+
+
+def _qc_pairs(qc: QuorumCert) -> list[VerifyPair]:
+    if qc.is_genesis:
+        return []
+    payload = qc.signed_payload()
+    return [(payload, sig) for sig in qc.sigs if not is_group_signature(sig)]
+
+
+def _commitment_pairs(phi: Commitment) -> list[VerifyPair]:
+    payload = phi.signed_payload()
+    return [(payload, sig) for sig in phi.sigs if not is_group_signature(sig)]
+
+
+def _acc_pairs(acc: Accumulator) -> list[VerifyPair]:
+    return [(acc.signed_payload(), acc.signature)]
+
+
+def _cert_pairs(cert: QuorumCert | Accumulator | Commitment | None) -> list[VerifyPair]:
+    """Pairs for any certificate representation a block or report carries."""
+    if isinstance(cert, QuorumCert):
+        return _qc_pairs(cert)
+    if isinstance(cert, Accumulator):
+        return _acc_pairs(cert)
+    if isinstance(cert, Commitment):
+        return _commitment_pairs(cert)
+    return []
+
+
+def _block_pairs(block: Block) -> list[VerifyPair]:
+    return _cert_pairs(block.justify)
+
+
+def _report_pairs(report: NewViewAMsg) -> list[VerifyPair]:
+    """A Damysus-A / Fast-HotStuff new-view report: sender sig + its QC."""
+    pairs: list[VerifyPair] = []
+    if not is_group_signature(report.sender_sig):
+        pairs.append(
+            (new_view_a_payload(report.view, report.justify), report.sender_sig)
+        )
+    pairs.extend(_qc_pairs(report.justify))
+    return pairs
+
+
+def _vote_pair(view: int, phase: Phase, block_hash: bytes, sig: Signature) -> list[VerifyPair]:
+    if is_group_signature(sig):
+        return []
+    return [(vote_payload(view, phase, block_hash), sig)]
+
+
+def signature_checks(payload: Any) -> list[VerifyPair]:
+    """Every (message bytes, signature) pair ``payload`` will be checked against.
+
+    Duplicates within one message are fine (the memo dedupes); missing
+    coverage is fine (the protocol verifies inline).  The one thing this
+    function must never do is attribute the *wrong* payload to a
+    signature - that would prime the memo with a ``False`` for a pair
+    the protocol never asks about, which is wasted work but still sound.
+    """
+    if isinstance(payload, VoteMsg):
+        return _vote_pair(payload.view, payload.phase, payload.block_hash, payload.sig)
+    if isinstance(payload, NewViewMsg):
+        return _qc_pairs(payload.justify)
+    if isinstance(payload, NewViewAMsg):
+        return _report_pairs(payload)
+    if isinstance(payload, ProposalMsg):
+        return _qc_pairs(payload.justify) + _block_pairs(payload.block)
+    if isinstance(payload, QCMsg):
+        return _qc_pairs(payload.qc)
+    if isinstance(payload, ProposalAMsg):
+        from repro.protocols.damysus_a import proposal_a_payload
+
+        pairs = _acc_pairs(payload.acc) + _block_pairs(payload.block)
+        if not is_group_signature(payload.leader_sig):
+            pairs.append(
+                (
+                    proposal_a_payload(payload.view, payload.block.hash),
+                    payload.leader_sig,
+                )
+            )
+        return pairs
+    if isinstance(payload, ChainedProposal):
+        # The leader signature doubles as the leader's prepare vote.
+        return (
+            _vote_pair(
+                payload.view, Phase.PREPARE, payload.block.hash, payload.leader_sig
+            )
+            + _block_pairs(payload.block)
+        )
+    if isinstance(payload, FastProposal):
+        pairs = _qc_pairs(payload.justify) + _block_pairs(payload.block)
+        for report in payload.proof or ():
+            pairs.extend(_report_pairs(report))
+        return pairs
+    if isinstance(payload, CommitmentMsg):
+        return _commitment_pairs(payload.commitment)
+    if isinstance(payload, ChainedVote):
+        pairs = _commitment_pairs(payload.nv)
+        if payload.prep is not None:
+            pairs.extend(_commitment_pairs(payload.prep))
+        return pairs
+    if isinstance(payload, BlockProposal):
+        # leader_sig is checked against a commitment the backup rebuilds
+        # from protocol state - leave it to the inline path.
+        pairs = _block_pairs(payload.block)
+        if payload.acc is not None:
+            pairs.extend(_acc_pairs(payload.acc))
+        if payload.justify_commitment is not None:
+            pairs.extend(_commitment_pairs(payload.justify_commitment))
+        return pairs
+    if isinstance(payload, SyncCheckpoint):
+        checkpoint = payload.checkpoint
+        return [
+            (checkpoint.payload(), checkpoint.signature)
+        ] + _commitment_pairs(checkpoint.qc)
+    if isinstance(payload, SyncBlocks):
+        pairs = []
+        for block in payload.blocks:
+            pairs.extend(_block_pairs(block))
+        if payload.tip_qc is not None:
+            pairs.extend(_commitment_pairs(payload.tip_qc))
+        return pairs
+    return []

@@ -189,17 +189,20 @@ class QCAccumulatorService(TrustedComponent):
         self.quorum = quorum  # how many reports to accumulate (2f+1)
         self.qc_quorum = qc_quorum  # signatures per prepare QC (2f+1)
 
-    def _check_report(self, msg: NewViewAMsg) -> None:
+    def _check_report_shape(self, msg: NewViewAMsg) -> None:
         if self._directory.kind_of(msg.sender_sig.signer) != "replica":
             raise TEERefusal("qc-accumulator: report not signed by a replica")
-        payload = new_view_a_payload(msg.view, msg.justify)
-        if not self._scheme.verify_cached(payload, msg.sender_sig):
-            raise TEERefusal("qc-accumulator: bad report signature")
         if msg.justify.phase != Phase.PREPARE:
             raise TEERefusal("qc-accumulator: justification is not a prepare QC")
 
     def accumulate(self, reports: list[NewViewAMsg]) -> Accumulator:
         """Verify ``quorum`` distinct reports; certify the highest QC.
+
+        Report signatures are checked jointly through the scheme's batch
+        path (structural checks first, then one
+        :meth:`~repro.crypto.scheme.SignatureScheme.verify_many_cached`
+        over all reports; a batch miss falls back per signature inside
+        the scheme, so the refusal still names a specific report).
 
         Only the *selected* (highest) report's embedded quorum certificate
         is verified in full: lower claims never influence the outcome, so
@@ -217,11 +220,23 @@ class QCAccumulatorService(TrustedComponent):
             raise TEERefusal("qc-accumulator: reports span multiple views")
         senders: set[int] = set()
         for msg in reports:
-            self._check_report(msg)
+            self._check_report_shape(msg)
             sender = msg.sender_sig.signer
             if sender in senders:
                 raise TEERefusal("qc-accumulator: duplicate reporter")
             senders.add(sender)
+        outcomes = self._scheme.verify_many_cached(
+            [
+                (new_view_a_payload(msg.view, msg.justify), msg.sender_sig)
+                for msg in reports
+            ]
+        )
+        for msg, outcome in zip(reports, outcomes):
+            if not outcome:
+                raise TEERefusal(
+                    "qc-accumulator: bad report signature "
+                    f"from {msg.sender_sig.signer}"
+                )
         best = max(reports, key=lambda msg: msg.justify.view)
         if not best.justify.verify(self._scheme, self.qc_quorum):
             raise TEERefusal("qc-accumulator: invalid prepare QC in selected report")

@@ -115,6 +115,103 @@ def test_required_grid_speedup_scaling():
     )
 
 
+def test_measure_batch_verify_shape():
+    out = perfbench.measure_batch_verify({"thresholds": [1]})
+    assert len(out["cells"]) == 1
+    cell = out["cells"][0]
+    assert cell["f"] == 1
+    assert cell["sigs"] == 3
+    assert cell["per_sig_s"] > 0.0
+    assert cell["batch_s"] > 0.0
+    assert out["max_speedup"] == cell["speedup"]
+
+
+def test_measure_codec_shape():
+    out = perfbench.measure_codec({"rounds": 20})
+    assert out["wire_bytes"] > 0
+    assert out["encode_per_sec"] > 0.0
+    assert out["decode_per_sec"] > 0.0
+
+
+def test_measure_parallel_verify_skips_below_two_cores(monkeypatch):
+    import repro.crypto.pool as pool_mod
+
+    monkeypatch.setattr(pool_mod, "available_cpus", lambda: 1)
+    out = perfbench.measure_parallel_verify({"pairs": 4})
+    assert out["skipped"] == "only 1 cpu(s) available"
+
+
+def crypto_cells(batch_speedup=3.0, codec_rate=50_000.0, parallel=None):
+    cells = {
+        "batch_verify": {
+            "params": {},
+            "cells": [{"f": 2, "sigs": 5, "per_sig_s": 0.1, "batch_s": 0.04,
+                       "speedup": batch_speedup}],
+            "max_speedup": batch_speedup,
+        },
+        "codec": {
+            "params": {},
+            "wire_bytes": 5000,
+            "encode_per_sec": codec_rate,
+            "decode_per_sec": codec_rate / 8,
+            "wall_seconds": 0.1,
+        },
+    }
+    if parallel is not None:
+        cells["parallel_verify"] = parallel
+    return cells
+
+
+def test_check_bench_tolerates_old_baseline_without_crypto_cells():
+    current = fake_bench()
+    current.update(crypto_cells())
+    ok, _, messages = perfbench.check_bench(fake_bench(), current)
+    assert ok, messages
+
+
+def test_check_bench_flags_lost_batch_speedup():
+    baseline = fake_bench()
+    baseline.update(crypto_cells())
+    current = fake_bench()
+    current.update(crypto_cells(batch_speedup=perfbench.MIN_BATCH_SPEEDUP - 0.5))
+    ok, _, messages = perfbench.check_bench(baseline, current)
+    assert not ok
+    assert any("batch_verify" in m for m in messages)
+
+
+def test_check_bench_flags_codec_slowdown():
+    baseline = fake_bench()
+    baseline.update(crypto_cells(codec_rate=100_000.0))
+    current = fake_bench()
+    current.update(crypto_cells(codec_rate=10_000.0))
+    ok, _, messages = perfbench.check_bench(baseline, current, threshold=3.0)
+    assert not ok
+    assert any("codec" in m and "slower" in m for m in messages)
+
+
+def test_check_bench_skipped_parallel_cell_is_not_a_failure():
+    skipped = {"params": {}, "skipped": "only 1 cpu(s) available"}
+    baseline = fake_bench()
+    baseline.update(crypto_cells(parallel=skipped))
+    current = fake_bench()
+    current.update(crypto_cells(parallel=skipped))
+    ok, _, messages = perfbench.check_bench(baseline, current)
+    assert ok, messages
+    assert any(m.startswith("skip parallel_verify") for m in messages)
+
+
+def test_check_bench_flags_sharded_slowdown():
+    fast = {"params": {}, "jobs": 2, "sequential_s": 0.4, "sharded_s": 0.2, "speedup": 2.0}
+    slow = {"params": {}, "jobs": 2, "sequential_s": 0.4, "sharded_s": 2.0, "speedup": 0.2}
+    baseline = fake_bench()
+    baseline.update(crypto_cells(parallel=fast))
+    current = fake_bench()
+    current.update(crypto_cells(parallel=slow))
+    ok, _, messages = perfbench.check_bench(baseline, current, threshold=3.0)
+    assert not ok
+    assert any("parallel_verify" in m for m in messages)
+
+
 def test_committed_baseline_is_valid():
     """The repo's committed BENCH_baseline.json parses and shows the wins."""
     import pathlib
@@ -127,3 +224,4 @@ def test_committed_baseline_is_valid():
     assert baseline["grid"]["total_speedup"] >= perfbench.required_grid_speedup(
         baseline["grid"]["jobs"]
     )
+    assert baseline["batch_verify"]["max_speedup"] >= perfbench.MIN_BATCH_SPEEDUP

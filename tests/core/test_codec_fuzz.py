@@ -1,0 +1,123 @@
+"""Codec robustness: hostile bytes must fail with CodecError, never leak
+struct.error / IndexError / UnicodeDecodeError to the runtime.
+
+The asyncio runtime feeds raw network frames straight into
+``decode_message``; a Byzantine peer controls every byte.  These tests
+exhaustively truncate, extend and mutate the encoding of every message
+type in the wire catalog.
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.core.codec import (
+    CodecError,
+    Encoder,
+    MessageSerializer,
+    Serializer,
+    decode_message,
+    encode_message,
+    encode_message_framed,
+)
+from tests.core.test_codec import ALL_MESSAGES
+
+#: Exceptions a hostile frame must never surface.
+FORBIDDEN = (struct.error, IndexError, UnicodeDecodeError, KeyError, ValueError)
+
+
+def _decode_hostile(data):
+    """Decode attacker bytes; anything but CodecError or success fails."""
+    try:
+        decode_message(data)
+    except CodecError:
+        pass
+
+
+@pytest.mark.parametrize("msg", ALL_MESSAGES, ids=lambda m: type(m).__name__)
+def test_every_strict_prefix_rejected(msg):
+    data = encode_message(msg)
+    for cut in range(len(data)):
+        with pytest.raises(CodecError):
+            decode_message(data[:cut])
+
+
+@pytest.mark.parametrize("msg", ALL_MESSAGES, ids=lambda m: type(m).__name__)
+def test_trailing_garbage_rejected(msg):
+    data = encode_message(msg)
+    for tail in (b"\x00", b"\xff" * 7):
+        with pytest.raises(CodecError):
+            decode_message(data + tail)
+
+
+@pytest.mark.parametrize("msg", ALL_MESSAGES, ids=lambda m: type(m).__name__)
+def test_single_byte_mutations_never_crash(msg):
+    """Flip one byte at a time: clean decode or CodecError, nothing else."""
+    data = bytearray(encode_message(msg))
+    rng = random.Random(0xC0DEC)
+    positions = range(len(data)) if len(data) <= 96 else sorted(
+        rng.sample(range(len(data)), 96)
+    )
+    for pos in positions:
+        original = data[pos]
+        for flip in (original ^ 0x01, original ^ 0x80, 0xFF):
+            data[pos] = flip
+            _decode_hostile(bytes(data))
+        data[pos] = original
+
+
+@pytest.mark.parametrize("msg", ALL_MESSAGES, ids=lambda m: type(m).__name__)
+def test_random_splices_never_crash(msg):
+    """Seeded multi-byte corruption (overwrites, swaps, length bombs)."""
+    data = encode_message(msg)
+    rng = random.Random(len(data))
+    for _ in range(40):
+        corrupt = bytearray(data)
+        for _ in range(rng.randint(1, 4)):
+            start = rng.randrange(len(corrupt))
+            span = min(rng.randint(1, 8), len(corrupt) - start)
+            corrupt[start : start + span] = rng.randbytes(span)
+        _decode_hostile(bytes(corrupt))
+
+
+def test_pure_garbage_never_crashes():
+    rng = random.Random(1337)
+    for size in (0, 1, 2, 3, 5, 16, 64, 301):
+        for _ in range(25):
+            _decode_hostile(rng.randbytes(size))
+
+
+def test_huge_length_prefix_rejected():
+    # A var_bytes length field claiming 4 GiB must not allocate or crash.
+    vote = encode_message(ALL_MESSAGES[5])
+    bomb = bytearray(vote)
+    bomb[-40:-36] = b"\xff\xff\xff\xff"  # inside the signature var_bytes length
+    _decode_hostile(bytes(bomb))
+
+
+@pytest.mark.parametrize("msg", ALL_MESSAGES, ids=lambda m: type(m).__name__)
+def test_framed_roundtrip(msg):
+    framed = encode_message_framed(msg)
+    (length,) = struct.unpack_from("<I", framed, 0)
+    assert length == len(framed) - 4
+    assert decode_message(framed[4:]) == msg
+
+
+def test_message_serializer_satisfies_protocol():
+    serializer = MessageSerializer()
+    assert isinstance(serializer, Serializer)
+    msg = ALL_MESSAGES[0]
+    assert serializer.deserialize(serializer.serialize(msg)) == msg
+
+
+def test_encoder_range_errors_are_codec_errors():
+    enc = Encoder()
+    with pytest.raises(CodecError):
+        enc.u8(256)
+    with pytest.raises(CodecError):
+        enc.u32(1 << 32)
+    with pytest.raises(CodecError):
+        enc.i64(1 << 63)
+    with pytest.raises(CodecError):
+        enc.patch_u32(0, 1)  # nothing written yet

@@ -1,0 +1,147 @@
+"""Batch verification: the joint check must equal per-signature checking."""
+
+import pytest
+
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.scheme import Signature
+from repro.crypto.schnorr import GROUP_TEST, SchnorrScheme
+
+MESSAGE = b"batch-verify-message"
+
+
+@pytest.fixture
+def schnorr():
+    scheme = SchnorrScheme(GROUP_TEST)
+    for signer in range(5):
+        scheme.keygen(signer)
+    return scheme
+
+
+@pytest.fixture
+def hmac_scheme():
+    scheme = HmacScheme(secret=b"batch-test")
+    for signer in range(5):
+        scheme.keygen(signer)
+    return scheme
+
+
+def qc_pairs(scheme, message=MESSAGE, signers=range(5)):
+    return [(message, scheme.sign(signer, message)) for signer in signers]
+
+
+# -- Schnorr: the algebraic batch equation -----------------------------------
+
+
+def test_all_valid_batch_accepts(schnorr):
+    assert schnorr.verify_many(qc_pairs(schnorr)) == [True] * 5
+
+
+def test_batch_equals_per_signature_loop(schnorr):
+    pairs = qc_pairs(schnorr)
+    loop = [schnorr.verify(m, sig) for m, sig in pairs]
+    assert schnorr.verify_many(pairs) == loop
+
+
+def test_single_bad_signature_is_identified(schnorr):
+    pairs = qc_pairs(schnorr)
+    bad = Signature(pairs[2][1].signer, pairs[3][1].data, pairs[2][1].scheme)
+    pairs[2] = (pairs[2][0], bad)
+    outcomes = schnorr.verify_many(pairs)
+    assert outcomes == [True, True, False, True, True]
+
+
+def test_tampered_signature_bytes_rejected(schnorr):
+    pairs = qc_pairs(schnorr)
+    sig = pairs[0][1]
+    flipped = bytes([sig.data[0] ^ 1]) + sig.data[1:]
+    pairs[0] = (pairs[0][0], Signature(sig.signer, flipped, sig.scheme))
+    assert schnorr.verify_many(pairs)[0] is False
+    assert schnorr.verify_many(pairs)[1:] == [True] * 4
+
+
+def test_cross_message_batch(schnorr):
+    # Each signer signs a different payload - the new-view-report shape.
+    pairs = [
+        (f"report-{signer}".encode(), schnorr.sign(signer, f"report-{signer}".encode()))
+        for signer in range(5)
+    ]
+    assert schnorr.verify_many(pairs) == [True] * 5
+    swapped = list(pairs)
+    swapped[1] = (pairs[1][0], pairs[4][1])  # signature over the wrong message
+    assert schnorr.verify_many(swapped) == [True, False, True, True, True]
+
+
+def test_batch_is_deterministic(schnorr):
+    pairs = qc_pairs(schnorr)
+    assert schnorr.verify_many(pairs) == schnorr.verify_many(pairs)
+
+
+def test_unknown_signer_in_batch(schnorr):
+    pairs = qc_pairs(schnorr)
+    stranger = Signature(99, pairs[0][1].data, pairs[0][1].scheme)
+    pairs.append((MESSAGE, stranger))
+    assert schnorr.verify_many(pairs) == [True] * 5 + [False]
+
+
+def test_wrong_scheme_tag_in_batch(schnorr):
+    pairs = qc_pairs(schnorr)
+    pairs[1] = (pairs[1][0], Signature(1, pairs[1][1].data, "hmac"))
+    assert schnorr.verify_many(pairs)[1] is False
+
+
+def test_verify_batch_shared_message(schnorr):
+    sigs = [sig for _, sig in qc_pairs(schnorr)]
+    assert schnorr.verify_batch(MESSAGE, sigs)
+    assert not schnorr.verify_batch(b"other", sigs)
+
+
+def test_singleton_and_empty_batches(schnorr):
+    assert schnorr.verify_many([]) == []
+    pair = (MESSAGE, schnorr.sign(0, MESSAGE))
+    assert schnorr.verify_many([pair]) == [True]
+
+
+# -- HMAC: the fused single-pass loop ----------------------------------------
+
+
+def test_hmac_batch_equals_loop(hmac_scheme):
+    pairs = qc_pairs(hmac_scheme)
+    bad = Signature(3, b"\x00" * 32, pairs[0][1].scheme)
+    pairs[3] = (pairs[3][0], bad)
+    loop = [hmac_scheme.verify(m, sig) for m, sig in pairs]
+    assert hmac_scheme.verify_many(pairs) == loop
+    assert loop == [True, True, True, False, True]
+
+
+def test_hmac_batch_rejects_unknown_signer(hmac_scheme):
+    sig = hmac_scheme.sign(1, MESSAGE)
+    stranger = Signature(77, sig.data, sig.scheme)
+    assert hmac_scheme.verify_many([(MESSAGE, stranger)]) == [False]
+
+
+# -- memo integration --------------------------------------------------------
+
+
+def test_verify_many_cached_memoizes(schnorr):
+    pairs = qc_pairs(schnorr)
+    assert schnorr.verify_many_cached(pairs) == [True] * 5
+    for message, sig in pairs:
+        assert schnorr.cached_verification(message, sig) is True
+    # Second call is pure cache; outcomes unchanged.
+    assert schnorr.verify_many_cached(pairs) == [True] * 5
+
+
+def test_verify_many_cached_mixed_hits_and_misses(schnorr):
+    pairs = qc_pairs(schnorr)
+    schnorr.verify_many_cached(pairs[:2])
+    assert schnorr.verify_many_cached(pairs) == [True] * 5
+
+
+def test_verify_all_rejects_duplicate_signers(schnorr):
+    sig = schnorr.sign(1, MESSAGE)
+    assert not schnorr.verify_all(MESSAGE, [sig, sig])
+
+
+def test_verify_all_batches_quorum(schnorr):
+    sigs = [sig for _, sig in qc_pairs(schnorr)]
+    assert schnorr.verify_all(MESSAGE, sigs)

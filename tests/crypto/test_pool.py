@@ -1,0 +1,133 @@
+"""VerifyPool: sharded verification must be bit-identical to sequential."""
+
+import asyncio
+
+import pytest
+
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.pool import (
+    VerifyPool,
+    available_cpus,
+    build_scheme,
+    resolve_verify_jobs,
+)
+from repro.crypto.scheme import Signature
+from repro.crypto.schnorr import GROUP_TEST, SchnorrScheme
+from repro.errors import CryptoError
+
+
+@pytest.fixture
+def hmac_scheme():
+    scheme = HmacScheme(secret=b"pool-test")
+    for signer in range(5):
+        scheme.keygen(signer)
+    return scheme
+
+
+@pytest.fixture
+def schnorr():
+    scheme = SchnorrScheme(GROUP_TEST)
+    for signer in range(5):
+        scheme.keygen(signer)
+    return scheme
+
+
+def mixed_pairs(scheme, count=12):
+    """Pairs with a known-bad signature sprinkled at every third slot."""
+    pairs = []
+    for i in range(count):
+        message = f"pool-msg-{i}".encode()
+        sig = scheme.sign(i % 5, message)
+        if i % 3 == 2:
+            sig = Signature(sig.signer, b"\x00" * len(sig.data), sig.scheme)
+        pairs.append((message, sig))
+    return pairs
+
+
+# -- replication spec rebuild ------------------------------------------------
+
+
+def test_build_scheme_rebuilds_hmac_verifier(hmac_scheme):
+    clone = build_scheme(hmac_scheme.replication_spec())
+    message = b"replicated"
+    sig = hmac_scheme.sign(3, message)
+    assert clone.verify(message, sig)
+    assert not clone.verify(b"other", sig)
+
+
+def test_build_scheme_rebuilds_schnorr_verifier(schnorr):
+    clone = build_scheme(schnorr.replication_spec())
+    message = b"replicated"
+    sig = schnorr.sign(2, message)
+    assert clone.verify(message, sig)
+    assert not clone.verify(b"other", sig)
+
+
+def test_build_scheme_rejects_unknown_kind():
+    with pytest.raises(CryptoError):
+        build_scheme({"kind": "rot13"})
+
+
+# -- job resolution ----------------------------------------------------------
+
+
+def test_resolve_verify_jobs():
+    assert resolve_verify_jobs(0) == available_cpus()
+    assert resolve_verify_jobs(1) == 1
+    assert resolve_verify_jobs(4) == 4
+    with pytest.raises(CryptoError):
+        resolve_verify_jobs(-1)
+
+
+def test_available_cpus_positive():
+    assert available_cpus() >= 1
+
+
+# -- identity with the sequential path ---------------------------------------
+
+
+def test_inline_pool_matches_sequential(hmac_scheme):
+    pairs = mixed_pairs(hmac_scheme)
+    with VerifyPool(hmac_scheme, jobs=1) as pool:
+        assert pool.verify_many(pairs) == hmac_scheme.verify_many(pairs)
+
+
+def test_sharded_pool_matches_sequential(hmac_scheme):
+    pairs = mixed_pairs(hmac_scheme, count=17)  # odd count: ragged last chunk
+    with VerifyPool(hmac_scheme, jobs=2, chunk=3) as pool:
+        assert pool.verify_many(pairs) == hmac_scheme.verify_many(pairs)
+
+
+def test_sharded_pool_matches_sequential_schnorr(schnorr):
+    pairs = mixed_pairs(schnorr, count=7)
+    with VerifyPool(schnorr, jobs=2, chunk=2) as pool:
+        assert pool.verify_many(pairs) == schnorr.verify_many(pairs)
+
+
+def test_bad_signature_positions_preserved(hmac_scheme):
+    pairs = mixed_pairs(hmac_scheme, count=9)
+    expected = [i % 3 != 2 for i in range(9)]
+    with VerifyPool(hmac_scheme, jobs=2, chunk=2) as pool:
+        assert pool.verify_many(pairs) == expected
+
+
+def test_empty_pairs(hmac_scheme):
+    with VerifyPool(hmac_scheme, jobs=2) as pool:
+        assert pool.verify_many([]) == []
+
+
+def test_async_matches_sync(hmac_scheme):
+    pairs = mixed_pairs(hmac_scheme, count=10)
+
+    async def run():
+        with VerifyPool(hmac_scheme, jobs=2, chunk=3) as pool:
+            return await pool.verify_many_async(pairs)
+
+    assert asyncio.run(run()) == hmac_scheme.verify_many(pairs)
+
+
+def test_close_is_idempotent(hmac_scheme):
+    pool = VerifyPool(hmac_scheme, jobs=2)
+    pool.verify_many(mixed_pairs(hmac_scheme, count=3))
+    pool.close()
+    pool.close()
