@@ -1,0 +1,305 @@
+"""Open-loop load generation: drive a cluster at a configured arrival rate.
+
+The paper's open-loop figures (6-8) bypass clients entirely - replicas
+synthesize full blocks - so they measure the consensus core, not the
+ingest path.  ``repro load`` closes that gap: Poisson clients submit at
+a configurable aggregate rate (with a payload-size mix and optional fee
+draws) against replicas running the full admission pipeline, on either
+runtime:
+
+* :func:`run_load_sim` - the discrete-event simulator (deterministic:
+  the same seed produces a bit-identical :class:`LoadReport`);
+* :func:`run_load_net` - real asyncio TCP sockets on localhost, the
+  same machines re-seated on :class:`~repro.runtime.asyncio_net.AsyncioRuntime`.
+
+Both report saturation throughput, p50/p99 end-to-end latency, and the
+admission-drop and eviction rates the bounded mempool produces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.config import NetConfig, SystemConfig
+from repro.core.rng import RngStream
+from repro.protocols.client import Client
+from repro.protocols.registry import get_spec
+from repro.runtime.asyncio_net import AsyncioRuntime, WallClock, build_machine
+from repro.runtime.sim import ConsensusSystem
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 on empty input)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-len(sorted_values) * fraction // 1))  # ceil without math
+    return sorted_values[min(int(rank), len(sorted_values)) - 1]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one open-loop load run (either runtime)."""
+
+    runtime: str
+    protocol: str
+    num_replicas: int
+    senders: int
+    offered_rate_per_s: float
+    duration_ms: float
+    submitted: int
+    completed: int
+    committed_blocks: int
+    throughput_per_s: float  # completed transactions per second
+    p50_ms: float
+    p99_ms: float
+    dropped: int
+    retried: int
+    drop_rate: float  # dropped / submitted
+    evicted: int
+    eviction_rate: float  # evictions / pool admissions
+    backpressure_engagements: int
+    #: Replies by admission verdict, aggregated over all clients.
+    admission: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    def summary_rows(self) -> list[list[object]]:
+        return [
+            ["runtime", self.runtime],
+            ["protocol", self.protocol],
+            ["replicas", self.num_replicas],
+            ["senders", self.senders],
+            ["offered rate (tx/s)", f"{self.offered_rate_per_s:.0f}"],
+            ["duration (ms)", f"{self.duration_ms:.0f}"],
+            ["submitted", self.submitted],
+            ["completed", self.completed],
+            ["committed blocks", self.committed_blocks],
+            ["throughput (tx/s)", f"{self.throughput_per_s:.1f}"],
+            ["p50 latency (ms)", f"{self.p50_ms:.2f}"],
+            ["p99 latency (ms)", f"{self.p99_ms:.2f}"],
+            ["dropped", self.dropped],
+            ["retried", self.retried],
+            ["drop rate", f"{self.drop_rate:.4f}"],
+            ["evicted", self.evicted],
+            ["eviction rate", f"{self.eviction_rate:.4f}"],
+            ["backpressure engagements", self.backpressure_engagements],
+        ]
+
+
+def load_config(
+    protocol: str = "damysus",
+    *,
+    rate_per_s: float,
+    senders: int,
+    f: int = 1,
+    seed: int = 1,
+    payload_bytes: int = 256,
+    payload_mix: tuple[int, ...] = (),
+    max_fee: int = 0,
+    retry_limit: int = 0,
+    block_size: int = 400,
+    max_block_bytes: int = 0,
+    mempool_max_txs: int = 100_000,
+    mempool_max_bytes: int = 0,
+    sender_rate_limit: float = 0.0,
+    sender_rate_burst: float = 32.0,
+    timeout_ms: float = 2_000.0,
+) -> SystemConfig:
+    """A closed-loop :class:`SystemConfig` offering ``rate_per_s`` overall.
+
+    ``senders`` Poisson clients each submit at ``rate / senders``, so the
+    aggregate arrival process is Poisson at the requested rate.
+    """
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be positive")
+    if senders < 1:
+        raise ValueError("senders must be at least 1")
+    interval_ms = senders * 1000.0 / rate_per_s
+    return SystemConfig(
+        protocol=protocol,
+        f=f,
+        seed=seed,
+        payload_bytes=payload_bytes,
+        block_size=block_size,
+        timeout_ms=timeout_ms,
+        open_loop=False,
+        num_clients=senders,
+        client_interval_ms=interval_ms,
+        client_poisson=True,
+        client_payload_mix=tuple(payload_mix),
+        client_max_fee=max_fee,
+        client_retry_limit=retry_limit,
+        mempool_max_txs=mempool_max_txs,
+        mempool_max_bytes=mempool_max_bytes,
+        max_block_bytes=max_block_bytes,
+        sender_rate_limit=sender_rate_limit,
+        sender_rate_burst=sender_rate_burst,
+    )
+
+
+def _aggregate(
+    runtime: str,
+    protocol: str,
+    num_replicas: int,
+    clients: list[Client],
+    pools: list,
+    committed_blocks: int,
+    duration_ms: float,
+    offered_rate_per_s: float,
+) -> LoadReport:
+    latencies = sorted(
+        record.latency_ms for client in clients for record in client.completed
+    )
+    submitted = sum(client.submitted_total for client in clients)
+    completed = len(latencies)
+    dropped = sum(client.dropped for client in clients)
+    retried = sum(client.retried for client in clients)
+    admission: dict[str, int] = {}
+    for client in clients:
+        for name, count in client.verdicts.items():
+            admission[name] = admission.get(name, 0) + count
+    stats = [pool.stats() for pool in pools]
+    evicted = sum(int(s["evicted"]) for s in stats)
+    admitted = sum(int(s["admitted"]) for s in stats)
+    seconds = duration_ms / 1000.0 if duration_ms > 0 else 0.0
+    return LoadReport(
+        runtime=runtime,
+        protocol=protocol,
+        num_replicas=num_replicas,
+        senders=len(clients),
+        offered_rate_per_s=offered_rate_per_s,
+        duration_ms=duration_ms,
+        submitted=submitted,
+        completed=completed,
+        committed_blocks=committed_blocks,
+        throughput_per_s=completed / seconds if seconds else 0.0,
+        p50_ms=percentile(latencies, 0.50),
+        p99_ms=percentile(latencies, 0.99),
+        dropped=dropped,
+        retried=retried,
+        drop_rate=dropped / submitted if submitted else 0.0,
+        evicted=evicted,
+        eviction_rate=evicted / admitted if admitted else 0.0,
+        backpressure_engagements=sum(
+            int(s["backpressure_engagements"]) for s in stats
+        ),
+        admission=admission,
+    )
+
+
+def run_load_sim(
+    config: SystemConfig, duration_ms: float, rate_per_s: float
+) -> LoadReport:
+    """Drive a simulated cluster open-loop; deterministic per seed."""
+    system = ConsensusSystem(config)
+    result = system.run(duration_ms)
+    return _aggregate(
+        runtime="sim",
+        protocol=config.protocol,
+        num_replicas=system.num_replicas,
+        clients=system.clients,
+        pools=[replica.mempool for replica in system.replicas],
+        committed_blocks=result.committed_blocks,
+        duration_ms=result.duration_ms,
+        offered_rate_per_s=rate_per_s,
+    )
+
+
+async def run_load_net(
+    config: SystemConfig,
+    duration_s: float,
+    rate_per_s: float,
+    *,
+    n: int | None = None,
+    host: str = "127.0.0.1",
+    net: NetConfig | None = None,
+) -> LoadReport:
+    """Drive a localhost TCP cluster open-loop with real client machines.
+
+    The same sans-I/O replica and client machines as the simulator,
+    re-seated on :class:`AsyncioRuntime`: clients occupy transport pids
+    after the replicas, the replicas' ``client_pids`` address book routes
+    execution replies and admission NACKs back over TCP.
+    """
+    spec = get_spec(config.protocol)
+    num_replicas = n if n is not None else spec.num_replicas(config.f)
+    senders = config.num_clients
+    clock = WallClock()
+    client_pids = {cid: num_replicas + cid for cid in range(senders)}
+    overrides = dict(
+        open_loop=False,
+        num_clients=senders,
+        client_interval_ms=config.client_interval_ms,
+        client_poisson=True,
+        client_payload_mix=config.client_payload_mix,
+        client_max_fee=config.client_max_fee,
+        client_retry_limit=config.client_retry_limit,
+        mempool_max_txs=config.mempool_max_txs,
+        mempool_max_bytes=config.mempool_max_bytes,
+        max_block_bytes=config.max_block_bytes,
+        sender_rate_limit=config.sender_rate_limit,
+        sender_rate_burst=config.sender_rate_burst,
+    )
+    replicas = [
+        build_machine(
+            config.protocol,
+            pid,
+            num_replicas,
+            clock,
+            seed=config.seed,
+            payload_bytes=config.payload_bytes,
+            block_size=config.block_size,
+            timeout_ms=config.timeout_ms,
+            client_pids=client_pids,
+            config_overrides=overrides,
+        )
+        for pid in range(num_replicas)
+    ]
+    clients = [
+        Client(
+            pid=client_pids[cid],
+            clock=clock,
+            client_id=cid,
+            replica_pids=list(range(num_replicas)),
+            payload_bytes=config.payload_bytes,
+            interval_ms=config.client_interval_ms,
+            rng=RngStream(config.seed, f"client:{cid}"),
+            poisson=True,
+            payload_mix=config.client_payload_mix or None,
+            max_fee=config.client_max_fee,
+            retry_limit=config.client_retry_limit,
+        )
+        for cid in range(senders)
+    ]
+    runtimes = [
+        AsyncioRuntime(machine, host=host, net=net)
+        for machine in [*replicas, *clients]
+    ]
+    addresses = {}
+    for runtime in runtimes:
+        addresses[runtime.machine.pid] = await runtime.start_server()
+    for runtime in runtimes:
+        runtime.set_peers(addresses)
+    t0 = time.monotonic()
+    try:
+        for runtime in runtimes:
+            runtime.start_machine()
+        await asyncio.sleep(duration_s)
+    finally:
+        elapsed = time.monotonic() - t0
+        for runtime in runtimes:
+            await runtime.close()
+    committed = min(rt.committed_blocks for rt in runtimes[:num_replicas])
+    return _aggregate(
+        runtime="net",
+        protocol=config.protocol,
+        num_replicas=num_replicas,
+        clients=clients,
+        pools=[replica.mempool for replica in replicas],
+        committed_blocks=committed,
+        duration_ms=elapsed * 1000.0,
+        offered_rate_per_s=rate_per_s,
+    )

@@ -67,6 +67,8 @@ DEFAULT_BATCH_VERIFY = {"thresholds": [2, 10, 20], "seed": 5}
 #: (block of transactions plus a full quorum certificate).
 DEFAULT_CODEC = {"rounds": 400, "block_size": 32, "payload": 128, "f": 2}
 
+DEFAULT_MEMPOOL = {"txs": 20_000, "block_size": 400, "payload": 256, "senders": 64}
+
 #: Parallel-verification cell: the sharded :class:`VerifyPool` against
 #: in-process verification of the same pairs (skipped below 2 cores).
 DEFAULT_PARALLEL_VERIFY = {"pairs": 24, "seed": 9}
@@ -330,6 +332,60 @@ def measure_codec(params: dict[str, Any] | None = None) -> dict[str, Any]:
     }
 
 
+def measure_mempool(params: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Admission + drain throughput of the bounded priority mempool.
+
+    Enqueues ``txs`` distinct transactions through the full admission
+    pipeline (replay check, token bucket, watermark, caps) across
+    ``senders`` sender ids with varied fees, then drains everything in
+    ``block_size`` proposals - the two halves of the leader's ingest
+    hot path.
+    """
+    from repro.core.mempool import AdmissionVerdict, Transaction
+    from repro.mempool.pool import PriorityMempool
+
+    p = dict(DEFAULT_MEMPOOL)
+    p.update(params or {})
+    txs = p["txs"]
+    pool = PriorityMempool(
+        p["payload"],
+        p["block_size"],
+        open_loop=False,
+        # Sized to hold the full batch with the watermark never engaging:
+        # the cell measures admission/drain churn, not rejection paths.
+        max_txs=txs,
+        high_watermark=1.0,
+        low_watermark=1.0,
+    )
+    batch = [
+        Transaction(
+            client_id=i % p["senders"],
+            tx_id=i,
+            payload_bytes=p["payload"],
+            fee=i % 7,
+        )
+        for i in range(txs)
+    ]
+    start = time.perf_counter()
+    for tx in batch:
+        if pool.admit(tx, 0.0) is not AdmissionVerdict.ACCEPTED:
+            raise AssertionError("admission rejected a distinct transaction")
+    enqueue_s = time.perf_counter() - start
+    drained = 0
+    start = time.perf_counter()
+    while pool.pending():
+        drained += len(pool.take_block(0.0))
+    drain_s = time.perf_counter() - start
+    if drained != txs:
+        raise AssertionError(f"drained {drained} of {txs} transactions")
+    return {
+        "params": p,
+        "enqueue_per_sec": round(txs / enqueue_s, 1) if enqueue_s > 0 else 0.0,
+        "drain_per_sec": round(txs / drain_s, 1) if drain_s > 0 else 0.0,
+        "wall_seconds": round(enqueue_s + drain_s, 4),
+    }
+
+
 def measure_parallel_verify(
     params: dict[str, Any] | None = None, jobs: int = 0
 ) -> dict[str, Any]:
@@ -385,6 +441,7 @@ def collect_bench(jobs: int = 0, quick: bool = False) -> dict[str, Any]:
     catch_params = dict(DEFAULT_CATCHUP)
     batch_params = dict(DEFAULT_BATCH_VERIFY)
     codec_params = dict(DEFAULT_CODEC)
+    mempool_params = dict(DEFAULT_MEMPOOL)
     if quick:
         # Keep f=10 in the quick grid: the caches' win scales with f, and
         # an all-small-f grid would under-report it into gate noise.
@@ -394,6 +451,7 @@ def collect_bench(jobs: int = 0, quick: bool = False) -> dict[str, Any]:
         catch_params.update(missed=60)
         batch_params.update(thresholds=[2, 10])
         codec_params.update(rounds=150)
+        mempool_params.update(txs=5_000)
     return {
         "meta": {
             # Honest core count: sched_getaffinity when available (a CI
@@ -407,6 +465,7 @@ def collect_bench(jobs: int = 0, quick: bool = False) -> dict[str, Any]:
         "catchup": measure_catchup(catch_params),
         "batch_verify": measure_batch_verify(batch_params),
         "codec": measure_codec(codec_params),
+        "mempool": measure_mempool(mempool_params),
         "parallel_verify": measure_parallel_verify(jobs=jobs),
     }
 
@@ -524,6 +583,22 @@ def check_bench(
                 ok = False
                 messages.append(
                     f"FAIL codec {metric}: {cur_rate:.0f}/s vs baseline "
+                    f"{base_rate:.0f}/s (more than {threshold:g}x slower)"
+                )
+
+    # Guarded like the codec cell: baselines written before the mempool
+    # cell existed still check clean.
+    base_pool = baseline.get("mempool")
+    cur_pool = current.get("mempool")
+    if base_pool is not None and cur_pool is not None:
+        for metric in ("enqueue_per_sec", "drain_per_sec"):
+            base_rate = base_pool[metric]
+            cur_rate = cur_pool[metric]
+            report.drifts.append(Drift("mempool", "ingest", metric, base_rate, cur_rate))
+            if base_rate > 0 and cur_rate < base_rate / threshold:
+                ok = False
+                messages.append(
+                    f"FAIL mempool {metric}: {cur_rate:.0f}/s vs baseline "
                     f"{base_rate:.0f}/s (more than {threshold:g}x slower)"
                 )
 

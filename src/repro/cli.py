@@ -212,6 +212,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for inbound signature "
                        "verification (0 = one per core, 1 = inline)")
 
+    load_p = sub.add_parser(
+        "load",
+        help="open-loop Poisson load generator: drive a cluster at a "
+        "configured arrival rate and report saturation throughput, "
+        "p50/p99 latency, and drop/eviction rates",
+    )
+    load_p.add_argument("--protocol", default="damysus", choices=sorted(SPECS))
+    load_p.add_argument("--runtime", default="sim", choices=("sim", "net"),
+                        help="discrete-event simulator or localhost TCP")
+    load_p.add_argument("--rate", type=float, required=True,
+                        help="aggregate offered load, transactions per second")
+    load_p.add_argument("--senders", type=int, default=4,
+                        help="independent Poisson clients sharing the rate")
+    load_p.add_argument("--duration", type=float, default=10.0,
+                        help="seconds to run (virtual seconds under sim)")
+    load_p.add_argument("--f", type=int, default=1, help="fault threshold (sim)")
+    load_p.add_argument("--n", type=int, default=4, help="cluster size (net)")
+    load_p.add_argument("--seed", type=int, default=1)
+    load_p.add_argument("--payload", type=int, default=256, help="tx payload bytes")
+    load_p.add_argument("--payload-mix", default="",
+                        help="comma-separated payload sizes drawn uniformly "
+                        "per tx (overrides --payload), e.g. 0,256,1024")
+    load_p.add_argument("--max-fee", type=int, default=0,
+                        help="clients draw fees uniformly in [0, MAX]")
+    load_p.add_argument("--retry-limit", type=int, default=0,
+                        help="client resubmissions after a full NACK")
+    load_p.add_argument("--block-size", type=int, default=400, help="txs per block")
+    load_p.add_argument("--max-block-bytes", type=int, default=0,
+                        help="per-proposal byte cap (0 = unbounded)")
+    load_p.add_argument("--pool-max-txs", type=int, default=100_000,
+                        help="mempool resident-transaction cap")
+    load_p.add_argument("--pool-max-bytes", type=int, default=0,
+                        help="mempool resident-byte cap (0 = unbounded)")
+    load_p.add_argument("--rate-limit", type=float, default=0.0,
+                        help="admitted txs/ms per sender (0 = off)")
+    load_p.add_argument("--rate-burst", type=float, default=32.0,
+                        help="per-sender token-bucket burst")
+    load_p.add_argument("--json", action="store_true", help="emit the report as JSON")
+
     nc_p = sub.add_parser(
         "net-chaos",
         help="multi-process chaos: SIGKILL+restart from sealed state, "
@@ -565,6 +604,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_load(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.bench.load import load_config, run_load_net, run_load_sim
+    from repro.bench.reporting import format_table
+
+    mix = tuple(int(p) for p in args.payload_mix.split(",") if p.strip())
+    config = load_config(
+        args.protocol,
+        rate_per_s=args.rate,
+        senders=args.senders,
+        f=args.f,
+        seed=args.seed,
+        payload_bytes=args.payload,
+        payload_mix=mix,
+        max_fee=args.max_fee,
+        retry_limit=args.retry_limit,
+        block_size=args.block_size,
+        max_block_bytes=args.max_block_bytes,
+        mempool_max_txs=args.pool_max_txs,
+        mempool_max_bytes=args.pool_max_bytes,
+        sender_rate_limit=args.rate_limit,
+        sender_rate_burst=args.rate_burst,
+    )
+    if args.runtime == "sim":
+        report = run_load_sim(config, args.duration * 1000.0, args.rate)
+    else:
+        import asyncio
+
+        report = asyncio.run(
+            run_load_net(config, args.duration, args.rate, n=args.n)
+        )
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_table(["metric", "value"], report.summary_rows(),
+                           title="open-loop load report"))
+        verdicts = ", ".join(
+            f"{name}={count}" for name, count in sorted(report.admission.items())
+        )
+        print(f"replies by verdict: {verdicts}")
+    return 0 if report.committed_blocks > 0 else 1
+
+
 def _cmd_net_bench(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -666,6 +749,7 @@ def main(argv: list[str] | None = None) -> int:
         "perf": _cmd_perf,
         "chaos": _cmd_chaos,
         "serve": _cmd_serve,
+        "load": _cmd_load,
         "net-bench": _cmd_net_bench,
         "net-chaos": _cmd_net_chaos,
         "counterexample": _cmd_counterexample,

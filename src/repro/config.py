@@ -45,6 +45,17 @@ class SystemConfig:
     client_interval_ms: float = 1.0  # per-client submission interval
     client_total_txs: int = 0  # 0 = unlimited
     client_poisson: bool = False  # exponential inter-arrivals vs periodic
+    client_payload_mix: tuple[int, ...] = ()  # () = fixed payload_bytes
+    client_max_fee: int = 0  # clients draw fees in [0, max]; 0 = all-zero
+    client_retry_limit: int = 0  # resubmissions after a full NACK
+    # -- ingest pipeline (repro.mempool) ---------------------------------
+    mempool_max_txs: int = 100_000  # resident-transaction cap
+    mempool_max_bytes: int = 0  # resident-byte cap (0 = unbounded)
+    max_block_bytes: int = 0  # per-proposal byte cap (0 = unbounded)
+    mempool_high_watermark: float = 0.9  # fill fraction engaging backpressure
+    mempool_low_watermark: float = 0.7  # fill fraction releasing it
+    sender_rate_limit: float = 0.0  # admitted txs/ms per sender (0 = off)
+    sender_rate_burst: float = 32.0  # token-bucket burst capacity
     # -- checkpoints & state transfer ------------------------------------
     checkpoint_interval: int = 0  # certify a checkpoint every N commits (0 = off)
     catchup_view_gap: int = 8  # views behind the frontier before catching up
@@ -67,6 +78,22 @@ class SystemConfig:
             raise ConfigError("timeout_jitter must be in [0, 1)")
         if self.checkpoint_interval < 0:
             raise ConfigError("checkpoint_interval must be non-negative")
+        if any(p < 0 for p in self.client_payload_mix):
+            raise ConfigError("client_payload_mix entries must be non-negative")
+        if self.client_max_fee < 0:
+            raise ConfigError("client_max_fee must be non-negative")
+        if self.client_retry_limit < 0:
+            raise ConfigError("client_retry_limit must be non-negative")
+        if self.mempool_max_txs < 1:
+            raise ConfigError("mempool_max_txs must be positive")
+        if self.mempool_max_bytes < 0 or self.max_block_bytes < 0:
+            raise ConfigError("byte caps must be non-negative (0 = unbounded)")
+        if not 0.0 < self.mempool_low_watermark <= self.mempool_high_watermark <= 1.0:
+            raise ConfigError("watermarks must satisfy 0 < low <= high <= 1")
+        if self.sender_rate_limit < 0:
+            raise ConfigError("sender_rate_limit must be non-negative")
+        if self.sender_rate_burst < 1:
+            raise ConfigError("sender_rate_burst must be at least 1")
         if self.catchup_view_gap < 1:
             raise ConfigError("catchup_view_gap must be at least 1")
         if self.sync_chunk_blocks < 1:

@@ -32,7 +32,7 @@ from repro.errors import ProtocolError
 from repro.core.block import Block
 from repro.core.certificate import Accumulator, QuorumCert
 from repro.core.commitment import Commitment
-from repro.core.mempool import Transaction
+from repro.core.mempool import AdmissionVerdict, Transaction
 from repro.core.messages import (
     BlockProposal,
     BlockRequest,
@@ -49,6 +49,14 @@ from repro.core.messages import (
     VoteMsg,
 )
 from repro.core.phases import Phase
+
+
+#: Wire-format generation.  Version 2 added the transaction ``fee``
+#: field and the admission verdict byte in client replies; peers
+#: announce their version in the connection hello
+#: (:mod:`repro.runtime.framing`) and mismatched generations are
+#: refused at connect time rather than misparsed mid-stream.
+WIRE_VERSION = 2
 
 
 class CodecError(ProtocolError):
@@ -303,6 +311,7 @@ def _enc_transaction(enc: Encoder, tx: Transaction) -> None:
     enc.i64(tx.tx_id)
     enc.u32(tx.payload_bytes)
     enc.f64(tx.submitted_at)
+    enc.i64(tx.fee)
     enc.pad(tx.payload_bytes)  # abstract payload, real (zero) bytes
 
 
@@ -311,8 +320,23 @@ def _dec_transaction(dec: Decoder) -> Transaction:
     tx_id = dec.i64()
     payload_bytes = dec.u32()
     submitted_at = dec.f64()
+    fee = dec.i64()
     dec.skip(payload_bytes)  # discard the abstract payload
-    return Transaction(client_id, tx_id, payload_bytes, submitted_at)
+    return Transaction(client_id, tx_id, payload_bytes, submitted_at, fee)
+
+
+_VERDICTS = list(AdmissionVerdict)
+
+
+def _enc_verdict(enc: Encoder, verdict: AdmissionVerdict) -> None:
+    enc.u8(_VERDICTS.index(verdict))
+
+
+def _dec_verdict(dec: Decoder) -> AdmissionVerdict:
+    idx = dec.u8()
+    if idx >= len(_VERDICTS):
+        raise CodecError(f"unknown admission verdict {idx}")
+    return _VERDICTS[idx]
 
 
 def _enc_qc(enc: Encoder, qc: QuorumCert) -> None:
@@ -590,10 +614,11 @@ def _enc_client_reply(enc: Encoder, msg: ClientReply) -> None:
     enc.i64(msg.client_id)
     enc.i64(msg.tx_id)
     enc.f64(msg.executed_at)
+    _enc_verdict(enc, msg.verdict)
 
 
 def _dec_client_reply(dec: Decoder) -> ClientReply:
-    return ClientReply(dec.i64(), dec.i64(), dec.i64(), dec.f64())
+    return ClientReply(dec.i64(), dec.i64(), dec.i64(), dec.f64(), _dec_verdict(dec))
 
 
 def _enc_chained_vote(enc: Encoder, msg: Any) -> None:

@@ -1,4 +1,4 @@
-"""Client transactions and the replica mempool.
+"""Client transactions and admission verdicts.
 
 The paper works "at the block level" and leaves transaction internals
 abstract (Section 5); the only transaction properties the evaluation
@@ -6,19 +6,17 @@ depends on are counts and byte sizes: each transaction carries a payload
 plus 40 B of metadata (client id, transaction id, previous-block hash -
 Section 8, "Deployment settings").
 
-The mempool supports two modes:
-
-* *open loop* (Figs 6-8): an inexhaustible supply of synthetic
-  transactions, so every block is full (400 transactions in the paper);
-* *closed loop* (Fig 9): transactions are queued as client requests
-  arrive, so block fullness - and therefore throughput and queueing
-  latency - depends on the offered load.
+The replica-side pool lives in :mod:`repro.mempool` (bounded priority
+ordering, per-sender rate limiting, watermark backpressure); this module
+keeps the core data model the wire codec and block hashing depend on:
+the :class:`Transaction` record and the :class:`AdmissionVerdict` a
+replica returns to the submitting client.
 """
 
 from __future__ import annotations
 
+import enum
 import itertools
-from collections import deque
 from dataclasses import dataclass
 
 from repro import perf
@@ -28,27 +26,49 @@ from repro.crypto.hashing import Hash, hash_fields
 TX_METADATA_BYTES = 40
 
 
+class AdmissionVerdict(enum.Enum):
+    """Outcome of submitting a transaction to a replica's mempool.
+
+    Returned to clients inside :class:`repro.core.messages.ClientReply`:
+    an ``ACCEPTED`` transaction will (absent faults) eventually execute
+    and produce a second, execution-time reply; the other verdicts are
+    immediate NACKs telling the client why admission failed.
+    """
+
+    ACCEPTED = "accepted"
+    RATE_LIMITED = "rate-limited"
+    POOL_FULL = "pool-full"
+    DUPLICATE = "duplicate"
+
+
 @dataclass(frozen=True, slots=True)
 class Transaction:
-    """A client transaction; payload content is abstracted to its size."""
+    """A client transaction; payload content is abstracted to its size.
+
+    ``fee`` is the client-declared priority: the pool drains higher fees
+    first and evicts lower fees first, and a fee of zero (the default,
+    and the only value the paper's workloads use) degenerates to FIFO.
+    """
 
     client_id: int
     tx_id: int
     payload_bytes: int
     submitted_at: float = 0.0
+    fee: int = 0
 
     def wire_size(self) -> int:
         """Bytes this transaction occupies inside a block."""
         return self.payload_bytes + TX_METADATA_BYTES
 
-    def digest_fields(self) -> tuple[int, int, int]:
-        return (self.client_id, self.tx_id, self.payload_bytes)
+    def digest_fields(self) -> tuple[int, int, int, int]:
+        return (self.client_id, self.tx_id, self.payload_bytes, self.fee)
 
 
 #: Memoized payload digests keyed by the (immutable) transaction tuple.
 #: The same tuple is re-digested whenever a block is reconstructed from
 #: the wire or re-hashed; the digest is a pure function of its content.
 _PAYLOAD_DIGEST_CACHE: dict[tuple[Transaction, ...], Hash] = {}
+_DIGEST_CACHE_MAX = 4096
 perf.register_cache_clearer(_PAYLOAD_DIGEST_CACHE.clear)
 
 
@@ -58,56 +78,26 @@ def payload_digest(transactions: tuple[Transaction, ...]) -> Hash:
         return hash_fields(tuple(tx.digest_fields() for tx in transactions))
     digest = _PAYLOAD_DIGEST_CACHE.get(transactions)
     if digest is None:
-        if len(_PAYLOAD_DIGEST_CACHE) >= 4096:  # bound memory, not results
-            _PAYLOAD_DIGEST_CACHE.clear()
+        if len(_PAYLOAD_DIGEST_CACHE) >= _DIGEST_CACHE_MAX:
+            # Evict the oldest half (dicts preserve insertion order)
+            # rather than clearing wholesale: recent tuples are the ones
+            # a live chain keeps re-hashing, and dropping them too costs
+            # a re-digest per block on the hot path.
+            for stale in list(
+                itertools.islice(_PAYLOAD_DIGEST_CACHE, _DIGEST_CACHE_MAX // 2)
+            ):
+                del _PAYLOAD_DIGEST_CACHE[stale]
         digest = hash_fields(tuple(tx.digest_fields() for tx in transactions))
         _PAYLOAD_DIGEST_CACHE[transactions] = digest
     return digest
 
 
-class Mempool:
-    """Per-replica transaction pool."""
+def __getattr__(name: str) -> object:
+    # Back-compat: the pool class moved to repro.mempool; resolve the old
+    # name lazily so importing this core module never drags the pool
+    # package (and its config surface) into the codec's import graph.
+    if name == "Mempool":
+        from repro.mempool.pool import PriorityMempool
 
-    def __init__(
-        self,
-        payload_bytes: int,
-        block_size: int,
-        open_loop: bool = True,
-        synthetic_client: int = -1,
-    ) -> None:
-        self.payload_bytes = payload_bytes
-        self.block_size = block_size
-        self.open_loop = open_loop
-        self._queue: deque[Transaction] = deque()
-        self._synth = itertools.count()
-        self._synthetic_client = synthetic_client
-
-    def add(self, tx: Transaction) -> None:
-        """Queue a client transaction (closed-loop mode)."""
-        self._queue.append(tx)
-
-    def pending(self) -> int:
-        """Number of queued client transactions."""
-        return len(self._queue)
-
-    def take_block(self, now: float) -> tuple[Transaction, ...]:
-        """Pull up to ``block_size`` transactions for a new proposal.
-
-        In open-loop mode missing transactions are synthesized, so blocks
-        are always full; in closed-loop mode the block may be short or
-        empty, matching a real system under light load.
-        """
-        batch: list[Transaction] = []
-        while self._queue and len(batch) < self.block_size:
-            batch.append(self._queue.popleft())
-        if self.open_loop:
-            while len(batch) < self.block_size:
-                batch.append(
-                    Transaction(
-                        client_id=self._synthetic_client,
-                        tx_id=next(self._synth),
-                        payload_bytes=self.payload_bytes,
-                        submitted_at=now,
-                    )
-                )
-        return tuple(batch)
+        return PriorityMempool
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

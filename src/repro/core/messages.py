@@ -16,7 +16,7 @@ from repro.crypto.scheme import SIGNATURE_WIRE_SIZE, Signature
 from repro.core.block import Block
 from repro.core.certificate import Accumulator, QuorumCert
 from repro.core.commitment import Commitment
-from repro.core.mempool import Transaction
+from repro.core.mempool import AdmissionVerdict, Transaction
 from repro.core.phases import Phase
 
 #: Fixed framing bytes per message (type tag, length, sender).
@@ -243,12 +243,19 @@ class ClientRequest:
 
 @dataclass(frozen=True, slots=True)
 class ClientReply:
-    """A replica's reply once a client transaction executed."""
+    """A replica's reply to a client transaction.
+
+    Carries the admission verdict: ``ACCEPTED`` replies are sent at
+    execution time (``executed_at`` is the commit timestamp); any other
+    verdict is an immediate NACK from the admission pipeline, stamped
+    with the rejection time.
+    """
 
     replica: int
     client_id: int
     tx_id: int
     executed_at: float
+    verdict: AdmissionVerdict = AdmissionVerdict.ACCEPTED
 
     msg_type = "client-reply"
 
@@ -257,4 +264,4 @@ class ClientReply:
         return None
 
     def wire_size(self) -> int:
-        return MSG_HEADER_BYTES + 12
+        return MSG_HEADER_BYTES + 13

@@ -1,0 +1,300 @@
+"""The bounded, fee-prioritized replica mempool.
+
+Replaces the seed deque: admission returns an explicit
+:class:`~repro.core.mempool.AdmissionVerdict`, the pool is bounded in
+both transaction count and bytes (evicting the lowest-priority resident
+deterministically when full), duplicates and replays are rejected by
+``(client_id, tx_id)``, per-sender token buckets cap the admitted rate,
+and watermark backpressure refuses low-priority work before the hard
+caps are hit.
+
+Everything is pure and deterministic: no clocks, no unseeded
+randomness, state transitions are a function of the call sequence
+alone.  The same admissions in the same order therefore produce
+byte-identical drained blocks under the simulator and the asyncio
+runtime (the cross-runtime determinism tests assert exactly this).
+
+Priority is ``(fee desc, arrival asc)`` for draining and the exact
+reverse for eviction, via two lazy-deletion heaps over one entry index:
+heap entries are never removed in place, they are skipped at pop time
+when their sequence number no longer matches the index.  All paper
+workloads use ``fee=0``, which degenerates to FIFO - so the refactor
+leaves every seed benchmark figure bit-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.core.mempool import TX_METADATA_BYTES, AdmissionVerdict, Transaction
+from repro.mempool.limiter import SenderRateLimiter
+from repro.mempool.watermark import Watermark
+
+#: Default resident-transaction cap (the paper's blocks are 400 txs, so
+#: this is ~250 blocks of queued work before eviction starts).
+DEFAULT_MAX_TXS = 100_000
+
+#: Replay-memory entries kept before the oldest half is forgotten.
+_SEEN_MAX = 1 << 16
+
+
+class _Entry:
+    """One resident transaction; ``seq`` doubles as the liveness token."""
+
+    __slots__ = ("tx", "seq")
+
+    def __init__(self, tx: Transaction, seq: int) -> None:
+        self.tx = tx
+        self.seq = seq
+
+
+class PriorityMempool:
+    """Bounded priority mempool with admission control.
+
+    The first four parameters match the seed ``Mempool`` signature, so
+    every historical call site constructs an equivalent (FIFO, unbounded
+    in practice) pool; the keyword-only parameters opt into the
+    production behaviours.
+    """
+
+    def __init__(
+        self,
+        payload_bytes: int,
+        block_size: int,
+        open_loop: bool = True,
+        synthetic_client: int = -1,
+        *,
+        max_txs: int = DEFAULT_MAX_TXS,
+        max_bytes: int = 0,
+        max_block_bytes: int = 0,
+        high_watermark: float = 0.9,
+        low_watermark: float = 0.7,
+        rate_limit_per_ms: float = 0.0,
+        rate_burst: float = 32.0,
+    ) -> None:
+        self.payload_bytes = payload_bytes
+        self.block_size = block_size
+        self.open_loop = open_loop
+        self.max_txs = max_txs
+        self.max_bytes = max_bytes  # 0 = unbounded by bytes
+        self.max_block_bytes = max_block_bytes  # 0 = unbounded blocks
+        self.limiter = SenderRateLimiter(rate_limit_per_ms, rate_burst)
+        self.watermark = Watermark(high_watermark, low_watermark)
+        self._synth = itertools.count()
+        self._synthetic_client = synthetic_client
+        self._seq = itertools.count()
+        #: Residents by (client_id, tx_id); the single source of truth.
+        self._entries: dict[tuple[int, int], _Entry] = {}
+        #: Drain order: highest fee first, oldest first within a fee.
+        self._drain_heap: list[tuple[int, int, tuple[int, int]]] = []
+        #: Eviction order: lowest fee first, *newest* first within a fee,
+        #: so an overload sheds the latecomer, never a queued elder.
+        self._evict_heap: list[tuple[int, int, tuple[int, int]]] = []
+        #: Replay memory: keys admitted and not since evicted (residents
+        #: and already-proposed transactions both reject as DUPLICATE;
+        #: an evicted transaction may be resubmitted).
+        self._seen: dict[tuple[int, int], None] = {}
+        self._count = 0
+        self._bytes = 0
+        # -- monotone counters for stats()/watchdog snapshots ------------
+        self.admitted = 0
+        self.drained = 0
+        self.evicted = 0
+        self.rejected: dict[AdmissionVerdict, int] = {
+            AdmissionVerdict.RATE_LIMITED: 0,
+            AdmissionVerdict.POOL_FULL: 0,
+            AdmissionVerdict.DUPLICATE: 0,
+        }
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, tx: Transaction, now: float) -> AdmissionVerdict:
+        """Run the full admission pipeline on one submission.
+
+        Order matters and is part of the contract: replay rejection
+        first (a duplicate must never consume the sender's rate budget),
+        then the sender's token bucket, then backpressure, then the hard
+        caps (insert-then-evict, so a transaction that cannot displace
+        anything cheaper bounces as ``POOL_FULL``).
+        """
+        key = (tx.client_id, tx.tx_id)
+        if key in self._seen:
+            self.rejected[AdmissionVerdict.DUPLICATE] += 1
+            return AdmissionVerdict.DUPLICATE
+        if not self.limiter.allow(tx.client_id, now):
+            self.rejected[AdmissionVerdict.RATE_LIMITED] += 1
+            return AdmissionVerdict.RATE_LIMITED
+        if self.watermark.update(self._fill()) and tx.fee <= self._lowest_fee():
+            self.rejected[AdmissionVerdict.POOL_FULL] += 1
+            return AdmissionVerdict.POOL_FULL
+        self._insert(tx, key)
+        evicted = self._enforce_caps()
+        self.watermark.update(self._fill())
+        if key in evicted:
+            self.evicted -= 1  # bounced, not a resident casualty
+            self.rejected[AdmissionVerdict.POOL_FULL] += 1
+            return AdmissionVerdict.POOL_FULL
+        self.admitted += 1
+        return AdmissionVerdict.ACCEPTED
+
+    def add(self, tx: Transaction) -> None:
+        """Legacy unconditioned enqueue (idempotent per key).
+
+        Internal submitters (``ReplicatedApp``, tests) bypass rate
+        limiting and backpressure; the hard caps still hold.
+        """
+        key = (tx.client_id, tx.tx_id)
+        if key in self._seen:
+            return
+        self._insert(tx, key)
+        self._enforce_caps()
+        self.watermark.update(self._fill())
+
+    def _insert(self, tx: Transaction, key: tuple[int, int]) -> None:
+        seq = next(self._seq)
+        self._entries[key] = _Entry(tx, seq)
+        heapq.heappush(self._drain_heap, (-tx.fee, seq, key))
+        heapq.heappush(self._evict_heap, (tx.fee, -seq, key))
+        self._seen[key] = None
+        if len(self._seen) > _SEEN_MAX:
+            residents = self._entries
+            for stale in list(itertools.islice(self._seen, _SEEN_MAX // 2)):
+                if stale not in residents:  # never forget a live resident
+                    del self._seen[stale]
+        self._count += 1
+        self._bytes += tx.wire_size()
+
+    def _enforce_caps(self) -> set[tuple[int, int]]:
+        """Evict lowest-priority residents until both caps hold."""
+        evicted: set[tuple[int, int]] = set()
+        while self._count > self.max_txs or (
+            self.max_bytes and self._bytes > self.max_bytes
+        ):
+            victim = self._pop_extreme(self._evict_heap)
+            if victim is None:  # pragma: no cover - caps imply residents
+                break
+            key, entry = victim
+            self._remove(key, entry)
+            del self._seen[key]  # an evicted tx may be resubmitted
+            self.evicted += 1
+            evicted.add(key)
+        return evicted
+
+    # -- proposal ----------------------------------------------------------
+
+    def take_block(self, now: float) -> tuple[Transaction, ...]:
+        """Drain up to ``block_size`` transactions by priority.
+
+        Both caps apply: at most ``block_size`` transactions and (when
+        ``max_block_bytes`` is set) at most that many payload+metadata
+        bytes - except that a block always carries at least one queued
+        transaction, so an outsized transaction cannot wedge the pool.
+
+        In open-loop mode the remainder is filled with synthetic
+        transactions (the paper's inexhaustible supply), so blocks are
+        always full; in closed-loop mode the block may be short or
+        empty, matching a real system under light load.
+        """
+        batch: list[Transaction] = []
+        used = 0
+        while self._count and len(batch) < self.block_size:
+            item = self._pop_extreme(self._drain_heap, peek_unfit=batch, used=used)
+            if item is None:
+                break
+            key, entry = item
+            self._remove(key, entry)
+            batch.append(entry.tx)
+            used += entry.tx.wire_size()
+            self.drained += 1
+        if self.open_loop:
+            synth_size = self.payload_bytes + TX_METADATA_BYTES
+            while len(batch) < self.block_size and not (
+                self.max_block_bytes and batch and used + synth_size > self.max_block_bytes
+            ):
+                batch.append(
+                    Transaction(
+                        client_id=self._synthetic_client,
+                        tx_id=next(self._synth),
+                        payload_bytes=self.payload_bytes,
+                        submitted_at=now,
+                    )
+                )
+                used += synth_size
+        self.watermark.update(self._fill())
+        return tuple(batch)
+
+    def _pop_extreme(
+        self,
+        heap: list[tuple[int, int, tuple[int, int]]],
+        peek_unfit: list[Transaction] | None = None,
+        used: int = 0,
+    ) -> tuple[tuple[int, int], _Entry] | None:
+        """Pop the live extreme of a lazy-deletion heap.
+
+        With ``peek_unfit`` (the batch built so far), a transaction that
+        would overflow ``max_block_bytes`` of a non-empty batch is pushed
+        back and ``None`` returned - the byte-capped drain stop.
+        """
+        while heap:
+            item = heapq.heappop(heap)
+            entry = self._entries.get(item[2])
+            if entry is None or entry.seq != abs(item[1]):
+                continue  # stale: evicted or drained since pushed
+            if (
+                peek_unfit is not None
+                and self.max_block_bytes
+                and peek_unfit
+                and used + entry.tx.wire_size() > self.max_block_bytes
+            ):
+                heapq.heappush(heap, item)
+                return None
+            return item[2], entry
+        return None
+
+    def _remove(self, key: tuple[int, int], entry: _Entry) -> None:
+        del self._entries[key]
+        self._count -= 1
+        self._bytes -= entry.tx.wire_size()
+
+    # -- introspection -----------------------------------------------------
+
+    def pending(self) -> int:
+        """Number of resident client transactions."""
+        return self._count
+
+    def pending_bytes(self) -> int:
+        """Bytes (payload + metadata) occupied by resident transactions."""
+        return self._bytes
+
+    def _fill(self) -> float:
+        fill = self._count / self.max_txs
+        if self.max_bytes:
+            fill = max(fill, self._bytes / self.max_bytes)
+        return fill
+
+    def _lowest_fee(self) -> int:
+        """Fee of the current eviction candidate (0 for an empty pool)."""
+        while self._evict_heap:
+            fee, neg_seq, key = self._evict_heap[0]
+            entry = self._entries.get(key)
+            if entry is None or entry.seq != -neg_seq:
+                heapq.heappop(self._evict_heap)
+                continue
+            return fee
+        return 0
+
+    def stats(self) -> dict[str, int | bool]:
+        """Monotone counters + current occupancy, for watchdog snapshots."""
+        return {
+            "pending_txs": self._count,
+            "pending_bytes": self._bytes,
+            "admitted": self.admitted,
+            "drained": self.drained,
+            "evicted": self.evicted,
+            "rejected_rate_limited": self.rejected[AdmissionVerdict.RATE_LIMITED],
+            "rejected_pool_full": self.rejected[AdmissionVerdict.POOL_FULL],
+            "rejected_duplicate": self.rejected[AdmissionVerdict.DUPLICATE],
+            "backpressured": self.watermark.backpressured,
+            "backpressure_engagements": self.watermark.engagements,
+        }

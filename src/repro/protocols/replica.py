@@ -19,7 +19,8 @@ from repro.core.clock import Clock
 from repro.core.codec import wire_size_of
 from repro.core.commitment import Commitment
 from repro.core.executor import Ledger, SafetyOracle
-from repro.core.mempool import Mempool
+from repro.core.mempool import AdmissionVerdict
+from repro.mempool.pool import PriorityMempool
 from repro.core.messages import BlockRequest, BlockResponse, ClientReply, ClientRequest
 from repro.core.monitor import ExecutionMonitor
 from repro.core.phases import Phase
@@ -135,8 +136,17 @@ class BaseReplica(Machine):
         self.quorum = quorum
         self.store = BlockStore()
         self.ledger = Ledger(pid, self.store, oracle, monitor)
-        self.mempool = Mempool(
-            config.payload_bytes, config.block_size, open_loop=config.open_loop
+        self.mempool = PriorityMempool(
+            config.payload_bytes,
+            config.block_size,
+            open_loop=config.open_loop,
+            max_txs=config.mempool_max_txs,
+            max_bytes=config.mempool_max_bytes,
+            max_block_bytes=config.max_block_bytes,
+            high_watermark=config.mempool_high_watermark,
+            low_watermark=config.mempool_low_watermark,
+            rate_limit_per_ms=config.sender_rate_limit,
+            rate_burst=config.sender_rate_burst,
         )
         self.view = 0
         self.client_pids = client_pids or {}
@@ -323,7 +333,7 @@ class BaseReplica(Machine):
         if self.crashed:
             return
         if isinstance(payload, ClientRequest):
-            self.mempool.add(payload.tx)
+            self._handle_client_request(payload)
             return
         if isinstance(payload, BlockRequest):
             self._handle_block_request(sender, payload)
@@ -350,6 +360,30 @@ class BaseReplica(Machine):
                 return
         self.charge_receive(payload)
         self.dispatch(sender, payload)
+
+    def _handle_client_request(self, request: ClientRequest) -> None:
+        """Run the admission pipeline; NACK the client on rejection.
+
+        Accepted transactions are acknowledged implicitly by the
+        execution-time reply; every other verdict is returned at once so
+        an open-loop client can account for drops (and retry after a
+        rate-limit window) instead of waiting forever.
+        """
+        verdict = self.mempool.admit(request.tx, self.now)
+        if verdict is AdmissionVerdict.ACCEPTED:
+            return
+        pid = self.client_pids.get(request.tx.client_id)
+        if pid is not None:
+            self.send_charged(
+                pid,
+                ClientReply(
+                    replica=self.pid,
+                    client_id=request.tx.client_id,
+                    tx_id=request.tx.tx_id,
+                    executed_at=self.now,
+                    verdict=verdict,
+                ),
+            )
 
     def on_stale(self, sender: int, payload: Any) -> None:
         """Hook for messages from views the replica already left."""

@@ -73,6 +73,7 @@ from repro.runtime.framing import (
     encode_frame,
     encode_hello,
 )
+from repro.runtime.machine import Machine
 from repro.runtime.precheck import signature_checks
 from repro.runtime.resilience.durable import DurableSealer
 from repro.runtime.resilience.transport import FaultDecider
@@ -109,7 +110,7 @@ class AsyncioRuntime:
 
     def __init__(
         self,
-        machine: BaseReplica,
+        machine: Machine,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -316,8 +317,11 @@ class AsyncioRuntime:
             return backoff
         rng = self._reconnect_rng.get(dest)
         if rng is None:
+            # Client machines carry no SystemConfig; their backoff
+            # streams derive from seed 0 (still per-link deterministic).
+            config = getattr(self.machine, "config", None)
             rng = RngStream(
-                self.machine.config.seed,
+                getattr(config, "seed", 0),
                 f"reconnect:{self.machine.pid}->{dest}",
             )
             self._reconnect_rng[dest] = rng
@@ -465,15 +469,22 @@ def build_machine(
     block_size: int = 32,
     timeout_ms: float = 2_000.0,
     checkpoint_interval: int = 0,
+    client_pids: dict[int, int] | None = None,
+    config_overrides: dict[str, object] | None = None,
 ) -> BaseReplica:
     """Construct one protocol machine for an ``n``-replica TCP deployment.
 
     Every replica of a deployment must be built with the same arguments:
     the HMAC scheme is keyed off ``seed`` and quorum sizing off ``n``.
+
+    ``client_pids`` maps client ids to their transport pids (for
+    closed-loop deployments driven by ``repro load``), and
+    ``config_overrides`` merges extra :class:`SystemConfig` fields -
+    the ingest-pipeline knobs - into the derived configuration.
     """
     spec = get_spec(protocol)
     f, quorum = _sized_quorum(spec, n)
-    config = SystemConfig(
+    kwargs: dict[str, object] = dict(
         protocol=protocol,
         f=f,
         seed=seed,
@@ -483,6 +494,9 @@ def build_machine(
         open_loop=True,
         checkpoint_interval=checkpoint_interval,
     )
+    if config_overrides:
+        kwargs.update(config_overrides)
+    config = SystemConfig(**kwargs)  # type: ignore[arg-type]
     scheme = HmacScheme(secret=f"system-{seed}".encode())
     directory = KeyDirectory(scheme)
     # Unlike the simulator, each process holds its own directory, so the
@@ -492,7 +506,8 @@ def build_machine(
         directory.register_replica(peer)
         directory.register_tee(peer)
     replica = spec.replica_class(
-        pid, clock, config, scheme, directory, n, quorum, client_pids={}
+        pid, clock, config, scheme, directory, n, quorum,
+        client_pids=dict(client_pids or {}),
     )
     replica.replica_pids = list(range(n))
     return replica
@@ -841,6 +856,7 @@ async def serve_replica(
                 "dropped_messages": runtime.dropped_messages,
                 "rejected_connections": runtime.rejected_connections,
                 "prechecked_sigs": runtime.prechecked_sigs,
+                "mempool": machine.mempool.stats(),
                 "faults": {} if decider is None else decider.counts(),
                 "watchdog": watchdog.snapshot(now_ms).to_dict(),
             }

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import struct
 
+from repro.core.codec import WIRE_VERSION
 from repro.errors import ProtocolError
 
 #: Frames above this size are treated as a protocol violation (a byzantine
@@ -46,8 +47,14 @@ def encode_frame(payload: bytes) -> bytes:
 
 
 def encode_hello(pid: int) -> bytes:
-    """The hello frame a connecting peer sends first: magic + sender pid."""
-    return encode_frame(HELLO_MAGIC + _LEN.pack(pid))
+    """The hello frame a connecting peer sends first: magic + pid + version.
+
+    The trailing :data:`~repro.core.codec.WIRE_VERSION` word is the codec
+    generation the sender will speak; a receiver on a different
+    generation refuses the connection at the hello instead of misparsing
+    consensus frames mid-stream.
+    """
+    return encode_frame(HELLO_MAGIC + _LEN.pack(pid) + _LEN.pack(WIRE_VERSION))
 
 
 def decode_hello(payload: bytes, max_pid: int = MAX_HELLO_PID) -> int:
@@ -55,15 +62,31 @@ def decode_hello(payload: bytes, max_pid: int = MAX_HELLO_PID) -> int:
 
     Rejects, with a :class:`FramingError` naming the reason, every
     malformed shape a hostile or confused peer can present: wrong magic,
-    truncated payload, trailing bytes, and out-of-range sender ids.
+    truncated payload, trailing bytes, out-of-range sender ids, and
+    mismatched wire versions (including version-1 peers, whose hello
+    predates the version word entirely).
     """
     if len(payload) < len(HELLO_MAGIC) or not payload.startswith(HELLO_MAGIC):
         raise FramingError("hello frame has wrong magic")
-    if len(payload) < len(HELLO_MAGIC) + _LEN.size:
+    body = len(payload) - len(HELLO_MAGIC)
+    if body < _LEN.size:
         raise FramingError("hello frame truncated before the sender pid")
-    if len(payload) > len(HELLO_MAGIC) + _LEN.size:
-        raise FramingError("hello frame carries trailing bytes after the pid")
+    if body == _LEN.size:
+        # The version-1 hello layout: magic + pid, no version word.
+        raise FramingError(
+            f"peer speaks wire version 1 (pre-version hello); "
+            f"this build requires {WIRE_VERSION}"
+        )
+    if body < 2 * _LEN.size:
+        raise FramingError("hello frame truncated before the wire version")
+    if body > 2 * _LEN.size:
+        raise FramingError("hello frame carries trailing bytes after the version")
     pid = int(_LEN.unpack_from(payload, len(HELLO_MAGIC))[0])
+    version = int(_LEN.unpack_from(payload, len(HELLO_MAGIC) + _LEN.size)[0])
+    if version != WIRE_VERSION:
+        raise FramingError(
+            f"peer speaks wire version {version}; this build requires {WIRE_VERSION}"
+        )
     if pid > max_pid:
         raise FramingError(f"hello pid {pid} exceeds the bound {max_pid}")
     return pid

@@ -221,6 +221,12 @@ class ConsensusSystem:
             replica.replica_pids = list(range(self.num_replicas))
             self.network.add_process(MachineProcess(replica, self.sim))
             self.replicas.append(replica)
+        # Payload mixes and fee draws need client randomness even when
+        # arrivals stay periodic; the explicit ``poisson`` flag keeps the
+        # two concerns independent (and historical seeds bit-identical).
+        needs_rng = bool(
+            config.client_poisson or config.client_payload_mix or config.client_max_fee
+        )
         for cid in range(config.num_clients):
             client = Client(
                 pid=client_pids[cid],
@@ -230,7 +236,11 @@ class ConsensusSystem:
                 payload_bytes=config.payload_bytes,
                 interval_ms=config.client_interval_ms,
                 total_txs=config.client_total_txs,
-                rng=self.rng.stream(f"client:{cid}") if config.client_poisson else None,
+                rng=self.rng.stream(f"client:{cid}") if needs_rng else None,
+                poisson=config.client_poisson,
+                payload_mix=config.client_payload_mix or None,
+                max_fee=config.client_max_fee,
+                retry_limit=config.client_retry_limit,
             )
             self.network.add_process(MachineProcess(client, self.sim))
             self.clients.append(client)

@@ -7,7 +7,7 @@ from repro.core.block import create_chain, create_leaf, genesis_block
 from repro.core.certificate import Accumulator, QuorumCert, genesis_qc
 from repro.core.codec import CodecError, Decoder, Encoder, decode_message, encode_message
 from repro.core.commitment import Commitment
-from repro.core.mempool import Transaction
+from repro.core.mempool import AdmissionVerdict, Transaction
 from repro.core.messages import (
     BlockProposal,
     BlockRequest,
@@ -98,7 +98,10 @@ ALL_MESSAGES = [
     BlockRequest(b"\x08" * 32),
     BlockResponse(block()),
     ClientRequest(2, tx()),
+    ClientRequest(2, Transaction(2, 7, 16, submitted_at=1.5, fee=42)),
     ClientReply(0, 2, 9, 12.5),
+    ClientReply(0, 2, 9, 12.5, AdmissionVerdict.POOL_FULL),
+    ClientReply(1, 3, 10, 0.5, AdmissionVerdict.RATE_LIMITED),
     SyncRequest(40, 44),
     SyncCheckpoint(checkpoint()),
     SyncBlocks(40, (block(), block()), done=False),
@@ -136,6 +139,19 @@ def test_declared_wire_size_tracks_encoding(msg):
     declared = msg.wire_size()
     encoded = len(encode_message(msg))
     assert abs(encoded - declared) <= max(60, declared * 0.35), (declared, encoded)
+
+
+def test_unknown_admission_verdict_rejected():
+    data = bytearray(encode_message(ClientReply(0, 2, 9, 12.5)))
+    data[-1] = 0xFF  # the verdict tag is the reply's final byte
+    with pytest.raises(CodecError, match="admission verdict"):
+        decode_message(bytes(data))
+
+
+def test_transaction_fee_survives_roundtrip():
+    msg = ClientRequest(2, Transaction(2, 7, 16, submitted_at=1.5, fee=42))
+    decoded = decode_message(encode_message(msg))
+    assert decoded.tx.fee == 42
 
 
 def test_block_hash_survives_roundtrip():

@@ -1,5 +1,6 @@
 """Tests for transactions and the mempool."""
 
+from repro.core import mempool as mempool_mod
 from repro.core.mempool import TX_METADATA_BYTES, Mempool, Transaction, payload_digest
 
 
@@ -13,6 +14,36 @@ def test_payload_digest_depends_on_contents():
     txs2 = (Transaction(0, 1, 0), Transaction(0, 3, 0))
     assert payload_digest(txs1) != payload_digest(txs2)
     assert payload_digest(txs1) == payload_digest(txs1)
+
+
+def test_payload_digest_cache_evicts_oldest_half():
+    """The digest cache is bounded and sheds its *oldest* entries.
+
+    Regression: an unbounded (or wholesale-cleared) cache either grows
+    without limit under synthetic open-loop load or drops the hot recent
+    tuples a live chain keeps re-hashing.
+    """
+    cache = mempool_mod._PAYLOAD_DIGEST_CACHE
+    cache_max = mempool_mod._DIGEST_CACHE_MAX
+    cache.clear()
+    tuples = [(Transaction(0, i, 0),) for i in range(cache_max + 1)]
+    for txs in tuples:
+        payload_digest(txs)
+    # The insertion that overflowed evicted the oldest half first.
+    assert len(cache) == cache_max // 2 + 1
+    assert tuples[0] not in cache
+    assert tuples[cache_max // 2 - 1] not in cache
+    assert tuples[cache_max // 2] in cache
+    assert tuples[-1] in cache
+    # Evicted tuples still digest correctly (and re-enter the cache).
+    assert payload_digest(tuples[0]) == payload_digest((Transaction(0, 0, 0),))
+    cache.clear()
+
+
+def test_payload_digest_differs_by_fee():
+    assert payload_digest((Transaction(0, 1, 0, fee=1),)) != payload_digest(
+        (Transaction(0, 1, 0, fee=2),)
+    )
 
 
 def test_open_loop_blocks_are_full():

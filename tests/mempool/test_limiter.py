@@ -1,0 +1,66 @@
+"""Token-bucket rate limiter: exact refill, burst bounds, sender eviction."""
+
+from repro.mempool.limiter import SenderRateLimiter, TokenBucket
+
+
+def test_burst_then_starvation():
+    bucket = TokenBucket(rate_per_ms=1.0, burst=4.0, now=0.0)
+    assert all(bucket.try_acquire(0.0) for _ in range(4))
+    assert not bucket.try_acquire(0.0)
+
+
+def test_refills_exactly_at_the_configured_rate():
+    """Tokens accrue at precisely rate * elapsed, capped at the burst."""
+    bucket = TokenBucket(rate_per_ms=2.0, burst=4.0, now=0.0)
+    for _ in range(4):
+        assert bucket.try_acquire(0.0)
+    # 1 ms later exactly 2 tokens have accrued: two grants, no third.
+    assert bucket.try_acquire(1.0)
+    assert bucket.try_acquire(1.0)
+    assert not bucket.try_acquire(1.0)
+    # 0.5 ms at 2/ms = exactly one more token.
+    assert bucket.try_acquire(1.5)
+    assert not bucket.try_acquire(1.5)
+
+
+def test_refill_caps_at_burst():
+    bucket = TokenBucket(rate_per_ms=1.0, burst=3.0, now=0.0)
+    bucket.refill(1_000_000.0)
+    assert bucket.tokens == 3.0
+
+
+def test_time_never_runs_backwards():
+    bucket = TokenBucket(rate_per_ms=1.0, burst=2.0, now=10.0)
+    assert bucket.try_acquire(10.0)
+    bucket.refill(5.0)  # stale observation must not mint tokens
+    assert bucket.tokens == 1.0
+
+
+def test_fractional_refill_accumulates_without_float_loss():
+    """Many small refills sum to whole tokens (the epsilon guard)."""
+    bucket = TokenBucket(rate_per_ms=0.1, burst=1.0, now=0.0)
+    assert bucket.try_acquire(0.0)
+    # 10 x 1 ms at 0.1 tokens/ms = exactly 1 token despite float steps.
+    for i in range(1, 11):
+        bucket.refill(float(i))
+    assert bucket.try_acquire(10.0)
+
+
+def test_disabled_limiter_always_allows():
+    limiter = SenderRateLimiter(rate_per_ms=0.0, burst=1.0)
+    assert all(limiter.allow(7, 0.0) for _ in range(100))
+    assert limiter.tracked_senders() == 0
+
+
+def test_limiter_is_per_sender():
+    limiter = SenderRateLimiter(rate_per_ms=0.001, burst=1.0)
+    assert limiter.allow(1, 0.0)
+    assert not limiter.allow(1, 0.0)
+    assert limiter.allow(2, 0.0)  # a different sender has its own bucket
+
+
+def test_sender_map_is_bounded():
+    limiter = SenderRateLimiter(rate_per_ms=0.001, burst=1.0, max_senders=8)
+    for sender in range(20):
+        limiter.allow(sender, 0.0)
+    assert limiter.tracked_senders() <= 9  # cap + the newcomer being added

@@ -1,0 +1,268 @@
+"""The bounded priority mempool: verdicts, ordering, caps, determinism."""
+
+from repro.core.codec import encode_message
+from repro.core.mempool import AdmissionVerdict, Transaction
+from repro.core.messages import ClientRequest
+from repro.core.rng import RngStream
+from repro.mempool.pool import PriorityMempool
+
+ACCEPTED = AdmissionVerdict.ACCEPTED
+DUPLICATE = AdmissionVerdict.DUPLICATE
+POOL_FULL = AdmissionVerdict.POOL_FULL
+RATE_LIMITED = AdmissionVerdict.RATE_LIMITED
+
+
+def tx(client=0, tx_id=0, payload=16, fee=0):
+    return Transaction(client_id=client, tx_id=tx_id, payload_bytes=payload, fee=fee)
+
+
+def closed_pool(**kwargs):
+    kwargs.setdefault("max_txs", 1000)
+    return PriorityMempool(16, 4, open_loop=False, **kwargs)
+
+
+# -- admission verdicts ------------------------------------------------------
+
+
+def test_accepts_distinct_transactions():
+    pool = closed_pool()
+    assert pool.admit(tx(0, 1), 0.0) is ACCEPTED
+    assert pool.admit(tx(0, 2), 0.0) is ACCEPTED
+    assert pool.pending() == 2
+
+
+def test_duplicate_pending_rejected():
+    pool = closed_pool()
+    assert pool.admit(tx(0, 1), 0.0) is ACCEPTED
+    assert pool.admit(tx(0, 1), 0.0) is DUPLICATE
+    assert pool.pending() == 1
+
+
+def test_replay_of_drained_transaction_rejected():
+    """A transaction that already made it into a block must not re-enter."""
+    pool = closed_pool()
+    pool.admit(tx(0, 1), 0.0)
+    assert pool.take_block(1.0) == (tx(0, 1),)
+    assert pool.admit(tx(0, 1), 2.0) is DUPLICATE
+
+
+def test_same_tx_id_different_clients_are_distinct():
+    pool = closed_pool()
+    assert pool.admit(tx(0, 1), 0.0) is ACCEPTED
+    assert pool.admit(tx(1, 1), 0.0) is ACCEPTED
+
+
+def test_rate_limited_sender_nacked_and_recovers():
+    pool = closed_pool(rate_limit_per_ms=1.0, rate_burst=2.0)
+    assert pool.admit(tx(0, 1), 0.0) is ACCEPTED
+    assert pool.admit(tx(0, 2), 0.0) is ACCEPTED
+    assert pool.admit(tx(0, 3), 0.0) is RATE_LIMITED
+    # The refused submission may be retried once the bucket refills.
+    assert pool.admit(tx(0, 3), 1.0) is ACCEPTED
+
+
+def test_rate_limited_rejection_is_not_a_replay():
+    pool = closed_pool(rate_limit_per_ms=0.001, rate_burst=1.0)
+    assert pool.admit(tx(0, 1), 0.0) is ACCEPTED
+    assert pool.admit(tx(0, 2), 0.0) is RATE_LIMITED
+    assert pool.admit(tx(0, 2), 10_000.0) is ACCEPTED  # not DUPLICATE
+
+
+# -- capacity and eviction ---------------------------------------------------
+
+
+def test_count_cap_evicts_lowest_fee():
+    pool = closed_pool(max_txs=2)
+    pool.admit(tx(0, 1, fee=5), 0.0)
+    pool.admit(tx(0, 2, fee=1), 0.0)
+    assert pool.admit(tx(0, 3, fee=9), 0.0) is ACCEPTED  # displaces fee=1
+    assert pool.pending() == 2
+    assert pool.evicted == 1
+    drained = pool.take_block(1.0)
+    assert [t.fee for t in drained] == [9, 5]
+
+
+def test_incoming_lowest_fee_bounces_as_pool_full():
+    pool = closed_pool(max_txs=2)
+    pool.admit(tx(0, 1, fee=5), 0.0)
+    pool.admit(tx(0, 2, fee=5), 0.0)
+    assert pool.admit(tx(0, 3, fee=1), 0.0) is POOL_FULL
+    assert pool.pending() == 2
+    assert pool.evicted == 0  # a bounce is a rejection, not an eviction
+
+
+def test_equal_fee_overload_sheds_the_newcomer():
+    pool = closed_pool(max_txs=2)
+    pool.admit(tx(0, 1, fee=3), 0.0)
+    pool.admit(tx(0, 2, fee=3), 0.0)
+    assert pool.admit(tx(0, 3, fee=3), 0.0) is POOL_FULL
+    assert pool.take_block(1.0) == (tx(0, 1, fee=3), tx(0, 2, fee=3))
+
+
+def test_evicted_transaction_may_be_resubmitted():
+    pool = closed_pool(max_txs=1)
+    pool.admit(tx(0, 1, fee=1), 0.0)
+    pool.admit(tx(0, 2, fee=9), 0.0)  # evicts tx 1
+    assert pool.admit(tx(0, 1, fee=1), 1.0) is POOL_FULL  # bounces, not DUPLICATE
+    pool.take_block(2.0)
+    assert pool.admit(tx(0, 1, fee=1), 3.0) is ACCEPTED
+
+
+def test_pool_never_exceeds_caps_under_random_load():
+    """Property: occupancy respects both caps at every step."""
+    rng = RngStream(7, "pool-bounds")
+    pool = closed_pool(max_txs=50, max_bytes=4_000)
+    for i in range(2_000):
+        pool.admit(
+            tx(rng.randint(0, 9), i, payload=rng.randint(0, 64), fee=rng.randint(0, 5)),
+            float(i),
+        )
+        assert pool.pending() <= 50
+        assert pool.pending_bytes() <= 4_000
+        if rng.random() < 0.05:
+            pool.take_block(float(i))
+
+
+def test_byte_cap_evicts():
+    pool = closed_pool(max_bytes=2 * tx(payload=16).wire_size())
+    pool.admit(tx(0, 1, fee=2), 0.0)
+    pool.admit(tx(0, 2, fee=3), 0.0)
+    assert pool.admit(tx(0, 3, fee=4), 0.0) is ACCEPTED
+    assert pool.pending() == 2
+    assert pool.evicted == 1
+
+
+# -- backpressure ------------------------------------------------------------
+
+
+def test_watermark_backpressure_engages_and_releases():
+    pool = closed_pool(max_txs=10, high_watermark=0.8, low_watermark=0.4)
+    for i in range(8):
+        assert pool.admit(tx(0, i), 0.0) is ACCEPTED
+    # At the high watermark, fee-0 submissions are refused...
+    assert pool.admit(tx(0, 100), 0.0) is POOL_FULL
+    # ...but a paying transaction still displaces its way in.
+    assert pool.admit(tx(0, 101, fee=5), 0.0) is ACCEPTED
+    # Draining below the low watermark releases the latch (4 txs drain).
+    pool.take_block(1.0)
+    pool.take_block(1.0)
+    assert pool.admit(tx(0, 102), 2.0) is ACCEPTED
+    assert pool.stats()["backpressure_engagements"] == 1
+
+
+# -- proposal drain ----------------------------------------------------------
+
+
+def test_drains_by_fee_then_fifo():
+    pool = closed_pool()
+    pool.admit(tx(0, 1, fee=1), 0.0)
+    pool.admit(tx(0, 2, fee=9), 0.0)
+    pool.admit(tx(0, 3, fee=9), 0.0)
+    pool.admit(tx(0, 4, fee=4), 0.0)
+    assert [t.tx_id for t in pool.take_block(1.0)] == [2, 3, 4, 1]
+
+
+def test_max_block_bytes_caps_the_drain():
+    size = tx(payload=16).wire_size()
+    pool = PriorityMempool(16, 10, open_loop=False, max_block_bytes=2 * size)
+    for i in range(5):
+        pool.admit(tx(0, i), 0.0)
+    assert len(pool.take_block(1.0)) == 2
+    assert len(pool.take_block(1.0)) == 2
+    assert len(pool.take_block(1.0)) == 1
+
+
+def test_outsized_transaction_cannot_wedge_the_pool():
+    """A tx above max_block_bytes still ships (alone) rather than sticking."""
+    pool = PriorityMempool(16, 10, open_loop=False, max_block_bytes=50)
+    pool.admit(tx(0, 1, payload=500), 0.0)
+    pool.admit(tx(0, 2, payload=0), 0.0)
+    first = pool.take_block(1.0)
+    assert [t.tx_id for t in first] == [1]
+    assert [t.tx_id for t in pool.take_block(1.0)] == [2]
+
+
+def test_open_loop_synthetics_respect_byte_cap():
+    size = 16 + 40
+    pool = PriorityMempool(16, 10, open_loop=True, max_block_bytes=3 * size)
+    assert len(pool.take_block(0.0)) == 3
+
+
+# -- determinism -------------------------------------------------------------
+
+
+def _scripted_ops(seed):
+    rng = RngStream(seed, "pool-determinism")
+    ops = []
+    for i in range(600):
+        if rng.random() < 0.15:
+            ops.append(("drain", round(float(i), 3)))
+        else:
+            ops.append(
+                (
+                    "admit",
+                    rng.randint(0, 7),
+                    i,
+                    rng.randint(0, 32),
+                    rng.randint(0, 9),
+                    round(float(i) * 0.5, 3),
+                )
+            )
+    return ops
+
+
+def _run_ops(ops):
+    pool = PriorityMempool(
+        16, 8, open_loop=False, max_txs=64, max_bytes=6_000,
+        rate_limit_per_ms=2.0, rate_burst=16.0,
+    )
+    blocks = []
+    verdicts = []
+    for op in ops:
+        if op[0] == "drain":
+            blocks.append(pool.take_block(op[1]))
+        else:
+            _, client, i, payload, fee, now = op
+            verdicts.append(
+                pool.admit(Transaction(client, i, payload, now, fee), now)
+            )
+    return blocks, verdicts, pool.stats()
+
+
+def test_same_submission_order_gives_byte_identical_blocks():
+    """The pool is pure: identical ops => identical drained blocks, bytes
+    and all - the property that makes sim and asyncio runs agree."""
+    ops = _scripted_ops(21)
+    blocks_a, verdicts_a, stats_a = _run_ops(ops)
+    blocks_b, verdicts_b, stats_b = _run_ops(ops)
+    assert verdicts_a == verdicts_b
+    assert stats_a == stats_b
+    assert len(blocks_a) == len(blocks_b) and any(blocks_a)
+    for left, right in zip(blocks_a, blocks_b, strict=True):
+        assert left == right
+        # Byte-identical on the wire, not merely equal in memory.
+        enc_left = b"".join(encode_message(ClientRequest(t.client_id, t)) for t in left)
+        enc_right = b"".join(encode_message(ClientRequest(t.client_id, t)) for t in right)
+        assert enc_left == enc_right
+
+
+def test_stats_counters_are_consistent():
+    ops = _scripted_ops(3)
+    _, verdicts, stats = _run_ops(ops)
+    assert stats["admitted"] == sum(1 for v in verdicts if v is ACCEPTED)
+    rejected = (
+        stats["rejected_rate_limited"]
+        + stats["rejected_pool_full"]
+        + stats["rejected_duplicate"]
+    )
+    assert rejected == sum(1 for v in verdicts if v is not ACCEPTED)
+    assert stats["pending_txs"] == stats["admitted"] - stats["drained"] - stats["evicted"]
+
+
+def test_legacy_add_is_unconditioned_but_capped():
+    pool = closed_pool(max_txs=3, rate_limit_per_ms=0.000001, rate_burst=1.0)
+    for i in range(5):
+        pool.add(tx(0, i))  # bypasses the rate limiter entirely
+    assert pool.pending() == 3
+    pool.add(tx(0, 4))  # idempotent per key
+    assert pool.pending() == 3

@@ -1,0 +1,102 @@
+"""Client-side admission accounting: verdict histogram, drops, retries."""
+
+from repro.core.mempool import AdmissionVerdict
+from repro.core.messages import ClientReply
+from repro.protocols.client import Client
+from repro.runtime.effects import Send
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def make_client(**kwargs):
+    kwargs.setdefault("pid", 100)
+    kwargs.setdefault("clock", FakeClock())
+    kwargs.setdefault("client_id", 0)
+    kwargs.setdefault("replica_pids", [0, 1, 2, 3])
+    kwargs.setdefault("payload_bytes", 16)
+    kwargs.setdefault("interval_ms", 1e9)  # one submission, then silence
+    client = Client(**kwargs)
+    client.start()
+    return client
+
+
+def nack(client, sender, tx_id, verdict):
+    return client.on_message(
+        sender, ClientReply(sender, client.client_id, tx_id, 0.0, verdict)
+    )
+
+
+def test_verdict_histogram_counts_every_reply():
+    client = make_client()
+    nack(client, 0, 0, AdmissionVerdict.ACCEPTED)
+    nack(client, 1, 0, AdmissionVerdict.ACCEPTED)  # duplicate exec replies count
+    nack(client, 2, 0, AdmissionVerdict.POOL_FULL)
+    nack(client, 3, 0, AdmissionVerdict.RATE_LIMITED)
+    assert client.verdicts["accepted"] == 2
+    assert client.verdicts["pool-full"] == 1
+    assert client.verdicts["rate-limited"] == 1
+    assert client.verdicts["duplicate"] == 0
+
+
+def test_partial_nack_keeps_transaction_inflight():
+    client = make_client()
+    for sender in range(3):  # 3 of 4 replicas refuse
+        nack(client, sender, 0, AdmissionVerdict.POOL_FULL)
+    assert client.dropped == 0
+    assert 0 in client.submitted
+
+
+def test_full_nack_drops_the_transaction():
+    client = make_client()
+    for sender in range(4):
+        nack(client, sender, 0, AdmissionVerdict.POOL_FULL)
+    assert client.dropped == 1
+    assert 0 not in client.submitted
+    summary = client.admission_summary()
+    assert summary["dropped"] == 1
+    assert summary["replies_pool-full"] == 4
+
+
+def test_repeated_nacks_from_one_replica_do_not_drop():
+    client = make_client()
+    for _ in range(10):
+        nack(client, 0, 0, AdmissionVerdict.RATE_LIMITED)
+    assert client.dropped == 0
+
+
+def test_full_nack_resubmits_within_retry_limit():
+    client = make_client(retry_limit=1)
+    effects = []
+    for sender in range(4):
+        effects = nack(client, sender, 0, AdmissionVerdict.RATE_LIMITED)
+    # The final NACK triggered a rebroadcast of the same transaction...
+    sends = [e for e in effects if isinstance(e, Send)]
+    assert [e.dest for e in sends] == [0, 1, 2, 3]
+    assert all(e.payload.tx.tx_id == 0 for e in sends)
+    assert client.retried == 1
+    assert client.dropped == 0
+    # ...and a second full round of NACKs exhausts the budget: dropped.
+    for sender in range(4):
+        nack(client, sender, 0, AdmissionVerdict.RATE_LIMITED)
+    assert client.dropped == 1
+
+
+def test_acceptance_after_nacks_completes_normally():
+    client = make_client()
+    nack(client, 0, 0, AdmissionVerdict.POOL_FULL)
+    nack(client, 1, 0, AdmissionVerdict.ACCEPTED)
+    assert len(client.completed) == 1
+    assert client.dropped == 0
+    # Late NACKs for a completed transaction are ignored.
+    nack(client, 2, 0, AdmissionVerdict.POOL_FULL)
+    nack(client, 3, 0, AdmissionVerdict.POOL_FULL)
+    assert client.dropped == 0
+
+
+def test_replies_for_other_clients_ignored():
+    client = make_client(client_id=5)
+    client.on_message(0, ClientReply(0, 6, 0, 0.0, AdmissionVerdict.POOL_FULL))
+    assert sum(client.verdicts.values()) == 0

@@ -94,14 +94,36 @@ def test_hello_trailing_bytes_rejected():
 
 
 def test_hello_oversized_pid_rejected():
+    from repro.core.codec import WIRE_VERSION
     from repro.runtime.framing import HELLO_MAGIC, MAX_HELLO_PID
     import struct
 
-    payload = HELLO_MAGIC + struct.pack("<I", MAX_HELLO_PID + 1)
+    version = struct.pack("<I", WIRE_VERSION)
+    payload = HELLO_MAGIC + struct.pack("<I", MAX_HELLO_PID + 1) + version
     with pytest.raises(FramingError, match="exceeds"):
         decode_hello(payload)
     # The bound itself is admitted.
-    assert decode_hello(HELLO_MAGIC + struct.pack("<I", MAX_HELLO_PID)) == MAX_HELLO_PID
+    bounded = HELLO_MAGIC + struct.pack("<I", MAX_HELLO_PID) + version
+    assert decode_hello(bounded) == MAX_HELLO_PID
+
+
+def test_hello_version_1_peer_rejected():
+    """The pre-version hello layout (magic + pid) is refused by name."""
+    from repro.runtime.framing import HELLO_MAGIC
+    import struct
+
+    with pytest.raises(FramingError, match="wire version 1"):
+        decode_hello(HELLO_MAGIC + struct.pack("<I", 3))
+
+
+def test_hello_mismatched_version_rejected():
+    from repro.core.codec import WIRE_VERSION
+    from repro.runtime.framing import HELLO_MAGIC
+    import struct
+
+    payload = HELLO_MAGIC + struct.pack("<I", 3) + struct.pack("<I", WIRE_VERSION + 1)
+    with pytest.raises(FramingError, match="wire version"):
+        decode_hello(payload)
 
 
 def test_poisoned_decoder_stays_rejected():
