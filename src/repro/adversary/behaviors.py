@@ -14,12 +14,22 @@ from repro.protocols.hotstuff import HotStuffReplica
 class SilentLeaderHotStuff(HotStuffReplica):
     """A HotStuff replica that stays mute whenever it is the leader."""
 
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.withheld_proposals = 0
+
     def _propose(self, view, new_views) -> None:
+        self.withheld_proposals += 1
         return  # never propose; the view will time out
 
 
 class SilentLeaderDamysus(DamysusReplica):
     """A Damysus replica that stays mute whenever it is the leader."""
 
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.withheld_proposals = 0
+
     def _propose(self, view, phis) -> None:
+        self.withheld_proposals += 1
         return  # never propose; the view will time out

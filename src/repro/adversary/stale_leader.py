@@ -62,11 +62,13 @@ class StaleDamysusLeader(DamysusReplica):
         # the choice of which commitments to discard.
         self._new_views = QuorumCollector(self.num_replicas)
         self.understated_views = 0
+        self.discarded_commitments = 0
 
     def _propose(self, view: int, phis) -> None:
         lowest = sorted(phis, key=lambda phi: (phi.v_just or 0))[: self.quorum]
         if len(lowest) < self.quorum:
             return
+        self.discarded_commitments += len(phis) - len(lowest)
         if max((p.v_just or 0) for p in lowest) < max((p.v_just or 0) for p in phis):
             self.understated_views += 1
         try:

@@ -1,0 +1,420 @@
+"""Attack campaigns: sweep the adversary zoo, score every cell with oracles.
+
+``repro campaign`` runs a seeded matrix of {protocol x adversary x base
+fault plan x region topology} cells on the simulator.  Each cell seats
+the named adversary (via ``ConsensusSystem(replica_overrides=...)``),
+installs the base plan merged with the adversary's colluding plan, rides
+out the faults, and scores the run with three oracles:
+
+* **SafetyOracle** (existing, strict) - no two correct replicas ever
+  execute conflicting blocks, and every executed sequence is a monotone
+  slice of the canonical chain;
+* **LivenessOracle** - after every healing fault has ceased (the plan's
+  ``healed_by_ms``; GST for partitions), commits resume within a bounded
+  number of views;
+* **DegradationOracle** - throughput under attack versus a same-seed,
+  same-duration clean run of the identical configuration, labelled
+  ``minimal`` / ``moderate`` / ``severe``.
+
+Everything is a pure function of the campaign seed: the same seed yields
+a bit-identical JSON report (no wall-clock fields anywhere), which CI
+exploits by running the smoke matrix twice and comparing digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass, field
+
+from repro.adversary.registry import ADVERSARIES, AdversarySpec, get_adversary
+from repro.config import SystemConfig
+from repro.core.faults import FaultPlan
+from repro.costs import CostModel
+from repro.errors import ConfigError, SafetyViolation, SimulationError
+from repro.protocols.registry import get_spec
+from repro.runtime.sim import ConsensusSystem
+from repro.sim.regions import EU_REGIONS, WORLD_REGIONS, RegionMap
+
+#: Simulation chunk size (virtual ms) between oracle checks.
+_CHUNK_MS = 100.0
+
+#: Region topologies a campaign can place replicas into.
+TOPOLOGIES: dict[str, RegionMap] = {"eu": EU_REGIONS, "world": WORLD_REGIONS}
+
+#: Degradation labels by attack/clean throughput ratio (inclusive lower
+#: bounds, consulted in order).  A ratio above 0.75 is noise-level.
+_DEGRADATION_BANDS: tuple[tuple[float, str], ...] = (
+    (0.75, "minimal"),
+    (0.40, "moderate"),
+    (0.0, "severe"),
+)
+
+
+def degradation_label(ratio: float) -> str:
+    """Map an attack/clean throughput ratio onto a severity band."""
+    for floor, label in _DEGRADATION_BANDS:
+        if ratio >= floor:
+            return label
+    return "severe"
+
+
+def base_plans() -> dict[str, FaultPlan]:
+    """The named network conditions a campaign can overlay attacks on.
+
+    Plans are rebuilt per call because :class:`FaultPlan` is mutable and
+    cells merge colluding rules into their copy.
+    """
+    return {
+        "clean": FaultPlan(),
+        "lossy": FaultPlan().lossy_links(0.1, end_ms=1_200.0),
+    }
+
+
+def merge_plans(base: FaultPlan, extra: FaultPlan | None) -> FaultPlan:
+    """A fresh plan carrying both inputs' rules and crash events."""
+    merged = FaultPlan()
+    merged.rules.extend(base.rules)
+    merged.crashes.extend(base.crashes)
+    if extra is not None:
+        merged.rules.extend(extra.rules)
+        merged.crashes.extend(extra.crashes)
+    return merged
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One scored (protocol, adversary, plan, topology) combination."""
+
+    protocol: str
+    adversary: str
+    plan: str
+    topology: str
+    seed: int
+    # -- SafetyOracle ---------------------------------------------------
+    safe: bool
+    violation: str | None
+    # -- LivenessOracle -------------------------------------------------
+    live_after_heal: bool
+    views_to_recover: int | None  # view gap heal -> first fresh commit
+    healed_at_ms: float
+    duration_ms: float  # virtual, deterministic
+    # -- DegradationOracle ----------------------------------------------
+    commits: int
+    baseline_commits: int
+    degradation_ratio: float
+    degradation: str
+    # -- attack bookkeeping ---------------------------------------------
+    attack_events: int
+    attacker_pids: tuple[int, ...]
+    timeouts_fired: int
+
+    @property
+    def ok(self) -> bool:
+        """Safety held and liveness recovered; degradation is informational."""
+        return self.safe and self.live_after_heal
+
+    @property
+    def verdict(self) -> str:
+        if not self.safe:
+            return "UNSAFE"
+        if not self.live_after_heal:
+            return "STALLED"
+        return "PASS"
+
+
+@dataclass
+class CampaignReport:
+    """A full campaign: parameters, every scored cell, skipped combos."""
+
+    seed: int
+    settle_views: int
+    view_budget: int
+    protocols: tuple[str, ...]
+    adversaries: tuple[str, ...]
+    plans: tuple[str, ...]
+    topologies: tuple[str, ...]
+    cells: list[CampaignCell] = field(default_factory=list)
+    #: (adversary, protocol) pairs skipped because the attack does not
+    #: target that protocol (e.g. amnesia needs a TEE to roll back).
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def unsafe_cells(self) -> list[CampaignCell]:
+        return [cell for cell in self.cells if not cell.safe]
+
+    @property
+    def stalled_cells(self) -> list[CampaignCell]:
+        return [cell for cell in self.cells if cell.safe and not cell.live_after_heal]
+
+    def to_dict(self) -> dict:
+        cells = []
+        for cell in self.cells:
+            entry = asdict(cell)
+            entry["attacker_pids"] = list(cell.attacker_pids)
+            entry["verdict"] = cell.verdict
+            cells.append(entry)
+        return {
+            "seed": self.seed,
+            "settle_views": self.settle_views,
+            "view_budget": self.view_budget,
+            "protocols": list(self.protocols),
+            "adversaries": list(self.adversaries),
+            "plans": list(self.plans),
+            "topologies": list(self.topologies),
+            "cells": cells,
+            "skipped": [list(pair) for pair in self.skipped],
+            "digest": self.digest(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical cell encoding; CI's determinism gate."""
+        cells = [asdict(cell) | {"attacker_pids": list(cell.attacker_pids)}
+                 for cell in self.cells]
+        blob = json.dumps(cells, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def describe(self) -> str:
+        header = (
+            f"{'protocol':10s} {'adversary':11s} {'plan':6s} {'topo':6s} "
+            f"{'verdict':8s} {'degrade':9s} {'ratio':>6s} {'views':>5s} {'events':>7s}"
+        )
+        lines = [header, "-" * len(header)]
+        for cell in self.cells:
+            recover = "-" if cell.views_to_recover is None else str(cell.views_to_recover)
+            lines.append(
+                f"{cell.protocol:10s} {cell.adversary:11s} {cell.plan:6s} "
+                f"{cell.topology:6s} {cell.verdict:8s} {cell.degradation:9s} "
+                f"{cell.degradation_ratio:6.2f} {recover:>5s} {cell.attack_events:>7d}"
+            )
+        for adversary, protocol in self.skipped:
+            lines.append(f"{protocol:10s} {adversary:11s} (skipped: unsupported)")
+        lines.append(
+            f"{len(self.cells)} cells: "
+            f"{sum(1 for c in self.cells if c.ok)} pass, "
+            f"{len(self.unsafe_cells)} unsafe, "
+            f"{len(self.stalled_cells)} stalled; digest {self.digest()[:16]}"
+        )
+        return "\n".join(lines)
+
+
+def _cell_config(
+    protocol: str,
+    topology: str,
+    seed: int,
+    overrides: dict,
+) -> SystemConfig:
+    try:
+        regions = TOPOLOGIES[topology]
+    except KeyError:
+        raise ConfigError(
+            f"unknown topology {topology!r} (known: {', '.join(sorted(TOPOLOGIES))})"
+        ) from None
+    params = dict(
+        protocol=protocol,
+        f=1,
+        seed=seed,
+        payload_bytes=0,
+        block_size=5,
+        timeout_ms=250.0,
+        timeout_jitter=0.1,
+        costs=CostModel.zero(),
+        regions=regions,
+        checkpoint_interval=5,
+    )
+    params.update(overrides)
+    return SystemConfig(**params)
+
+
+def _commits(system: ConsensusSystem) -> int:
+    return len({rec.block_hash for rec in system.monitor.executions})
+
+
+def run_cell(
+    protocol: str,
+    spec: AdversarySpec,
+    plan_name: str,
+    topology: str,
+    *,
+    seed: int,
+    settle_views: int = 4,
+    view_budget: int = 30,
+    max_time_ms: float = 60_000.0,
+    config_overrides: dict | None = None,
+) -> CampaignCell:
+    """Run one attack cell plus its same-seed clean baseline and score it."""
+    config = _cell_config(protocol, topology, seed, dict(config_overrides or {}))
+    num_replicas = get_spec(protocol).num_replicas(config.f)
+    seats = spec.seats(num_replicas, config.f)
+    colluding = (
+        spec.colluding_plan(num_replicas, config.f)
+        if spec.colluding_plan is not None
+        else None
+    )
+    plan = merge_plans(base_plans()[plan_name], colluding)
+    healed_at = plan.healed_by_ms()
+    if math.isinf(healed_at):
+        raise SimulationError(
+            f"campaign plan {plan_name!r} never heals; liveness cannot be scored"
+        )
+
+    system = ConsensusSystem(
+        config,
+        strict_safety=True,
+        replica_overrides={pid: spec.replica_class(protocol) for pid in seats},
+    )
+    system.apply_fault_plan(plan)
+    violation: str | None = None
+    views_at_heal: set[int] = set()
+    system.start()
+    try:
+        # Phase 1: ride out the attack window and any colluding faults.
+        while system.sim.now < healed_at:
+            system.sim.run(until=min(healed_at, system.sim.now + _CHUNK_MS))
+        views_at_heal = set(system.monitor.committed_views())
+        # Phase 2 (LivenessOracle): fresh commits must arrive post-heal.
+        while system.sim.now < max_time_ms:
+            fresh = system.monitor.committed_views() - views_at_heal
+            if len(fresh) >= settle_views:
+                break
+            if system.sim.pending == 0:
+                break
+            system.sim.run(until=system.sim.now + _CHUNK_MS)
+    except SafetyViolation as exc:
+        violation = str(exc)
+
+    from repro.analysis.chaos import monotone_prefixes_ok
+
+    safe = violation is None and system.oracle.safe and monotone_prefixes_ok(system)
+    fresh_views = system.monitor.committed_views() - views_at_heal
+    views_to_recover: int | None = None
+    if fresh_views:
+        frontier = max(views_at_heal) if views_at_heal else 0
+        views_to_recover = min(fresh_views) - frontier
+    live = (
+        len(fresh_views) >= settle_views
+        and views_to_recover is not None
+        and views_to_recover <= view_budget
+    )
+    duration_ms = system.sim.now
+    commits = _commits(system)
+
+    # DegradationOracle: the identical deployment, same seed, no
+    # adversary and no colluding faults, run for the same virtual time.
+    baseline = ConsensusSystem(config, strict_safety=True)
+    baseline.apply_fault_plan(merge_plans(base_plans()[plan_name], None))
+    baseline.start()
+    baseline.sim.run(until=duration_ms)
+    baseline_commits = _commits(baseline)
+    ratio = commits / baseline_commits if baseline_commits else 1.0
+
+    return CampaignCell(
+        protocol=protocol,
+        adversary=spec.name,
+        plan=plan_name,
+        topology=topology,
+        seed=seed,
+        safe=safe,
+        violation=violation,
+        live_after_heal=live,
+        views_to_recover=views_to_recover,
+        healed_at_ms=healed_at,
+        duration_ms=duration_ms,
+        commits=commits,
+        baseline_commits=baseline_commits,
+        degradation_ratio=round(ratio, 4),
+        degradation=degradation_label(ratio),
+        attack_events=sum(spec.events(system.replicas[pid]) for pid in seats),
+        attacker_pids=tuple(seats),
+        timeouts_fired=sum(r.pacemaker.timeouts_fired for r in system.replicas),
+    )
+
+
+def run_campaign(
+    *,
+    protocols: tuple[str, ...] = ("damysus", "hotstuff"),
+    adversaries: tuple[str, ...] = (),
+    plans: tuple[str, ...] = ("clean", "lossy"),
+    topologies: tuple[str, ...] = ("eu", "world"),
+    seed: int = 1,
+    settle_views: int = 4,
+    view_budget: int = 30,
+    max_time_ms: float = 60_000.0,
+    config_overrides: dict | None = None,
+) -> CampaignReport:
+    """Sweep the matrix; cells run in sorted order so reports are stable.
+
+    An empty ``adversaries`` tuple means the whole registry.  Unsupported
+    (adversary, protocol) pairs are recorded as skipped, not errors, so
+    protocol-specific attacks (amnesia, flood) ride along in full sweeps.
+    """
+    names = tuple(adversaries) or tuple(sorted(ADVERSARIES))
+    known_plans = base_plans()
+    for plan_name in plans:
+        if plan_name not in known_plans:
+            raise ConfigError(
+                f"unknown plan {plan_name!r} (known: {', '.join(sorted(known_plans))})"
+            )
+    report = CampaignReport(
+        seed=seed,
+        settle_views=settle_views,
+        view_budget=view_budget,
+        protocols=tuple(protocols),
+        adversaries=names,
+        plans=tuple(plans),
+        topologies=tuple(topologies),
+    )
+    for protocol in protocols:
+        for name in names:
+            spec = get_adversary(name)
+            if not spec.supports(protocol):
+                report.skipped.append((name, protocol))
+                continue
+            for plan_name in plans:
+                for topology in topologies:
+                    report.cells.append(
+                        run_cell(
+                            protocol,
+                            spec,
+                            plan_name,
+                            topology,
+                            seed=seed,
+                            settle_views=settle_views,
+                            view_budget=view_budget,
+                            max_time_ms=max_time_ms,
+                            config_overrides=config_overrides,
+                        )
+                    )
+    return report
+
+
+#: The CI smoke matrix: 2 protocols x 6 adversaries x 2 topologies on the
+#: clean plan - small enough to run twice (for the digest check), wide
+#: enough to cover leader-side, coalition, rollback and mempool attacks.
+SMOKE_ADVERSARIES: tuple[str, ...] = (
+    "silent",
+    "equivocate",
+    "slow-drip",
+    "withhold",
+    "amnesia",
+    "spam",
+)
+
+
+def run_smoke_campaign(*, seed: int = 1) -> CampaignReport:
+    """The fixed small matrix CI runs (twice) as a blocking gate."""
+    return run_campaign(
+        protocols=("damysus", "hotstuff"),
+        adversaries=SMOKE_ADVERSARIES,
+        plans=("clean",),
+        topologies=("eu", "world"),
+        seed=seed,
+    )

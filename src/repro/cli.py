@@ -9,6 +9,9 @@ Commands:
 * ``profile`` - cProfile one scenario cell and print the hot functions;
 * ``perf`` - write or check the perf baseline (``BENCH_baseline.json``);
 * ``chaos`` - fault-injection run: lossy links, a partition, crash/recovery;
+* ``campaign`` - seeded attack-campaign sweep: {protocol x adversary x
+  fault plan x topology}, each cell scored by safety/liveness/degradation
+  oracles into a deterministic JSON verdict table;
 * ``counterexample`` - print the Section 4 trusted-counter demonstration;
 * ``serve`` - run one replica on real asyncio TCP sockets (fixed ports);
 * ``net-bench`` - run a localhost TCP cluster and report committed tx/s;
@@ -158,6 +161,46 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--checkpoint-interval", type=int, default=0,
                          help="certify a checkpoint every N committed blocks "
                          "(0 = off); lagging replicas rejoin by state transfer")
+    chaos_p.add_argument("--max-timeout-ms", type=float, default=0.0,
+                         help="pacemaker backoff ceiling (0 = 4x the base)")
+    chaos_p.add_argument("--timeout-jitter", type=float, default=0.1,
+                         help="+/- fraction of seeded pacemaker jitter")
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="attack-campaign sweep: {protocol x adversary x plan x "
+        "topology} scored by safety/liveness/degradation oracles",
+    )
+    camp_p.add_argument("--protocols", nargs="*", default=["damysus", "hotstuff"],
+                        choices=sorted(SPECS), metavar="NAME")
+    camp_p.add_argument("--adversaries", nargs="*", default=[], metavar="NAME",
+                        help="attacks to run (default: the whole registry); "
+                        "see `repro campaign --list`")
+    camp_p.add_argument("--plans", nargs="*", default=["clean", "lossy"],
+                        metavar="NAME", help="named base fault plans")
+    camp_p.add_argument("--topologies", nargs="*", default=["eu", "world"],
+                        choices=sorted(_REGIONS), metavar="NAME")
+    camp_p.add_argument("--seed", type=int, default=1,
+                        help="keys every cell; same seed = bit-identical report")
+    camp_p.add_argument("--settle-views", type=int, default=4,
+                        help="fresh committed views required after healing")
+    camp_p.add_argument("--view-budget", type=int, default=30,
+                        help="max view gap between heal and the first fresh "
+                        "commit before the LivenessOracle flags a stall")
+    camp_p.add_argument("--timeout-ms", type=float, default=250.0,
+                        help="pacemaker base view timeout")
+    camp_p.add_argument("--max-timeout-ms", type=float, default=0.0,
+                        help="pacemaker backoff ceiling (0 = 4x the base)")
+    camp_p.add_argument("--timeout-jitter", type=float, default=0.1,
+                        help="+/- fraction of seeded pacemaker jitter")
+    camp_p.add_argument("--smoke", action="store_true",
+                        help="run the fixed small CI matrix instead")
+    camp_p.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON")
+    camp_p.add_argument("--digest-only", action="store_true",
+                        help="print only the report digest (CI determinism gate)")
+    camp_p.add_argument("--list", action="store_true", dest="list_adversaries",
+                        help="list registered adversaries and exit")
 
     sub.add_parser("counterexample", help="Section 4: counters are not enough")
 
@@ -176,6 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--block-size", type=int, default=32, help="txs per block")
     serve_p.add_argument("--timeout-ms", type=float, default=2_000.0,
                          help="pacemaker base view timeout")
+    serve_p.add_argument("--max-timeout-ms", type=float, default=0.0,
+                         help="pacemaker backoff ceiling (0 = 4x the base)")
+    serve_p.add_argument("--timeout-jitter", type=float, default=0.0,
+                         help="+/- fraction of seeded pacemaker jitter")
+    serve_p.add_argument("--adversary", default=None, metavar="NAME",
+                         help="run this replica as the named registered attack "
+                         "(same sans-I/O Machine the simulator runs)")
     serve_p.add_argument("--duration", type=float, default=0.0,
                          help="seconds to run (0 = until interrupted)")
     serve_p.add_argument("--checkpoint-interval", type=int, default=0,
@@ -208,6 +258,13 @@ def build_parser() -> argparse.ArgumentParser:
     net_p.add_argument("--block-size", type=int, default=32, help="txs per block")
     net_p.add_argument("--timeout-ms", type=float, default=2_000.0,
                        help="pacemaker base view timeout")
+    net_p.add_argument("--max-timeout-ms", type=float, default=0.0,
+                       help="pacemaker backoff ceiling (0 = 4x the base)")
+    net_p.add_argument("--timeout-jitter", type=float, default=0.0,
+                       help="+/- fraction of seeded pacemaker jitter")
+    net_p.add_argument("--adversary", default=None, metavar="NAME",
+                       help="seat the named registered attack at its default "
+                       "pids; honest replicas must stay safe and live")
     net_p.add_argument("--verify-jobs", type=int, default=None, metavar="N",
                        help="worker processes for inbound signature "
                        "verification (0 = one per core, 1 = inline)")
@@ -270,6 +327,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="seconds to hold the 2/2 partition")
     nc_p.add_argument("--timeout-ms", type=float, default=1_000.0,
                       help="pacemaker base view timeout")
+    nc_p.add_argument("--max-timeout-ms", type=float, default=0.0,
+                      help="pacemaker backoff ceiling (0 = 4x the base)")
+    nc_p.add_argument("--timeout-jitter", type=float, default=0.0,
+                      help="+/- fraction of seeded pacemaker jitter")
+    nc_p.add_argument("--adversary", default=None, metavar="NAME",
+                      help="run one replica as the named registered attack "
+                      "while the chaos phases run (victim stays honest)")
     nc_p.add_argument("--no-kill", action="store_true",
                       help="skip the SIGKILL + restart phases")
     nc_p.add_argument("--no-partition", action="store_true",
@@ -514,8 +578,46 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         partition=not args.no_partition,
         settle_views=args.settle_views,
         checkpoint_interval=args.checkpoint_interval,
+        max_timeout_ms=args.max_timeout_ms,
+        timeout_jitter=args.timeout_jitter,
     )
     print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.adversary.registry import ADVERSARIES
+    from repro.analysis.campaign import run_campaign, run_smoke_campaign
+
+    if args.list_adversaries:
+        for name in sorted(ADVERSARIES):
+            spec = ADVERSARIES[name]
+            protocols = "/".join(sorted(spec.classes))
+            print(f"{name:12s} [{protocols}] {spec.description}")
+        return 0
+    if args.smoke:
+        report = run_smoke_campaign(seed=args.seed)
+    else:
+        report = run_campaign(
+            protocols=tuple(args.protocols),
+            adversaries=tuple(args.adversaries),
+            plans=tuple(args.plans),
+            topologies=tuple(args.topologies),
+            seed=args.seed,
+            settle_views=args.settle_views,
+            view_budget=args.view_budget,
+            config_overrides=dict(
+                timeout_ms=args.timeout_ms,
+                max_timeout_ms=args.max_timeout_ms,
+                timeout_jitter=args.timeout_jitter,
+            ),
+        )
+    if args.digest_only:
+        print(report.digest())
+    elif args.json:
+        print(report.to_json())
+    else:
+        print(report.describe())
     return 0 if report.ok else 1
 
 
@@ -586,6 +688,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 payload_bytes=args.payload,
                 block_size=args.block_size,
                 timeout_ms=args.timeout_ms,
+                max_timeout_ms=args.max_timeout_ms,
+                timeout_jitter=args.timeout_jitter,
+                adversary=args.adversary,
                 checkpoint_interval=args.checkpoint_interval,
                 seal_dir=args.seal_dir,
                 health_file=args.health_file,
@@ -663,6 +768,9 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
             payload_bytes=args.payload,
             block_size=args.block_size,
             timeout_ms=args.timeout_ms,
+            max_timeout_ms=args.max_timeout_ms,
+            timeout_jitter=args.timeout_jitter,
+            adversary=args.adversary,
             verify_jobs=args.verify_jobs,
         )
     )
@@ -693,6 +801,9 @@ def _cmd_net_chaos(args: argparse.Namespace) -> int:
         commit_bound_s=args.commit_bound,
         partition_hold_s=args.partition_hold,
         timeout_ms=args.timeout_ms,
+        max_timeout_ms=args.max_timeout_ms,
+        timeout_jitter=args.timeout_jitter,
+        adversary=args.adversary,
         kill=not args.no_kill,
         partition=not args.no_partition,
         catchup=args.catchup,
@@ -748,6 +859,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "perf": _cmd_perf,
         "chaos": _cmd_chaos,
+        "campaign": _cmd_campaign,
         "serve": _cmd_serve,
         "load": _cmd_load,
         "net-bench": _cmd_net_bench,

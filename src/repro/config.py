@@ -35,6 +35,7 @@ class SystemConfig:
     timeout_ms: float = 2_000.0  # pacemaker base view timeout
     timeout_backoff: float = 2.0  # exponential factor on timeout
     timeout_jitter: float = 0.0  # +/- fraction of seeded pacemaker jitter (0 = off)
+    max_timeout_ms: float = 0.0  # backoff ceiling (0 = 4x the base timeout)
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
     use_real_crypto: bool = False  # Schnorr (True) vs fast HMAC (False)
     gst_ms: float = 0.0  # 0 disables the pre-GST chaos wrapper
@@ -76,6 +77,10 @@ class SystemConfig:
             raise ConfigError("payload_bytes must be non-negative")
         if not 0.0 <= self.timeout_jitter < 1.0:
             raise ConfigError("timeout_jitter must be in [0, 1)")
+        if self.max_timeout_ms < 0:
+            raise ConfigError("max_timeout_ms must be non-negative (0 = default cap)")
+        if 0 < self.max_timeout_ms < self.timeout_ms:
+            raise ConfigError("max_timeout_ms must be at least timeout_ms")
         if self.checkpoint_interval < 0:
             raise ConfigError("checkpoint_interval must be non-negative")
         if any(p < 0 for p in self.client_payload_mix):

@@ -83,7 +83,14 @@ class HotStuffReplica(BaseReplica):
         self._prune_view_sets(horizon, self._proposed, self._voted, self._decided)
 
     def on_view_timeout(self, view: int) -> None:
-        self.advance_view(view + 1)
+        # Advancing one view per timeout cannot re-synchronize replicas
+        # that drifted apart: at the backoff cap everyone moves at the
+        # same rate, so a stable multi-view offset (left behind by a
+        # crash or partition) persists and no quorum ever shares a view.
+        # Jump to the highest view corroborated by f+1 distinct senders
+        # - at least one of them honest - which is exactly the watermark
+        # behind-detection already maintains.
+        self.advance_view(max(view + 1, self._highest_view_seen))
 
     def reset_protocol_state(self) -> None:
         # Vote aggregation is volatile; prepare_qc and locked_qc survive

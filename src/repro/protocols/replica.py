@@ -156,6 +156,7 @@ class BaseReplica(Machine):
             config.timeout_ms,
             config.timeout_backoff,
             on_timeout=self._on_pacemaker_timeout,
+            max_timeout_ms=config.max_timeout_ms or None,
             jitter_fraction=config.timeout_jitter,
             rng=(
                 RngStream(config.seed, f"pacemaker-jitter:{pid}")

@@ -471,6 +471,7 @@ def build_machine(
     checkpoint_interval: int = 0,
     client_pids: dict[int, int] | None = None,
     config_overrides: dict[str, object] | None = None,
+    replica_class: type | None = None,
 ) -> BaseReplica:
     """Construct one protocol machine for an ``n``-replica TCP deployment.
 
@@ -481,6 +482,10 @@ def build_machine(
     closed-loop deployments driven by ``repro load``), and
     ``config_overrides`` merges extra :class:`SystemConfig` fields -
     the ingest-pipeline knobs - into the derived configuration.
+    ``replica_class`` substitutes another machine class (a registered
+    adversary from :mod:`repro.adversary.registry`) for the protocol's
+    honest one - same constructor signature, sans-I/O, so attacks run
+    unchanged over real sockets.
     """
     spec = get_spec(protocol)
     f, quorum = _sized_quorum(spec, n)
@@ -505,7 +510,8 @@ def build_machine(
     for peer in range(n):
         directory.register_replica(peer)
         directory.register_tee(peer)
-    replica = spec.replica_class(
+    cls = replica_class if replica_class is not None else spec.replica_class
+    replica = cls(
         pid, clock, config, scheme, directory, n, quorum,
         client_pids=dict(client_pids or {}),
     )
@@ -557,16 +563,25 @@ async def run_local_cluster(
     payload_bytes: int = 128,
     block_size: int = 32,
     timeout_ms: float = 2_000.0,
+    max_timeout_ms: float = 0.0,
+    timeout_jitter: float = 0.0,
     host: str = "127.0.0.1",
     net: NetConfig | None = None,
     checkpoint_interval: int = 0,
     start_delay_s: dict[int, float] | None = None,
     verify_jobs: int | None = None,
+    adversary: str | None = None,
+    replica_overrides: dict[int, type] | None = None,
 ) -> ClusterReport:
     """Run an ``n``-replica cluster on localhost TCP; report throughput.
 
     Stops after ``duration_s`` seconds, or as soon as every replica has
     committed ``target_blocks`` blocks (when ``target_blocks`` > 0).
+
+    ``adversary`` seats a registered attack (by name) at its default
+    pids; ``replica_overrides`` seats explicit machine classes per pid
+    (and wins where both name a pid).  Honest replicas must stay safe
+    and live - the returned per-replica ``chains`` let callers check.
 
     ``start_delay_s`` holds back named pids (seconds) before starting
     their machines - the servers still bind immediately, so a delayed
@@ -585,6 +600,18 @@ async def run_local_cluster(
     jobs = resolve_verify_jobs(
         perf.verify_jobs() if verify_jobs is None else verify_jobs
     )
+    overrides: dict[int, type] = {}
+    if adversary is not None:
+        from repro.adversary.registry import get_adversary
+
+        adv = get_adversary(adversary)
+        overrides.update(
+            {pid: adv.replica_class(protocol) for pid in adv.seats(n, f)}
+        )
+    overrides.update(replica_overrides or {})
+    config_overrides: dict[str, object] = dict(
+        max_timeout_ms=max_timeout_ms, timeout_jitter=timeout_jitter
+    )
     machines = [
         build_machine(
             protocol,
@@ -596,6 +623,8 @@ async def run_local_cluster(
             block_size=block_size,
             timeout_ms=timeout_ms,
             checkpoint_interval=checkpoint_interval,
+            config_overrides=config_overrides,
+            replica_class=overrides.get(pid),
         )
         for pid in range(n)
     ]
@@ -715,6 +744,9 @@ async def serve_replica(
     payload_bytes: int = 128,
     block_size: int = 32,
     timeout_ms: float = 2_000.0,
+    max_timeout_ms: float = 0.0,
+    timeout_jitter: float = 0.0,
+    adversary: str | None = None,
     checkpoint_interval: int = 0,
     net: NetConfig | None = None,
     seal_dir: str | Path | None = None,
@@ -744,10 +776,19 @@ async def serve_replica(
     * ``verify_jobs`` - shard inbound signature verification across
       worker processes (0 = one per core, 1 = inline, ``None`` = the
       :func:`repro.perf.verify_jobs` default); bit-identical results.
+
+    ``adversary`` runs *this* replica as the named registered attack
+    (the same sans-I/O Machine the simulator seats); which pid plays
+    Byzantine is the orchestrator's choice.
     """
     if not 0 <= pid < n:
         raise ConfigError(f"pid {pid} outside cluster of {n} replicas")
     clock = WallClock()
+    replica_class: type | None = None
+    if adversary is not None:
+        from repro.adversary.registry import get_adversary
+
+        replica_class = get_adversary(adversary).replica_class(protocol)
     machine = build_machine(
         protocol,
         pid,
@@ -758,6 +799,10 @@ async def serve_replica(
         block_size=block_size,
         timeout_ms=timeout_ms,
         checkpoint_interval=checkpoint_interval,
+        config_overrides=dict(
+            max_timeout_ms=max_timeout_ms, timeout_jitter=timeout_jitter
+        ),
+        replica_class=replica_class,
     )
     decider: FaultDecider | None = None
     spec_path: Path | None = None

@@ -70,6 +70,8 @@ class NetChaosReport:
     fault_counts: dict[str, int] = field(default_factory=dict)
     run_dir: str = ""
     checkpoint_interval: int = 0
+    adversary: str | None = None
+    adversary_pids: tuple[int, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -81,6 +83,9 @@ class NetChaosReport:
             f"base port           {self.base_port}",
             f"loss probability    {self.loss}",
             f"checkpoint interval {self.checkpoint_interval or 'off'}",
+            f"adversary           "
+            f"{self.adversary or 'none'}"
+            + (f" at pids {list(self.adversary_pids)}" if self.adversary else ""),
             f"decision digest     {self.decision_digest}",
             "                    (pure function of seed + fault plan: identical "
             "across same-seed runs)",
@@ -196,6 +201,9 @@ def run_net_chaos(
     commit_bound_s: float = 60.0,
     partition_hold_s: float = 6.0,
     timeout_ms: float = 1_000.0,
+    max_timeout_ms: float = 0.0,
+    timeout_jitter: float = 0.0,
+    adversary: str | None = None,
     kill: bool = True,
     partition: bool = True,
     catchup: bool = False,
@@ -217,11 +225,28 @@ def run_net_chaos(
     installing a peer's certified checkpoint - not by replaying the
     missed blocks - within ``commit_bound_s``.  Requires (and defaults)
     a positive ``checkpoint_interval``.
+
+    ``adversary`` seats the named registered attack at its default pids
+    (the victim at ``n-1`` always stays honest - the scenario kills and
+    restarts it, and a Byzantine victim would prove nothing).  Every
+    liveness assertion then runs *with the attack live*: the honest
+    majority must boot, survive the kill, and heal regardless.
     """
     if n < 4:
         raise ConfigError("net-chaos needs n >= 4 (a 2/2 partition and f >= 1)")
     if catchup and checkpoint_interval <= 0:
         checkpoint_interval = 25
+    adversary_pids: tuple[int, ...] = ()
+    if adversary is not None:
+        from repro.adversary.registry import get_adversary
+        from repro.protocols.registry import get_spec
+
+        adv = get_adversary(adversary)
+        adv.replica_class(protocol)  # fail fast on unsupported protocols
+        f = get_spec(protocol).max_faults(n)
+        adversary_pids = tuple(
+            pid for pid in adv.seats(n, f) if pid != n - 1
+        )
     owns_dir = run_dir is None
     root = Path(tempfile.mkdtemp(prefix="repro-netchaos-")) if owns_dir else Path(run_dir)
     root.mkdir(parents=True, exist_ok=True)
@@ -265,6 +290,8 @@ def run_net_chaos(
         decision_digest=digest,
         run_dir=str(root),
         checkpoint_interval=checkpoint_interval,
+        adversary=adversary,
+        adversary_pids=adversary_pids,
     )
 
     supervisors = []
@@ -280,6 +307,9 @@ def run_net_chaos(
             seed=seed,
             host=host,
             timeout_ms=timeout_ms,
+            max_timeout_ms=max_timeout_ms,
+            timeout_jitter=timeout_jitter,
+            adversary=adversary if pid in adversary_pids else None,
             checkpoint_interval=checkpoint_interval,
             seal_dir=seal_dir,
             health_file=health_path,

@@ -36,6 +36,9 @@ class ReplicaProcessSpec:
     payload_bytes: int = 128
     block_size: int = 32
     timeout_ms: float = 2_000.0
+    max_timeout_ms: float = 0.0
+    timeout_jitter: float = 0.0
+    adversary: str | None = None
     checkpoint_interval: int = 0
     seal_dir: Path | None = None
     health_file: Path | None = None
@@ -67,6 +70,12 @@ class ReplicaProcessSpec:
             "--timeout-ms",
             str(self.timeout_ms),
         ]
+        if self.max_timeout_ms > 0:
+            argv += ["--max-timeout-ms", str(self.max_timeout_ms)]
+        if self.timeout_jitter > 0:
+            argv += ["--timeout-jitter", str(self.timeout_jitter)]
+        if self.adversary is not None:
+            argv += ["--adversary", self.adversary]
         if self.checkpoint_interval > 0:
             argv += ["--checkpoint-interval", str(self.checkpoint_interval)]
         if self.seal_dir is not None:

@@ -1,0 +1,92 @@
+"""Tests for the adversary registry (name -> spec lookup and seating)."""
+
+import math
+
+import pytest
+
+from repro.adversary import ADVERSARIES, adversary_names, get_adversary
+from repro.errors import ConfigError
+from repro.protocols.damysus import DamysusReplica
+from repro.protocols.hotstuff import HotStuffReplica
+from repro.protocols.registry import get_spec
+
+_BASES = {"damysus": DamysusReplica, "hotstuff": HotStuffReplica}
+
+
+def test_all_expected_attacks_are_registered():
+    assert adversary_names() == sorted(ADVERSARIES)
+    assert set(adversary_names()) >= {
+        "silent",
+        "equivocate",
+        "stale",
+        "flood",
+        "slow-drip",
+        "withhold",
+        "partition",
+        "sync-forge",
+        "amnesia",
+        "spam",
+    }
+
+
+def test_unknown_name_raises_config_error():
+    with pytest.raises(ConfigError, match="unknown adversary"):
+        get_adversary("nope")
+
+
+def test_unsupported_protocol_raises_config_error():
+    amnesia = get_adversary("amnesia")  # TEE rollback: Damysus-only
+    assert not amnesia.supports("hotstuff")
+    with pytest.raises(ConfigError, match="does not support"):
+        amnesia.replica_class("hotstuff")
+
+
+def test_classes_subclass_the_honest_protocol_replicas():
+    """Adversaries are sans-I/O Machines: same base class, any runtime."""
+    for spec in ADVERSARIES.values():
+        for protocol, cls in spec.classes.items():
+            assert issubclass(cls, _BASES[protocol]), (spec.name, protocol)
+
+
+@pytest.mark.parametrize("f", [1, 2])
+def test_seats_are_valid_and_within_the_fault_bound(f):
+    for spec in ADVERSARIES.values():
+        for protocol in spec.classes:
+            n = get_spec(protocol).num_replicas(f)
+            seats = spec.seats(n, f)
+            assert seats, spec.name
+            assert len(seats) <= f
+            assert len(set(seats)) == len(seats)
+            assert all(0 <= pid < n for pid in seats)
+
+
+def test_withhold_takes_a_full_coalition():
+    assert get_adversary("withhold").seats(7, 2) == (1, 2)
+
+
+def test_partition_colluder_is_never_its_own_victim():
+    from repro.adversary.targeted_partition import victim_pids
+
+    spec = get_adversary("partition")
+    for n, f in ((3, 1), (4, 1), (7, 2)):
+        (colluder,) = spec.seats(n, f)
+        assert colluder not in victim_pids(n, f)
+
+
+def test_colluding_plans_always_heal():
+    """Every bundled fault plan ends, so liveness-after-heal is scorable."""
+    for spec in ADVERSARIES.values():
+        if spec.colluding_plan is None:
+            continue
+        plan = spec.colluding_plan(4, 1)
+        assert math.isfinite(plan.healed_by_ms()), spec.name
+
+
+def test_event_extractors_read_zero_off_a_blank_object():
+    """Extractors sum counters defensively: absent attributes count as 0."""
+
+    class Blank:
+        pass
+
+    for spec in ADVERSARIES.values():
+        assert spec.events(Blank()) == 0

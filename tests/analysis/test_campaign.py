@@ -1,0 +1,150 @@
+"""Tests for the attack-campaign engine and its three oracles."""
+
+import json
+
+import pytest
+
+from repro.adversary import get_adversary
+from repro.analysis.campaign import (
+    CampaignCell,
+    base_plans,
+    degradation_label,
+    merge_plans,
+    run_campaign,
+    run_cell,
+)
+from repro.core.faults import FaultPlan
+from repro.errors import ConfigError
+
+
+def _tiny_campaign(seed=1):
+    return run_campaign(
+        protocols=("damysus",),
+        adversaries=("silent", "spam"),
+        plans=("clean",),
+        topologies=("eu",),
+        seed=seed,
+    )
+
+
+# -- oracles and scoring ----------------------------------------------------
+
+
+def test_cells_pass_all_three_oracles():
+    report = _tiny_campaign()
+    assert len(report.cells) == 2
+    assert report.ok
+    for cell in report.cells:
+        assert cell.verdict == "PASS"
+        assert cell.safe and cell.violation is None
+        assert cell.live_after_heal
+        assert cell.views_to_recover is not None
+        assert cell.attack_events > 0  # the attack demonstrably fired
+        assert cell.commits > 0 and cell.baseline_commits > 0
+
+
+def test_colluding_plan_rides_along_with_the_adversary():
+    """sync-forge bundles a victim-crash plan; the cell must still pass."""
+    cell = run_cell(
+        "damysus", get_adversary("sync-forge"), "clean", "eu", seed=1
+    )
+    assert cell.verdict == "PASS"
+    assert cell.healed_at_ms == 2_400.0  # the bundled crash's recovery
+
+
+def test_hotstuff_resynchronizes_after_crash_plus_loss():
+    """Regression: crash + lossy links used to leave HotStuff replicas in
+    permanently offset views (one view per capped timeout, never
+    converging).  The corroborated-view jump on timeout fixes it; this
+    cell stalled forever before that fix.
+    """
+    for topology in ("eu", "world"):
+        cell = run_cell(
+            "hotstuff", get_adversary("sync-forge"), "lossy", topology, seed=1
+        )
+        assert cell.verdict == "PASS", topology
+        assert cell.live_after_heal
+
+
+def test_degradation_bands():
+    assert degradation_label(1.0) == "minimal"
+    assert degradation_label(0.75) == "minimal"
+    assert degradation_label(0.5) == "moderate"
+    assert degradation_label(0.40) == "moderate"
+    assert degradation_label(0.1) == "severe"
+    assert degradation_label(0.0) == "severe"
+
+
+# -- determinism ------------------------------------------------------------
+
+
+def test_same_seed_is_bit_identical():
+    first, second = _tiny_campaign(seed=3), _tiny_campaign(seed=3)
+    assert first.to_json() == second.to_json()
+    assert first.digest() == second.digest()
+
+
+def test_different_seeds_diverge():
+    assert _tiny_campaign(seed=1).digest() != _tiny_campaign(seed=2).digest()
+
+
+def test_report_round_trips_through_json():
+    report = _tiny_campaign()
+    data = json.loads(report.to_json())
+    assert data["digest"] == report.digest()
+    assert len(data["cells"]) == 2
+    assert data["cells"][0]["verdict"] == "PASS"
+
+
+def test_unsupported_pairs_are_skipped_not_errors():
+    report = run_campaign(
+        protocols=("hotstuff",),
+        adversaries=("amnesia",),  # needs a TEE to roll back
+        plans=("clean",),
+        topologies=("eu",),
+    )
+    assert report.cells == []
+    assert report.skipped == [("amnesia", "hotstuff")]
+    assert report.ok  # nothing ran, nothing failed
+
+
+def test_unknown_plan_and_topology_are_config_errors():
+    with pytest.raises(ConfigError, match="unknown plan"):
+        run_campaign(plans=("stormy",))
+    with pytest.raises(ConfigError, match="unknown topology"):
+        run_cell("damysus", get_adversary("silent"), "clean", "mars", seed=1)
+
+
+# -- plan plumbing ----------------------------------------------------------
+
+
+def test_base_plans_are_rebuilt_per_call():
+    """FaultPlan is mutable; sharing one instance would leak rules."""
+    base_plans()["clean"].lossy_links(0.5, end_ms=10.0)
+    assert base_plans()["clean"].rules == []
+
+
+def test_merge_plans_carries_rules_and_crashes_from_both():
+    base = FaultPlan().lossy_links(0.1, end_ms=100.0)
+    extra = FaultPlan().crash(2, at_ms=50.0, recover_at_ms=80.0)
+    merged = merge_plans(base, extra)
+    assert len(merged.rules) == len(base.rules)
+    assert len(merged.crashes) == 1
+    assert merged is not base and merged is not extra
+    assert merge_plans(base, None).crashes == []
+
+
+def test_verdict_precedence_unsafe_beats_stalled():
+    kwargs = dict(
+        protocol="damysus", adversary="x", plan="clean", topology="eu",
+        seed=1, violation=None, views_to_recover=None, healed_at_ms=0.0,
+        duration_ms=1.0, commits=0, baseline_commits=1,
+        degradation_ratio=0.0, degradation="severe", attack_events=0,
+        attacker_pids=(1,), timeouts_fired=0,
+    )
+    unsafe = CampaignCell(safe=False, live_after_heal=False, **kwargs)
+    stalled = CampaignCell(safe=True, live_after_heal=False, **kwargs)
+    passing = CampaignCell(safe=True, live_after_heal=True, **kwargs)
+    assert unsafe.verdict == "UNSAFE" and not unsafe.ok
+    assert stalled.verdict == "STALLED" and not stalled.ok
+    assert passing.verdict == "PASS" and passing.ok

@@ -121,3 +121,15 @@ def test_new_view_replaces_timer():
     pacemaker.start_view(2)  # re-arms; view-1 timer must not fire
     sim.run()
     assert [view for _, view in fired] == [2]
+
+
+def test_custom_max_timeout_overrides_the_default_cap():
+    sim = Simulator()
+    pacemaker = Pacemaker(
+        Dummy(0, sim), 100.0, 2.0, on_timeout=lambda view: None,
+        max_timeout_ms=250.0,
+    )
+    for view in range(1, 10):
+        pacemaker.start_view(view)
+        sim.run()
+    assert pacemaker.current_timeout_ms == 250.0

@@ -93,3 +93,20 @@ def test_result_fields_consistent():
     assert result.committed_views == result.committed_blocks  # one block per view
     assert result.bytes_sent > 0
     assert result.messages_sent > 0
+
+
+def test_max_timeout_validation():
+    with pytest.raises(ConfigError):
+        SystemConfig(max_timeout_ms=-1.0)
+    with pytest.raises(ConfigError):
+        SystemConfig(timeout_ms=500.0, max_timeout_ms=100.0)  # below base
+
+
+def test_max_timeout_reaches_every_pacemaker():
+    system = ConsensusSystem(
+        small_config("damysus", timeout_ms=200.0, max_timeout_ms=900.0)
+    )
+    assert all(r.pacemaker.max_timeout_ms == 900.0 for r in system.replicas)
+    # 0 keeps the historical default: four times the base timeout.
+    default = ConsensusSystem(small_config("damysus", timeout_ms=200.0))
+    assert all(r.pacemaker.max_timeout_ms == 800.0 for r in default.replicas)

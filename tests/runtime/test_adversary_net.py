@@ -1,0 +1,123 @@
+"""Adversaries on real sockets: the zoo is runtime-independent.
+
+The Byzantine replicas are sans-I/O Machines, so the exact class that
+attacks the simulator also attacks the asyncio TCP runtime.  These tests
+run actual loopback clusters (like ``test_asyncio_net``) and double as
+the CI demonstration that attacks work over real TCP.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.adversary import get_adversary
+from repro.adversary.equivocation import EquivocatingDamysusLeader
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.runtime.asyncio_net import build_machine, run_local_cluster
+from repro.runtime.resilience.supervisor import ReplicaProcessSpec
+from repro.runtime.sim import ConsensusSystem
+
+
+def test_cross_runtime_equivalence_under_equivocation():
+    """Same attack, same honest outcome on the simulator and on sockets.
+
+    An equivocating Damysus leader at pid 1 is hard-refused by its own
+    Checker on both runtimes, so the honest replicas commit the same
+    chain either way.  Block hashes cover parentage, views and payloads,
+    so prefix equality means the two hosts drove identical decisions.
+    """
+    config = SystemConfig(
+        protocol="damysus", f=1, payload_bytes=64, block_size=8, seed=7
+    )
+    system = ConsensusSystem(
+        config, replica_overrides={1: EquivocatingDamysusLeader}
+    )
+    result = system.run_until_views(5, max_time_ms=120_000)
+    assert result.safe
+    sim_chain = [block.hash.hex() for block in system.replicas[0].ledger.executed]
+    assert len(sim_chain) >= 4
+
+    report = asyncio.run(
+        run_local_cluster(
+            "damysus",
+            system.num_replicas,
+            seed=7,
+            payload_bytes=64,
+            block_size=8,
+            duration_s=30.0,
+            target_blocks=5,
+            replica_overrides={1: EquivocatingDamysusLeader},
+        )
+    )
+    honest = {pid: chain for pid, chain in report.chains.items() if pid != 1}
+    for pid, net_chain in honest.items():
+        prefix = min(len(sim_chain), len(net_chain), 4)
+        assert prefix >= 4, pid
+        assert sim_chain[:prefix] == net_chain[:prefix], pid
+
+
+def test_named_adversary_on_sockets_commits():
+    """``adversary=`` seats the registry attack; honest liveness holds."""
+    report = asyncio.run(
+        run_local_cluster(
+            "damysus",
+            4,
+            duration_s=30.0,
+            target_blocks=2,
+            timeout_ms=1_000.0,
+            adversary="silent",
+        )
+    )
+    assert report.committed_blocks >= 2
+    honest = [chain for pid, chain in report.chains.items() if pid != 1]
+    prefix = min(len(chain) for chain in honest)
+    assert prefix >= 2
+    for chain in honest[1:]:
+        assert chain[:prefix] == honest[0][:prefix]
+
+
+def test_unknown_adversary_fails_fast():
+    with pytest.raises(ConfigError, match="unknown adversary"):
+        asyncio.run(run_local_cluster("damysus", 4, adversary="nope"))
+
+
+def test_build_machine_accepts_a_replica_class_override():
+    class _FixedClock:
+        now = 0.0
+
+    machine = build_machine(
+        "damysus", 1, 4, _FixedClock(), replica_class=EquivocatingDamysusLeader
+    )
+    assert isinstance(machine, EquivocatingDamysusLeader)
+    honest = build_machine("damysus", 0, 4, _FixedClock())
+    assert not isinstance(honest, EquivocatingDamysusLeader)
+
+
+def test_adversary_seats_resolve_like_the_simulator():
+    """The socket runtime seats a named attack at the registry's pids."""
+    spec = get_adversary("withhold")
+    assert spec.seats(4, 1) == (1,)  # what run_local_cluster installs
+
+
+def test_process_spec_argv_carries_adversary_flags():
+    spec = ReplicaProcessSpec(
+        pid=1,
+        protocol="damysus",
+        n=4,
+        base_port=7000,
+        max_timeout_ms=4_000.0,
+        timeout_jitter=0.1,
+        adversary="equivocate",
+    )
+    argv = spec.argv()
+    assert argv[argv.index("--max-timeout-ms") + 1] == "4000.0"
+    assert argv[argv.index("--timeout-jitter") + 1] == "0.1"
+    assert argv[argv.index("--adversary") + 1] == "equivocate"
+
+
+def test_process_spec_argv_omits_defaults():
+    argv = ReplicaProcessSpec(pid=0, protocol="damysus", n=4, base_port=7000).argv()
+    assert "--adversary" not in argv
+    assert "--max-timeout-ms" not in argv
+    assert "--timeout-jitter" not in argv

@@ -135,3 +135,56 @@ def test_parser_requires_command():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+def test_campaign_list(capsys):
+    code = main(["campaign", "--list"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for name in ("silent", "equivocate", "slow-drip", "withhold",
+                 "partition", "sync-forge", "amnesia", "spam"):
+        assert name in out
+
+
+def test_campaign_small_matrix(capsys):
+    code = main(
+        ["campaign", "--protocols", "damysus", "--adversaries", "silent",
+         "--plans", "clean", "--topologies", "eu"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PASS" in out
+    assert "0 unsafe, 0 stalled" in out
+
+
+def test_campaign_digest_is_deterministic(capsys):
+    argv = ["campaign", "--protocols", "damysus", "--adversaries", "spam",
+            "--plans", "clean", "--topologies", "eu", "--seed", "5",
+            "--digest-only"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    assert capsys.readouterr().out == first
+    assert len(first.strip()) == 64  # a full sha256 hex digest
+
+
+def test_campaign_json_output(capsys):
+    import json
+
+    code = main(
+        ["campaign", "--protocols", "damysus", "--adversaries", "silent",
+         "--plans", "clean", "--topologies", "eu", "--json"]
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert data["cells"][0]["verdict"] == "PASS"
+    assert data["digest"]
+
+
+def test_chaos_accepts_timeout_knobs(capsys):
+    code = main(
+        ["chaos", "--protocol", "damysus", "--seed", "1",
+         "--max-timeout-ms", "2000", "--timeout-jitter", "0.05"]
+    )
+    assert code == 0
+    assert "safety               OK" in capsys.readouterr().out
